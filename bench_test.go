@@ -1,0 +1,442 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus allocator micro-benchmarks and ablations of GMLake's design choices.
+//
+// Each BenchmarkTableN/BenchmarkFigureN runs a (step-reduced) version of the
+// corresponding experiment once per iteration and reports the figure's
+// headline quantity as a custom metric, so `go test -bench=. -benchmem`
+// regenerates the whole evaluation. cmd/gmlake-bench prints the full tables.
+package gmlake
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/caching"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/memalloc"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchEnv runs experiments with reduced step budgets so the full benchmark
+// suite finishes in minutes. The shapes are unchanged; absolute reserved
+// numbers are within a few percent of the full-budget runs.
+func benchEnv() *harness.Env {
+	e := harness.NewEnv()
+	e.TotalSteps = 15
+	e.MaxSteps = 90
+	e.MeasureSteps = 5
+	return e
+}
+
+func renderAll(b *testing.B, tables []*harness.Table) {
+	b.Helper()
+	for _, t := range tables {
+		t.Render(io.Discard)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.Table1()})
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.Figure3()})
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.Figure4()})
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.Figure5()})
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.Figure6()})
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, e.Figure10())
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, e.Figure11())
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.Figure12()})
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, e.Figure13())
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		t, _ := e.Figure14()
+		renderAll(b, []*harness.Table{t})
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	e := benchEnv()
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		spec := workload.Spec{Model: model.OPT13B, Strategy: workload.StrategyLRO, World: 4, Batch: 24}
+		base, gml := e.Compare(spec, harness.RunOptions{})
+		saved = float64(base.PeakReserved-gml.PeakReserved) / float64(sim.GiB)
+	}
+	b.ReportMetric(saved, "GB-saved")
+}
+
+func BenchmarkExtended(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.Extended()})
+	}
+}
+
+func BenchmarkCluster(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.ClusterExperiment()})
+	}
+}
+
+// --- Allocator micro-benchmarks ---
+
+func newBenchDriver(capacity int64) *cuda.Driver {
+	dev := gpu.NewDevice("bench", capacity)
+	return cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+}
+
+// BenchmarkGMLakeExactMatch measures the steady-state S1 hot path: one
+// alloc+free pair served entirely from the cached pools.
+func BenchmarkGMLakeExactMatch(b *testing.B) {
+	alloc := core.NewDefault(newBenchDriver(8 * sim.GiB))
+	warm, _ := alloc.Alloc(256 * sim.MiB)
+	alloc.Free(warm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := alloc.Alloc(256 * sim.MiB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alloc.Free(buf)
+	}
+}
+
+// BenchmarkGMLakeStitch measures the S3 path: every iteration fuses two free
+// pBlocks into a fresh sBlock (the stitched pool is flushed each time so the
+// exact match can never hit).
+func BenchmarkGMLakeStitch(b *testing.B) {
+	alloc := core.NewDefault(newBenchDriver(8 * sim.GiB))
+	b1, _ := alloc.Alloc(128 * sim.MiB)
+	b2, _ := alloc.Alloc(128 * sim.MiB)
+	alloc.Free(b1)
+	alloc.Free(b2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := alloc.Alloc(256 * sim.MiB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		alloc.Free(buf)
+		alloc.EmptyCache() // drop pools so the next stitch starts cold
+		w1, _ := alloc.Alloc(128 * sim.MiB)
+		w2, _ := alloc.Alloc(128 * sim.MiB)
+		alloc.Free(w1)
+		alloc.Free(w2)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkCachingBestFit measures the baseline's cache-hit path.
+func BenchmarkCachingBestFit(b *testing.B) {
+	alloc := caching.New(newBenchDriver(8 * sim.GiB))
+	warm, _ := alloc.Alloc(256 * sim.MiB)
+	alloc.Free(warm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := alloc.Alloc(256 * sim.MiB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alloc.Free(buf)
+	}
+}
+
+// BenchmarkNativeAllocFree measures the strawman's driver round trip.
+func BenchmarkNativeAllocFree(b *testing.B) {
+	alloc := memalloc.NewNative(newBenchDriver(8 * sim.GiB))
+	for i := 0; i < b.N; i++ {
+		buf, err := alloc.Alloc(256 * sim.MiB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alloc.Free(buf)
+	}
+}
+
+// BenchmarkTrainerStep measures one full fine-tuning step through GMLake in
+// steady state — the end-to-end hot path of the library.
+func BenchmarkTrainerStep(b *testing.B) {
+	drv := newBenchDriver(80 * sim.GiB)
+	alloc := core.NewDefault(drv)
+	spec := workload.Spec{Model: model.OPT1_3B, Strategy: workload.StrategyLR, World: 4, Batch: 16, Seed: 7}
+	tr, err := workload.NewTrainer(spec, alloc, drv.Clock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Setup(); err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Teardown()
+	for i := 0; i < 60; i++ { // converge
+		if err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md design choices) ---
+
+// ablationRun measures peak reserved and virtual step time for one GMLake
+// configuration on the fragmentation-prone LRO workload.
+func ablationRun(b *testing.B, cfg core.Config) (reservedGB, virtSec float64) {
+	b.Helper()
+	drv := newBenchDriver(80 * sim.GiB)
+	alloc := core.New(drv, cfg)
+	spec := workload.Spec{Model: model.OPT13B, Strategy: workload.StrategyLRO, World: 4, Batch: 24, Seed: 7}
+	tr, err := workload.NewTrainer(spec, alloc, drv.Clock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Setup(); err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Teardown()
+	const steps = 40
+	start := drv.Clock().Now()
+	for i := 0; i < steps; i++ {
+		if err := tr.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	virt := (drv.Clock().Now() - start).Seconds() / steps
+	return float64(alloc.Stats().PeakReserved) / float64(sim.GiB), virt
+}
+
+// BenchmarkAblationRebindOnSplit compares split semantics: rebinding cached
+// sBlocks across splits (our extension) vs destroying them (the paper's
+// literal description). Rebinding preserves the convergence tape, which
+// shows up as lower steady-state virtual step time.
+func BenchmarkAblationRebindOnSplit(b *testing.B) {
+	for _, rebind := range []bool{true, false} {
+		name := "rebind"
+		if !rebind {
+			name = "destroy"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res, virt float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.RebindOnSplit = rebind
+				res, virt = ablationRun(b, cfg)
+			}
+			b.ReportMetric(res, "GB-reserved")
+			b.ReportMetric(virt, "virt-s/step")
+		})
+	}
+}
+
+// BenchmarkAblationFragLimit sweeps the §4.2.3 fragmentation limit.
+func BenchmarkAblationFragLimit(b *testing.B) {
+	for _, limMB := range []int64{2, 32, 128, 512} {
+		b.Run(sim.FormatBytes(limMB*sim.MiB), func(b *testing.B) {
+			var res, virt float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.FragLimit = limMB * sim.MiB
+				res, virt = ablationRun(b, cfg)
+			}
+			b.ReportMetric(res, "GB-reserved")
+			b.ReportMetric(virt, "virt-s/step")
+		})
+	}
+}
+
+// BenchmarkAblationSPoolCap sweeps the StitchFree cap: a small stitched pool
+// evicts the cached views GMLake converges on.
+func BenchmarkAblationSPoolCap(b *testing.B) {
+	for _, cap := range []int{64, 1024, 32768} {
+		b.Run(sim.FormatBytes(int64(cap)), func(b *testing.B) {
+			var res, virt float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.MaxSBlocks = cap
+				res, virt = ablationRun(b, cfg)
+			}
+			b.ReportMetric(res, "GB-reserved")
+			b.ReportMetric(virt, "virt-s/step")
+		})
+	}
+}
+
+// BenchmarkZeRO regenerates the ZeRO stage/world table (extension).
+func BenchmarkZeRO(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.ZeROExperiment()})
+	}
+}
+
+// BenchmarkTopology regenerates the 3D-parallelism memory-plan table
+// (extension).
+func BenchmarkTopology(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.TopologyExperiment()})
+	}
+}
+
+// BenchmarkRecomputePlans regenerates the checkpointing-plan table
+// (extension).
+func BenchmarkRecomputePlans(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.RecomputeExperiment()})
+	}
+}
+
+// BenchmarkOffloadPipeline regenerates the ZeRO-Offload pipeline table
+// (extension).
+func BenchmarkOffloadPipeline(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.OffloadExperiment()})
+	}
+}
+
+// BenchmarkStreams regenerates the record_stream deferral table (extension).
+func BenchmarkStreams(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.StreamsExperiment()})
+	}
+}
+
+// BenchmarkServing regenerates the KV-cache policy comparison (extension;
+// the paper's Table 3 scope argument).
+func BenchmarkServing(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.ServingExperiment()})
+	}
+}
+
+// BenchmarkFragIndex regenerates the FMFI-style fragmentation indices
+// (extension).
+func BenchmarkFragIndex(b *testing.B) {
+	e := benchEnv()
+	e.TotalSteps = 6
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.FragIndexExperiment()})
+	}
+}
+
+// BenchmarkServeDecodeStep prices one decode step across KV policies: the
+// per-token allocator work each policy pays at batch 16.
+func BenchmarkServeDecodeStep(b *testing.B) {
+	for _, pool := range []string{"caching", "gmlake"} {
+		b.Run("chunked-"+pool, func(b *testing.B) {
+			dev := gpu.NewDevice("bench", 40*sim.GiB)
+			drv := cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+			var alloc memalloc.Allocator
+			if pool == "gmlake" {
+				alloc = core.NewDefault(drv)
+			} else {
+				alloc = caching.New(drv)
+			}
+			mgr := serve.NewChunkedKV(alloc, model.OPT1_3B, 64)
+			admitAll := func() []serve.SeqHandle {
+				handles := make([]serve.SeqHandle, 0, 16)
+				for s := 0; s < 16; s++ {
+					h, err := mgr.Admit(serve.Request{ID: s, PromptLen: 64 + 16*s, OutputLen: 1 << 20})
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles = append(handles, h)
+				}
+				return handles
+			}
+			handles := admitAll()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Recycle sequences periodically so unbounded b.N cannot
+				// exhaust the simulated device.
+				if i > 0 && i%512 == 0 {
+					for _, h := range handles {
+						mgr.Release(h)
+					}
+					handles = admitAll()
+				}
+				for _, h := range handles {
+					if err := mgr.Append(h); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipeFrag regenerates the pipeline-schedule fragmentation table
+// (extension).
+func BenchmarkPipeFrag(b *testing.B) {
+	e := benchEnv()
+	for i := 0; i < b.N; i++ {
+		renderAll(b, []*harness.Table{e.PipelineExperiment()})
+	}
+}

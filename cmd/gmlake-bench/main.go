@@ -1,0 +1,90 @@
+// Command gmlake-bench regenerates the paper's evaluation tables and
+// figures.
+//
+// Usage:
+//
+//	gmlake-bench -list
+//	gmlake-bench -experiment figure10
+//	gmlake-bench -experiment all -out results.txt
+//
+// Each experiment prints the same rows or series the paper reports, with the
+// paper's expected values in the notes. Runs are deterministic: the same
+// seed replays identical allocation streams.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("experiment", "all", "experiment id (or 'all')")
+		out      = flag.String("out", "", "also write results to this file")
+		seed     = flag.Uint64("seed", 7, "workload generator seed")
+		capacity = flag.Int64("capacity-gb", 80, "per-GPU memory in GiB")
+		minSteps = flag.Int("min-steps", 40, "minimum training steps per run")
+		maxSteps = flag.Int("max-steps", 200, "maximum training steps per run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.Experiments {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	env := harness.NewEnv()
+	env.Seed = *seed
+	env.Capacity = *capacity * sim.GiB
+	env.TotalSteps = *minSteps
+	env.MaxSteps = *maxSteps
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmlake-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.Experiments
+	}
+	for _, id := range ids {
+		if !known(id) {
+			fmt.Fprintf(os.Stderr, "gmlake-bench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables := env.RunExperiment(id)
+		for _, t := range tables {
+			t.Render(w)
+		}
+		fmt.Fprintf(w, "(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func known(id string) bool {
+	for _, k := range harness.Experiments {
+		if strings.EqualFold(k, id) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+// Command gmlake-latency runs the driver-level microbenchmarks behind the
+// paper's Table 1 and Figure 6: the latency of the native allocator versus
+// the low-level VMM allocator across physical chunk sizes.
+//
+// Usage:
+//
+//	gmlake-latency            # both tables
+//	gmlake-latency -ascii     # plus an ASCII rendering of the Figure 6 sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/plot"
+)
+
+func main() {
+	ascii := flag.Bool("ascii", false, "render the Figure 6 sweep as an ASCII chart")
+	speedup := flag.Bool("speedup", false, "also measure the native-vs-caching end-to-end ratio (§2.2)")
+	flag.Parse()
+
+	env := harness.NewEnv()
+	t1 := env.Table1()
+	t1.Render(os.Stdout)
+	f6 := env.Figure6()
+	f6.Render(os.Stdout)
+
+	if *speedup {
+		fmt.Printf("native/caching allocator-time ratio over 2000 (alloc,free) pairs: %.1fx\n",
+			env.NativeVsCachingSpeedup(2000))
+		fmt.Printf("native/caching end-to-end step-time ratio (OPT-1.3B fine-tune): %.1fx (paper: 9.7x)\n\n",
+			env.NativeSlowdownEndToEnd())
+	}
+
+	if *ascii {
+		chart := plot.Chart{
+			Title:  "Figure 6: allocation latency by chunk size (log y)",
+			XLabel: "log2(chunk MiB)", YLabel: "ms", LogY: true,
+		}
+		// Columns: 512MB, 1GB, 2GB blocks; rows after "Native" are chunk
+		// sizes ascending by powers of two.
+		for col := 1; col <= 3; col++ {
+			var xs, ys []float64
+			for i, row := range f6.Rows {
+				if row[0] == "Native" {
+					continue
+				}
+				v, err := strconv.ParseFloat(strings.TrimSpace(row[col]), 64)
+				if err != nil {
+					continue
+				}
+				xs = append(xs, float64(i)) // log2 position: rows ascend by 2x
+				ys = append(ys, v)
+			}
+			chart.Series = append(chart.Series, plot.Series{Name: f6.Header[col], X: xs, Y: ys})
+		}
+		chart.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,85 @@
+// Command gmlake-trace regenerates the paper's memory-trace figures as CSV
+// files and ASCII charts.
+//
+// Usage:
+//
+//	gmlake-trace -figure 14 -dir out/       # Figure 14 timelines
+//	gmlake-trace -figure 5  -dir out/       # Figure 5 footprint panels
+//	gmlake-trace -figure 14 -ascii          # chart on stdout
+//
+// CSV columns are "seconds,active_bytes,reserved_bytes" in simulated time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+)
+
+func main() {
+	var (
+		figure = flag.Int("figure", 14, "figure to trace: 5 or 14")
+		dir    = flag.String("dir", ".", "directory for CSV output")
+		ascii  = flag.Bool("ascii", false, "render an ASCII chart to stdout")
+		seed   = flag.Uint64("seed", 7, "workload generator seed")
+	)
+	flag.Parse()
+
+	env := harness.NewEnv()
+	env.Seed = *seed
+
+	var series map[string]*metrics.Timeline
+	var title string
+	switch *figure {
+	case 5:
+		plain, lr := env.Figure5Timelines()
+		series = map[string]*metrics.Timeline{"original": plain, "with-LR": lr}
+		title = "Figure 5: GPT-NeoX-20B memory footprint (caching allocator)"
+	case 14:
+		t, tls := env.Figure14()
+		t.Render(os.Stdout)
+		series = tls
+		title = "Figure 14: GPT-NeoX-20B memory trace, caching vs GMLake"
+	default:
+		fmt.Fprintln(os.Stderr, "gmlake-trace: -figure must be 5 or 14")
+		os.Exit(2)
+	}
+
+	for name, tl := range series {
+		path := filepath.Join(*dir, fmt.Sprintf("figure%d_%s.csv", *figure, name))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmlake-trace:", err)
+			os.Exit(1)
+		}
+		if err := tl.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gmlake-trace:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (%d samples, peak active %.1f GB, peak reserved %.1f GB)\n",
+			path, tl.Len(),
+			float64(tl.PeakActive())/(1<<30), float64(tl.PeakReserved())/(1<<30))
+	}
+
+	if *ascii {
+		chart := plot.Chart{Title: title, XLabel: "seconds", YLabel: "GB"}
+		for name, tl := range series {
+			var xs, ys, yr []float64
+			for _, s := range tl.Samples() {
+				xs = append(xs, s.T.Seconds())
+				ys = append(ys, float64(s.Active)/(1<<30))
+				yr = append(yr, float64(s.Reserved)/(1<<30))
+			}
+			chart.Series = append(chart.Series,
+				plot.Series{Name: name + "-active", X: xs, Y: ys},
+				plot.Series{Name: name + "-reserved", X: xs, Y: yr})
+		}
+		chart.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,85 @@
+// Finetune: simulate fine-tuning OPT-13B with LoRA + recomputation +
+// offloading (the paper's most fragmentation-prone strategy mix) on the
+// PyTorch caching allocator and on GMLake, side by side.
+//
+// This is the paper's core end-to-end claim in one program: same workload,
+// same device, ~25% less reserved memory with GMLake at equal throughput.
+//
+// Run with: go run ./examples/finetune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gmlake "repro"
+)
+
+const (
+	warmupSteps   = 80 // let GMLake's stitched-block cache converge (§5.4)
+	measuredSteps = 10
+)
+
+func main() {
+	spec := gmlake.TrainSpec{
+		Model:    gmlake.OPT13B,
+		Strategy: gmlake.StrategyLRO,
+		World:    4,  // ZeRO-3 over 4 GPUs
+		Batch:    24, // per-GPU micro-batch
+		Seed:     7,
+	}
+	fmt.Printf("fine-tuning %s, strategy %s, %d GPUs, batch %d\n\n",
+		spec.Model.Name, spec.Strategy.Label(), spec.World, spec.Batch)
+
+	type outcome struct {
+		name       string
+		stats      gmlake.Stats
+		throughput float64
+	}
+	var results []outcome
+
+	for _, which := range []string{"caching", "gmlake"} {
+		sys := gmlake.NewSystem(80 * gmlake.GiB)
+		var alloc gmlake.MemoryAllocator
+		if which == "gmlake" {
+			alloc = gmlake.New(sys.Driver)
+		} else {
+			alloc = gmlake.NewCaching(sys.Driver)
+		}
+		tr, err := gmlake.NewTrainer(spec, alloc, sys.Clock)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.Setup(); err != nil {
+			log.Fatalf("%s: setup: %v", which, err)
+		}
+		for i := 0; i < warmupSteps; i++ {
+			if err := tr.Step(); err != nil {
+				log.Fatalf("%s: step %d: %v", which, i, err)
+			}
+		}
+		start := sys.Clock.Now()
+		for i := 0; i < measuredSteps; i++ {
+			if err := tr.Step(); err != nil {
+				log.Fatalf("%s: measured step: %v", which, err)
+			}
+		}
+		elapsed := (sys.Clock.Now() - start).Seconds()
+		thr := float64(measuredSteps*spec.Batch*spec.World) / elapsed
+		results = append(results, outcome{which, alloc.Stats(), thr})
+		tr.Teardown()
+	}
+
+	fmt.Printf("%-10s %14s %14s %12s %14s\n",
+		"allocator", "peak active", "peak reserved", "utilization", "throughput")
+	for _, r := range results {
+		fmt.Printf("%-10s %13.1fG %13.1fG %11.1f%% %11.1f/s\n",
+			r.name,
+			float64(r.stats.PeakActive)/float64(gmlake.GiB),
+			float64(r.stats.PeakReserved)/float64(gmlake.GiB),
+			100*r.stats.Utilization(), r.throughput)
+	}
+	saved := results[0].stats.PeakReserved - results[1].stats.PeakReserved
+	fmt.Printf("\nGMLake saves %.1f GB of reserved GPU memory on this workload.\n",
+		float64(saved)/float64(gmlake.GiB))
+}

@@ -1,0 +1,59 @@
+// Multigpu: reproduce the paper's scale-out observation (Figures 4 and 11)
+// as a runnable program: as ZeRO-3 shards a fine-tune over more GPUs, the
+// caching allocator fragments more, while GMLake's utilization stays flat.
+//
+// Each world size simulates rank 0's allocator; ranks are symmetric under
+// data parallelism.
+//
+// Run with: go run ./examples/multigpu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gmlake "repro"
+)
+
+func main() {
+	fmt.Println("GPT-NeoX-20B, LoRA + recomputation, batch 12/GPU (paper Figure 11c)")
+	fmt.Printf("\n%5s  %22s  %22s\n", "GPUs", "caching util/reserved", "gmlake util/reserved")
+
+	for _, world := range []int{1, 2, 4, 8, 16} {
+		spec := gmlake.TrainSpec{
+			Model:    gmlake.GPTNeoX20B,
+			Strategy: gmlake.StrategyLR,
+			World:    world,
+			Batch:    12,
+			Seed:     7,
+		}
+		row := fmt.Sprintf("%5d", world)
+		for _, which := range []string{"caching", "gmlake"} {
+			sys := gmlake.NewSystem(80 * gmlake.GiB)
+			var alloc gmlake.MemoryAllocator
+			if which == "gmlake" {
+				alloc = gmlake.New(sys.Driver)
+			} else {
+				alloc = gmlake.NewCaching(sys.Driver)
+			}
+			tr, err := gmlake.NewTrainer(spec, alloc, sys.Clock)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tr.Setup(); err != nil {
+				log.Fatalf("world %d: %v", world, err)
+			}
+			for i := 0; i < 50; i++ {
+				if err := tr.Step(); err != nil {
+					log.Fatalf("world %d: %v", world, err)
+				}
+			}
+			st := alloc.Stats()
+			row += fmt.Sprintf("  %9.1f%% / %6.1fGB",
+				100*st.Utilization(), float64(st.PeakReserved)/float64(gmlake.GiB))
+			tr.Teardown()
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\npaper: baseline utilization decays toward ~76% at 16 GPUs; GMLake holds ~90%+")
+}

@@ -1,0 +1,318 @@
+// Package gmlake is a pure-Go reproduction of "GMLake: Efficient and
+// Transparent GPU Memory Defragmentation for Large-scale DNN Training with
+// Virtual Memory Stitching" (ASPLOS 2024).
+//
+// The package is the public facade over the library:
+//
+//   - a simulated GPU device and CUDA driver (native allocator + low-level
+//     virtual memory management API) with a latency cost model calibrated to
+//     the paper's measurements;
+//   - the PyTorch-style best-fit-with-coalescing caching allocator the paper
+//     uses as its baseline;
+//   - the GMLake allocator itself: primitive and stitched memory pools,
+//     the BestFit algorithm and the multi-state defragmentation strategy;
+//   - LLM fine-tuning workload generators and the experiment harness that
+//     regenerates every table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	sys := gmlake.NewSystem(80 * gmlake.GiB)
+//	alloc := gmlake.New(sys.Driver)
+//	buf, err := alloc.Alloc(512 * gmlake.MiB)
+//	if err != nil { ... }
+//	alloc.Free(buf)
+//	fmt.Println(alloc.Stats().Utilization())
+//
+// See examples/ for complete programs and cmd/gmlake-bench for the paper's
+// evaluation.
+package gmlake
+
+import (
+	"repro/internal/caching"
+	"repro/internal/compact"
+	"repro/internal/conf"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/expandable"
+	"repro/internal/fragstat"
+	"repro/internal/gpu"
+	"repro/internal/memalloc"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/offload"
+	"repro/internal/parallel"
+	"repro/internal/recompute"
+	"repro/internal/safealloc"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// Byte sizes.
+const (
+	KiB = sim.KiB
+	MiB = sim.MiB
+	GiB = sim.GiB
+)
+
+// ChunkSize is the uniform 2 MiB physical chunk size of the VMM API.
+const ChunkSize = core.ChunkSize
+
+// Re-exported core types. The aliases keep one canonical implementation in
+// internal packages while giving users a single import.
+type (
+	// Allocator is the GMLake allocator (the paper's contribution).
+	Allocator = core.Allocator
+	// Config tunes the GMLake allocator.
+	Config = core.Config
+	// CachingAllocator is the PyTorch-style baseline.
+	CachingAllocator = caching.Allocator
+	// NativeAllocator is the cudaMalloc/cudaFree strawman.
+	NativeAllocator = memalloc.Native
+	// ExpandableAllocator is PyTorch's later expandable-segments allocator
+	// (VMM-based growing rather than stitching).
+	ExpandableAllocator = expandable.Allocator
+	// CompactAllocator is a compaction-based (copying) defragmenter.
+	CompactAllocator = compact.Allocator
+	// MemoryAllocator is the interface all of the above implement.
+	MemoryAllocator = memalloc.Allocator
+	// Buffer is one live allocation.
+	Buffer = memalloc.Buffer
+	// Stats is the active/reserved accounting (utilization ratio as in the
+	// paper's §5.1).
+	Stats = memalloc.Stats
+	// Driver is the simulated CUDA driver.
+	Driver = cuda.Driver
+	// Device is the simulated GPU.
+	Device = gpu.Device
+	// Clock is the virtual clock all latency is charged to.
+	Clock = sim.Clock
+	// CostModel prices driver calls (calibrated to the paper's Table 1).
+	CostModel = sim.CostModel
+	// ModelConfig describes one of the evaluated LLMs.
+	ModelConfig = model.Config
+	// TrainSpec describes one fine-tuning workload.
+	TrainSpec = workload.Spec
+	// Strategy is a combination of memory-reduction techniques.
+	Strategy = workload.Strategy
+	// Trainer drives an allocator through a fine-tuning workload.
+	Trainer = workload.Trainer
+	// Timeline is a memory-over-time series.
+	Timeline = metrics.Timeline
+)
+
+// Evaluated models (paper Table 2).
+var (
+	GPT2       = model.GPT2
+	OPT1_3B    = model.OPT1_3B
+	GLM10B     = model.GLM10B
+	OPT13B     = model.OPT13B
+	Vicuna13B  = model.Vicuna13B
+	GPTNeoX20B = model.GPTNeoX20B
+)
+
+// Strategy shorthands (paper Figures 3 and 10).
+var (
+	StrategyN   = workload.StrategyN
+	StrategyR   = workload.StrategyR
+	StrategyLR  = workload.StrategyLR
+	StrategyRO  = workload.StrategyRO
+	StrategyLRO = workload.StrategyLRO
+)
+
+// ZeRO stages and pipeline schedules (paper §2.4 decompositions).
+const (
+	ZeRO0 = parallel.Stage0
+	ZeRO1 = parallel.Stage1
+	ZeRO2 = parallel.Stage2
+	ZeRO3 = parallel.Stage3
+
+	// GPipe buffers all microbatches to the pipeline flush.
+	GPipe = parallel.GPipe
+	// OneFOneB bounds in-flight microbatches to the stage depth.
+	OneFOneB = parallel.OneFOneB
+)
+
+// System bundles one simulated GPU with its driver and clock.
+type System struct {
+	Device *Device
+	Driver *Driver
+	Clock  *Clock
+}
+
+// NewSystem creates a simulated GPU with the given physical capacity and the
+// paper-calibrated cost model.
+func NewSystem(capacity int64) *System {
+	dev := gpu.NewDevice("sim-gpu", capacity)
+	clock := sim.NewClock()
+	return &System{
+		Device: dev,
+		Clock:  clock,
+		Driver: cuda.NewDriver(dev, clock, sim.DefaultCostModel()),
+	}
+}
+
+// New returns a GMLake allocator with the paper's default configuration.
+func New(driver *Driver) *Allocator { return core.NewDefault(driver) }
+
+// NewWithConfig returns a GMLake allocator with a custom configuration.
+func NewWithConfig(driver *Driver, cfg Config) *Allocator { return core.New(driver, cfg) }
+
+// DefaultConfig returns the paper's recommended GMLake configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewCaching returns the baseline caching allocator.
+func NewCaching(driver *Driver) *CachingAllocator { return caching.New(driver) }
+
+// NewNative returns the native (cudaMalloc-per-tensor) allocator.
+func NewNative(driver *Driver) *NativeAllocator { return memalloc.NewNative(driver) }
+
+// NewExpandable returns the expandable-segments allocator.
+func NewExpandable(driver *Driver) *ExpandableAllocator { return expandable.New(driver) }
+
+// NewCompact returns the compaction-based defragmenter.
+func NewCompact(driver *Driver) *CompactAllocator { return compact.New(driver) }
+
+// NewTrainer builds a fine-tuning workload driver over alloc.
+func NewTrainer(spec TrainSpec, alloc MemoryAllocator, clock *Clock) (*Trainer, error) {
+	return workload.NewTrainer(spec, alloc, clock)
+}
+
+// Substrate types the training ecosystem around the allocator is built
+// from: CUDA streams and events, host-device offloading, checkpointing
+// plans, distributed decompositions, inference KV caching, fragmentation
+// analytics and thread-safety.
+type (
+	// StreamScheduler simulates CUDA streams and events on the virtual
+	// clock.
+	StreamScheduler = stream.Scheduler
+	// StreamID names one stream.
+	StreamID = stream.ID
+	// Event marks a point in a stream's work queue.
+	Event = stream.Event
+	// StreamAllocator adds PyTorch's record_stream deferred-free
+	// semantics to any allocator.
+	StreamAllocator = stream.Allocator
+
+	// Link prices a host-device interconnect.
+	Link = offload.Link
+	// CopyEngine runs asynchronous H2D/D2H transfers on dedicated
+	// streams.
+	CopyEngine = offload.Engine
+	// OffloadOptimizer is the ZeRO-Offload CPU optimizer pipeline.
+	OffloadOptimizer = offload.Optimizer
+	// Swapper parks activation tensors in host memory with prefetch.
+	Swapper = offload.Swapper
+
+	// RecomputePlan is one activation-checkpointing decision.
+	RecomputePlan = recompute.Plan
+	// RecomputeModel is the per-layer cost model the planner works over.
+	RecomputeModel = recompute.Model
+
+	// Topology is a DP×TP×PP decomposition.
+	Topology = parallel.Topology
+	// ZeROStage selects DeepSpeed's state-sharding level.
+	ZeROStage = parallel.ZeROStage
+	// MemoryPlan is the per-rank demand of one topology.
+	MemoryPlan = parallel.MemoryPlan
+
+	// ServeRequest is one inference request.
+	ServeRequest = serve.Request
+	// ServeMix shapes the synthetic request distribution.
+	ServeMix = serve.GenConfig
+	// ServeConfig tunes the continuous-batching server.
+	ServeConfig = serve.ServerConfig
+	// KVCacheManager is one KV-cache management policy.
+	KVCacheManager = serve.CacheManager
+	// ServeReport summarizes a continuous-batching run.
+	ServeReport = serve.Report
+
+	// FragSnapshot holds an allocator's free blocks for fragmentation
+	// indices (FMFI-style).
+	FragSnapshot = fragstat.Snapshot
+
+	// SafeAllocator makes any allocator safe for concurrent use.
+	SafeAllocator = safealloc.Allocator
+)
+
+// NewStreamScheduler creates the stream/event simulator on clock.
+func NewStreamScheduler(clock *Clock) *StreamScheduler { return stream.NewScheduler(clock) }
+
+// NewStreamAllocator wraps inner with stream-aware freeing.
+func NewStreamAllocator(inner MemoryAllocator, sched *StreamScheduler) *StreamAllocator {
+	return stream.NewAllocator(inner, sched)
+}
+
+// DefaultPCIe returns the PCIe 4.0 x16 link of the paper's testbed.
+func DefaultPCIe() *Link { return offload.DefaultPCIe() }
+
+// NewCopyEngine creates a copy engine over link with fresh streams on sched.
+func NewCopyEngine(link *Link, sched *StreamScheduler) *CopyEngine {
+	return offload.NewEngine(link, sched)
+}
+
+// NewSwapper builds an activation swapper over engine and alloc.
+func NewSwapper(engine *CopyEngine, alloc MemoryAllocator, pinned bool) *Swapper {
+	return offload.NewSwapper(engine, alloc, pinned)
+}
+
+// PlanMemory computes per-rank memory demand for training cfg under a 3D
+// topology (see internal/parallel for the fine-grained API).
+func PlanMemory(cfg ModelConfig, topo Topology, zero ZeROStage, sched parallel.Schedule, microBatch, seq int) (MemoryPlan, error) {
+	return parallel.PlanMemory(cfg, topo, zero, sched, microBatch, seq)
+}
+
+// NewOffloadOptimizer builds the ZeRO-Offload CPU optimizer for a parameter
+// shard of paramBytes.
+func NewOffloadOptimizer(cfg offload.OptimizerConfig, engine *CopyEngine, alloc MemoryAllocator, paramBytes int64) (*OffloadOptimizer, error) {
+	return offload.NewOptimizer(cfg, engine, alloc, paramBytes)
+}
+
+// RecomputeForModel builds the checkpointing planner's cost model for one of
+// the paper's LLMs (flops 0 uses the default A100-class throughput).
+func RecomputeForModel(cfg ModelConfig, batch, seq int) RecomputeModel {
+	return recompute.ForModel(cfg, batch, seq, 0)
+}
+
+// GenServeRequests returns n deterministic inference requests.
+func GenServeRequests(n int, cfg ServeMix, seed uint64) ([]ServeRequest, error) {
+	return serve.GenRequests(n, cfg, seed)
+}
+
+// DefaultServeMix returns the chat-like request mix.
+func DefaultServeMix() ServeMix { return serve.DefaultGenConfig() }
+
+// NewContiguousKV returns the pad-to-max KV-cache baseline.
+func NewContiguousKV(alloc MemoryAllocator, cfg ModelConfig, maxTokens int) *serve.ContiguousKV {
+	return serve.NewContiguousKV(alloc, cfg, maxTokens)
+}
+
+// NewPagedKV returns the vLLM-style block-table KV cache.
+func NewPagedKV(alloc MemoryAllocator, cfg ModelConfig, blockTokens, totalBlocks int) (*serve.PagedKV, error) {
+	return serve.NewPagedKV(alloc, cfg, blockTokens, totalBlocks)
+}
+
+// NewChunkedKV returns the chunk-growing KV cache backed by an ordinary
+// allocator.
+func NewChunkedKV(alloc MemoryAllocator, cfg ModelConfig, chunkTokens int) *serve.ChunkedKV {
+	return serve.NewChunkedKV(alloc, cfg, chunkTokens)
+}
+
+// ServeRequests runs requests under continuous batching on mgr.
+func ServeRequests(reqs []ServeRequest, mgr KVCacheManager, cfg ServeConfig) (ServeReport, error) {
+	return serve.Serve(reqs, mgr, cfg)
+}
+
+// CaptureFragmentation snapshots an allocator's free blocks; ok is false
+// when the allocator does not expose them.
+func CaptureFragmentation(a MemoryAllocator) (FragSnapshot, bool) { return fragstat.Capture(a) }
+
+// NewSafe wraps any allocator for concurrent use.
+func NewSafe(inner MemoryAllocator) *SafeAllocator { return safealloc.New(inner) }
+
+// NewFromConf builds an allocator from a PYTORCH_CUDA_ALLOC_CONF-style
+// configuration string, e.g. "backend:gmlake,frag_limit_mb:256" or
+// "backend:caching,max_split_size_mb:128,garbage_collection_threshold:0.8".
+// The empty string is the default caching allocator.
+func NewFromConf(s string, driver *Driver) (MemoryAllocator, error) { return conf.New(s, driver) }

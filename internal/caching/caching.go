@@ -1,0 +1,400 @@
+// Package caching implements the baseline allocator GMLake is compared
+// against: the best-fit-with-coalescing (BFC) caching allocator used by
+// PyTorch and TensorFlow (paper §2.2, Figure 2b).
+//
+// The implementation mirrors PyTorch's CUDACachingAllocator:
+//
+//  1. Requests are rounded to 512-byte multiples and served from a small
+//     pool (requests ≤ 1 MiB, backed by 2 MiB segments) or a large pool.
+//  2. Best fit: the smallest cached inactive block that fits is chosen.
+//  3. Split: if the chosen block leaves a usable remainder, it is split;
+//     the two halves stay linked so they can re-merge.
+//  4. Free does not call the driver — the block is marked inactive and
+//     coalesced with inactive neighbours inside its segment.
+//
+// When no cached block fits, a new segment is requested with cudaMalloc;
+// on device OOM all completely-free cached segments are released and the
+// allocation retried, as PyTorch does.
+//
+// Splitting is exactly the mechanism the paper blames for fragmentation:
+// split remainders scattered across segments cannot serve later large
+// requests, so reserved memory keeps growing — the behaviour the Figure 10,
+// 11 and 13 baselines exhibit.
+package caching
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/cuda"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+// PyTorch CUDACachingAllocator sizing constants.
+const (
+	// MinBlockSize is the rounding granularity for every request.
+	MinBlockSize = 512
+	// SmallSize is the largest request served by the small pool.
+	SmallSize = 1 * sim.MiB
+	// SmallBuffer is the segment size backing the small pool.
+	SmallBuffer = 2 * sim.MiB
+	// LargeBuffer is the segment size for medium requests (≤ MinLargeAlloc).
+	LargeBuffer = 20 * sim.MiB
+	// MinLargeAlloc is the threshold above which a request gets its own
+	// rounded segment.
+	MinLargeAlloc = 10 * sim.MiB
+	// RoundLarge is the rounding granularity for large segments.
+	RoundLarge = 2 * sim.MiB
+)
+
+// Config mirrors the PYTORCH_CUDA_ALLOC_CONF tuning knobs practitioners used
+// against fragmentation before VMM-based allocators existed.
+type Config struct {
+	// MaxSplitSize forbids splitting cached blocks larger than this
+	// (max_split_size_mb): big blocks stay intact for big requests instead
+	// of being nibbled into pinned remainders. Oversize blocks may still
+	// serve a request within OversizeSlack of their size. Zero disables
+	// the limit (PyTorch's default).
+	MaxSplitSize int64
+
+	// GCThreshold triggers a cache flush when reserved memory exceeds this
+	// fraction of device capacity before a new segment is allocated
+	// (garbage_collection_threshold). Zero disables.
+	GCThreshold float64
+}
+
+// OversizeSlack is how much larger than the request an unsplittable block
+// may be and still serve it (PyTorch's kLargeBuffer-based rule).
+const OversizeSlack = 20 * sim.MiB
+
+// Allocator is the caching allocator.
+type Allocator struct {
+	driver *cuda.Driver
+	cfg    Config
+	acct   memalloc.Accounting
+
+	small, large *pool
+	segments     map[cuda.DevicePtr]*segment
+}
+
+type pool struct {
+	isSmall bool
+	free    *container.Tree[*block]
+}
+
+type segment struct {
+	ptr   cuda.DevicePtr
+	size  int64
+	pool  *pool
+	first *block
+}
+
+type block struct {
+	seg       *segment
+	ptr       cuda.DevicePtr
+	size      int64
+	allocated bool
+	prev      *block // address-order neighbours inside the segment
+	next      *block
+	node      *container.Node[*block] // position in pool.free when inactive
+}
+
+// New returns a caching allocator over driver with PyTorch's default
+// configuration (unlimited splitting, no GC threshold).
+func New(driver *cuda.Driver) *Allocator { return NewWithConfig(driver, Config{}) }
+
+// NewWithConfig returns a caching allocator with tuning knobs set.
+func NewWithConfig(driver *cuda.Driver, cfg Config) *Allocator {
+	return &Allocator{
+		driver:   driver,
+		cfg:      cfg,
+		small:    newPool(true),
+		large:    newPool(false),
+		segments: make(map[cuda.DevicePtr]*segment),
+	}
+}
+
+func newPool(isSmall bool) *pool {
+	return &pool{
+		isSmall: isSmall,
+		free: container.NewTree[*block](func(a, b *block) bool {
+			if a.size != b.size {
+				return a.size < b.size
+			}
+			return a.ptr < b.ptr
+		}),
+	}
+}
+
+// Name implements memalloc.Allocator.
+func (a *Allocator) Name() string { return "caching" }
+
+// Stats implements memalloc.Allocator.
+func (a *Allocator) Stats() memalloc.Stats { return a.acct.Stats() }
+
+// ResetPeaks restarts peak tracking from current levels.
+func (a *Allocator) ResetPeaks() { a.acct.ResetPeaks() }
+
+// RoundSize returns the block size a request of size bytes occupies.
+func RoundSize(size int64) int64 {
+	if size < MinBlockSize {
+		return MinBlockSize
+	}
+	return sim.RoundUp(size, MinBlockSize)
+}
+
+// allocationSize returns the segment size cudaMalloc'd for a request that
+// missed the cache.
+func allocationSize(size int64) int64 {
+	switch {
+	case size <= SmallSize:
+		return SmallBuffer
+	case size < MinLargeAlloc:
+		return LargeBuffer
+	default:
+		return sim.RoundUp(size, RoundLarge)
+	}
+}
+
+func (a *Allocator) poolFor(size int64) *pool {
+	if size <= SmallSize {
+		return a.small
+	}
+	return a.large
+}
+
+// Alloc implements memalloc.Allocator: best fit, then split (paper Figure 2b
+// steps 1 and 2).
+func (a *Allocator) Alloc(size int64) (*memalloc.Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("caching: Alloc(%d)", size)
+	}
+	a.driver.Clock().Advance(a.driver.Cost().HostOp())
+
+	rounded := RoundSize(size)
+	p := a.poolFor(rounded)
+
+	blk := a.findBestFit(p, rounded)
+	if blk == nil {
+		var err error
+		blk, err = a.allocSegment(p, rounded)
+		if err != nil {
+			return nil, err
+		}
+	}
+	blk = a.maybeSplit(p, blk, rounded)
+	blk.allocated = true
+	a.acct.OnAlloc(blk.size)
+
+	buf := &memalloc.Buffer{Ptr: blk.ptr, Requested: size, BlockSize: blk.size}
+	buf.SetImpl(blk)
+	return buf, nil
+}
+
+// findBestFit removes and returns the smallest inactive block that fits, or
+// nil. With MaxSplitSize set, an unsplittable (oversize) block is usable
+// only when it exceeds the request by at most OversizeSlack; larger
+// candidates would be wasted whole, so the search reports a miss instead
+// (PyTorch's rule).
+func (a *Allocator) findBestFit(p *pool, size int64) *block {
+	n := p.free.Ceil(&block{size: size})
+	if n == nil {
+		return nil
+	}
+	blk := n.Value
+	if a.cfg.MaxSplitSize > 0 && !p.isSmall &&
+		blk.size > a.cfg.MaxSplitSize && blk.size-size > OversizeSlack {
+		return nil
+	}
+	p.free.Delete(n)
+	blk.node = nil
+	return blk
+}
+
+// allocSegment cudaMallocs a fresh segment sized for the request; on device
+// OOM it releases all cached free segments and retries once. With a GC
+// threshold configured, the cache is flushed proactively once reserved
+// memory crosses the threshold fraction of device capacity.
+func (a *Allocator) allocSegment(p *pool, size int64) (*block, error) {
+	segSize := allocationSize(size)
+	if a.cfg.GCThreshold > 0 {
+		_, total := a.driver.MemGetInfo()
+		if float64(a.acct.Stats().Reserved+segSize) > a.cfg.GCThreshold*float64(total) {
+			a.releaseCachedSegments()
+		}
+	}
+	ptr, err := a.driver.Malloc(segSize)
+	if err != nil {
+		if a.releaseCachedSegments() == 0 {
+			return nil, fmt.Errorf("caching: %w", err)
+		}
+		ptr, err = a.driver.Malloc(segSize)
+		if err != nil {
+			return nil, fmt.Errorf("caching: %w", err)
+		}
+	}
+	seg := &segment{ptr: ptr, size: segSize, pool: p}
+	blk := &block{seg: seg, ptr: ptr, size: segSize}
+	seg.first = blk
+	a.segments[ptr] = seg
+	a.acct.OnReserve(segSize)
+	return blk, nil
+}
+
+// splitRemainder is the smallest usable split remainder per pool: 512 B for
+// the small pool, 1 MiB for the large pool (PyTorch's should_split rule).
+func splitRemainder(p *pool) int64 {
+	if p.isSmall {
+		return MinBlockSize
+	}
+	return SmallSize
+}
+
+// maybeSplit splits blk if the remainder after carving size bytes is usable,
+// returning the block to hand out (paper Figure 2b step 2). Blocks above
+// MaxSplitSize are handed out whole.
+func (a *Allocator) maybeSplit(p *pool, blk *block, size int64) *block {
+	remaining := blk.size - size
+	if remaining < splitRemainder(p) {
+		return blk
+	}
+	if a.cfg.MaxSplitSize > 0 && !p.isSmall && blk.size > a.cfg.MaxSplitSize {
+		return blk
+	}
+	rest := &block{
+		seg:  blk.seg,
+		ptr:  blk.ptr + cuda.DevicePtr(size),
+		size: remaining,
+		prev: blk,
+		next: blk.next,
+	}
+	if blk.next != nil {
+		blk.next.prev = rest
+	}
+	blk.next = rest
+	blk.size = size
+	rest.node = p.free.Insert(rest)
+	return blk
+}
+
+// Free implements memalloc.Allocator: mark inactive and merge with inactive
+// neighbours (paper Figure 2b steps 3 and 4). The driver is never called.
+func (a *Allocator) Free(buf *memalloc.Buffer) {
+	blk, ok := buf.Impl().(*block)
+	if !ok || blk == nil {
+		panic("caching: Free of buffer not owned by this allocator")
+	}
+	if !blk.allocated {
+		panic("caching: double Free")
+	}
+	a.driver.Clock().Advance(a.driver.Cost().HostOp())
+	a.acct.OnFree(blk.size)
+	blk.allocated = false
+	buf.SetImpl(nil)
+
+	p := blk.seg.pool
+	// Merge right then left; the merged block keeps the leftmost identity.
+	if nb := blk.next; nb != nil && !nb.allocated {
+		p.free.Delete(nb.node)
+		blk.size += nb.size
+		blk.next = nb.next
+		if nb.next != nil {
+			nb.next.prev = blk
+		}
+	}
+	if pb := blk.prev; pb != nil && !pb.allocated {
+		p.free.Delete(pb.node)
+		pb.size += blk.size
+		pb.next = blk.next
+		if blk.next != nil {
+			blk.next.prev = pb
+		}
+		blk = pb
+	}
+	blk.node = p.free.Insert(blk)
+}
+
+// EmptyCache implements memalloc.Allocator.
+func (a *Allocator) EmptyCache() { a.releaseCachedSegments() }
+
+// releaseCachedSegments cudaFrees every segment whose whole span is a single
+// inactive block, returning the number of segments released.
+func (a *Allocator) releaseCachedSegments() int {
+	released := 0
+	for ptr, seg := range a.segments {
+		blk := seg.first
+		if blk.allocated || blk.next != nil {
+			continue
+		}
+		seg.pool.free.Delete(blk.node)
+		if err := a.driver.Free(seg.ptr); err != nil {
+			panic("caching: releasing cached segment: " + err.Error())
+		}
+		a.acct.OnRelease(seg.size)
+		delete(a.segments, ptr)
+		released++
+	}
+	return released
+}
+
+// SegmentCount reports live segments (diagnostics).
+func (a *Allocator) SegmentCount() int { return len(a.segments) }
+
+// FreeBlockCount reports cached inactive blocks across both pools
+// (diagnostics; a growing count under an irregular workload is the
+// fragmentation the paper describes).
+func (a *Allocator) FreeBlockCount() int {
+	return a.small.free.Len() + a.large.free.Len()
+}
+
+// FreeBlockSizes returns the size of every cached inactive block, ascending
+// per pool; fragstat consumes it for fragmentation indices.
+func (a *Allocator) FreeBlockSizes() []int64 {
+	out := make([]int64, 0, a.FreeBlockCount())
+	for _, p := range []*pool{a.small, a.large} {
+		p.free.Ascend(func(n *container.Node[*block]) bool {
+			out = append(out, n.Value.size)
+			return true
+		})
+	}
+	return out
+}
+
+// CheckInvariants validates internal consistency; tests call it after
+// workloads. It verifies that every segment's block chain tiles the segment
+// exactly, that inactive blocks are indexed in their pool's free tree, and
+// that no two inactive neighbours remain unmerged.
+func (a *Allocator) CheckInvariants() error {
+	for _, seg := range a.segments {
+		var total int64
+		prevInactive := false
+		for blk := seg.first; blk != nil; blk = blk.next {
+			if blk.seg != seg {
+				return fmt.Errorf("caching: block segment pointer mismatch")
+			}
+			if blk.ptr != seg.ptr+cuda.DevicePtr(total) {
+				return fmt.Errorf("caching: block chain has a gap at %#x", uint64(blk.ptr))
+			}
+			if blk.next != nil && blk.next.prev != blk {
+				return fmt.Errorf("caching: broken block chain links")
+			}
+			if !blk.allocated {
+				if prevInactive {
+					return fmt.Errorf("caching: adjacent inactive blocks not merged")
+				}
+				if blk.node == nil {
+					return fmt.Errorf("caching: inactive block missing from free tree")
+				}
+				prevInactive = true
+			} else {
+				prevInactive = false
+			}
+			total += blk.size
+		}
+		if total != seg.size {
+			return fmt.Errorf("caching: segment tiles %d of %d bytes", total, seg.size)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package caching
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+func newTunedAllocator(capacity int64, cfg Config) (*Allocator, *cuda.Driver) {
+	dev := gpu.NewDevice("test", capacity)
+	drv := cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+	return NewWithConfig(drv, cfg), drv
+}
+
+func TestMaxSplitSizePreservesBigBlocks(t *testing.T) {
+	a, _ := newTunedAllocator(sim.GiB, Config{MaxSplitSize: 128 * sim.MiB})
+	big, err := a.Alloc(400 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(big)
+	// A small request must NOT nibble the cached 400 MiB block: it gets its
+	// own segment instead, and the 400 MiB block stays whole.
+	small, err := a.Alloc(30 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Ptr == big.Ptr {
+		t.Fatal("small request was served from the oversize block")
+	}
+	// The intact big block still serves a same-size request.
+	big2, err := a.Alloc(400 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big2.Ptr != big.Ptr {
+		t.Fatal("oversize block not reused whole")
+	}
+	a.Free(small)
+	a.Free(big2)
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxSplitSizeOversizeSlack(t *testing.T) {
+	a, _ := newTunedAllocator(sim.GiB, Config{MaxSplitSize: 128 * sim.MiB})
+	big, _ := a.Alloc(400 * sim.MiB)
+	a.Free(big)
+	// Within the slack: the oversize block serves the request whole.
+	b, err := a.Alloc(390 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Ptr != big.Ptr {
+		t.Fatal("request within slack not served by the oversize block")
+	}
+	if b.BlockSize != 400*sim.MiB {
+		t.Fatalf("BlockSize = %d, want whole 400 MiB (no split)", b.BlockSize)
+	}
+	a.Free(b)
+}
+
+func TestMaxSplitStillSplitsSmallBlocks(t *testing.T) {
+	a, _ := newTunedAllocator(sim.GiB, Config{MaxSplitSize: 128 * sim.MiB})
+	med, _ := a.Alloc(100 * sim.MiB) // below the limit: splittable
+	a.Free(med)
+	s, err := a.Alloc(40 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ptr != med.Ptr || s.BlockSize != 40*sim.MiB {
+		t.Fatal("sub-limit block should still split")
+	}
+	a.Free(s)
+}
+
+func TestGCThresholdFlushesProactively(t *testing.T) {
+	a, drv := newTunedAllocator(sim.GiB, Config{GCThreshold: 0.5})
+	// Fill the cache to ~60% of the device, all free.
+	var bufs []*memalloc.Buffer
+	for i := 0; i < 6; i++ {
+		b, err := a.Alloc(100 * sim.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs = append(bufs, b)
+	}
+	for _, b := range bufs {
+		a.Free(b)
+	}
+	if got := a.Stats().Reserved; got != 600*sim.MiB {
+		t.Fatalf("Reserved = %d", got)
+	}
+	// A request needing a new segment crosses the 50% threshold: the cache
+	// must be flushed first, dropping reserved to just the new segment.
+	frees := drv.Counters().Free
+	b, err := a.Alloc(200 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv.Counters().Free == frees {
+		t.Fatal("GC threshold did not flush the cache")
+	}
+	if got := a.Stats().Reserved; got != 200*sim.MiB {
+		t.Fatalf("Reserved = %d after GC, want 200 MiB", got)
+	}
+	a.Free(b)
+}

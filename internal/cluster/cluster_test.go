@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testConfig(alloc string, shared bool, world, batch int) Config {
+	return Config{
+		Spec: workload.Spec{
+			Model:    model.OPT1_3B,
+			Strategy: workload.StrategyLR,
+			World:    world,
+			Batch:    batch,
+			Seed:     7,
+		},
+		Allocator:    alloc,
+		Capacity:     80 * sim.GiB,
+		SharedShapes: shared,
+	}
+}
+
+func TestClusterLockstep(t *testing.T) {
+	c, err := New(testConfig("gmlake", false, 4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Teardown()
+	for i := 0; i < 5; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Steps() != 5 {
+		t.Fatalf("Steps = %d", c.Steps())
+	}
+	// Barrier: all clocks equal after each step.
+	t0 := c.Ranks()[0].Clock.Now()
+	for _, r := range c.Ranks() {
+		if r.Clock.Now() != t0 {
+			t.Fatalf("rank %d clock %v != rank 0 clock %v", r.ID, r.Clock.Now(), t0)
+		}
+	}
+	if t0 <= 0 {
+		t.Fatal("no time elapsed")
+	}
+}
+
+func TestSharedShapesAreSymmetric(t *testing.T) {
+	c, err := New(testConfig("caching", true, 4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Teardown()
+	for i := 0; i < 6; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Summarize()
+	if s.MaxPeakReserved != s.MinPeakReserved {
+		t.Fatalf("shared shapes produced asymmetric ranks: max %d min %d",
+			s.MaxPeakReserved, s.MinPeakReserved)
+	}
+	if got := s.RankSkew(); got != 1 {
+		t.Fatalf("RankSkew = %v, want 1", got)
+	}
+}
+
+func TestPerRankShapesSkewReserved(t *testing.T) {
+	c, err := New(testConfig("caching", false, 4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Teardown()
+	for i := 0; i < 12; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Summarize()
+	if s.MaxPeakReserved <= s.MinPeakReserved {
+		t.Fatal("per-rank shape streams produced identical ranks; seeds not varied")
+	}
+	if s.RankSkew() <= 1.0 {
+		t.Fatalf("RankSkew = %v, want > 1", s.RankSkew())
+	}
+}
+
+func TestGMLakeShrinksRankSkew(t *testing.T) {
+	// GMLake's reserved tracks active, so rank-to-rank variance shrinks
+	// versus the caching allocator's packing-history-dependent reserved.
+	run := func(alloc string) Summary {
+		c, err := New(testConfig(alloc, false, 4, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Setup(); err != nil {
+			t.Fatal(err)
+		}
+		defer c.Teardown()
+		for i := 0; i < 12; i++ {
+			if err := c.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Summarize()
+	}
+	base := run("caching")
+	gml := run("gmlake")
+	if gml.MaxPeakReserved >= base.MaxPeakReserved {
+		t.Fatalf("worst-rank reserved: gmlake %d not below caching %d",
+			gml.MaxPeakReserved, base.MaxPeakReserved)
+	}
+}
+
+func TestClusterOOMPropagates(t *testing.T) {
+	cfg := testConfig("caching", false, 2, 64)
+	cfg.Capacity = 4 * sim.GiB
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Teardown()
+	if err := c.Setup(); err == nil {
+		if err := c.Step(); err == nil {
+			t.Fatal("expected an OOM somewhere on a 4 GiB device")
+		}
+	}
+}
+
+func TestUnknownAllocator(t *testing.T) {
+	cfg := testConfig("bogus", true, 1, 1)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown allocator accepted")
+	}
+}
+
+func TestSummaryFields(t *testing.T) {
+	c, err := New(testConfig("gmlake", true, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Teardown()
+	for i := 0; i < 3; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Summarize()
+	if s.Ranks != 2 || s.Steps != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.MaxPeakReserved < s.MeanPeakReserved || s.MeanPeakReserved < s.MinPeakReserved {
+		t.Fatalf("reserved ordering broken: %+v", s)
+	}
+	if s.MinUtilization <= 0 || s.MinUtilization > 1 {
+		t.Fatalf("MinUtilization = %v", s.MinUtilization)
+	}
+	if s.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}

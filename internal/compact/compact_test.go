@@ -1,0 +1,192 @@
+package compact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+func newTestAllocator(capacity int64) (*Allocator, *cuda.Driver) {
+	dev := gpu.NewDevice("test", capacity)
+	drv := cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+	return New(drv), drv
+}
+
+func mustAlloc(t *testing.T, a *Allocator, size int64) *memalloc.Buffer {
+	t.Helper()
+	b, err := a.Alloc(size)
+	if err != nil {
+		t.Fatalf("Alloc(%d): %v", size, err)
+	}
+	return b
+}
+
+func checkInv(t *testing.T, a *Allocator) {
+	t.Helper()
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionDefeatsFragmentation(t *testing.T) {
+	// Interleave keep/free blocks, then request more than any single hole:
+	// compaction must fire and serve it without growing the arena.
+	a, _ := newTestAllocator(4 * sim.GiB)
+	var keep, junk []*memalloc.Buffer
+	for i := 0; i < 8; i++ {
+		junk = append(junk, mustAlloc(t, a, 96*sim.MiB))
+		keep = append(keep, mustAlloc(t, a, 32*sim.MiB))
+	}
+	for _, b := range junk {
+		a.Free(b)
+	}
+	reserved := a.Stats().Reserved
+	big := mustAlloc(t, a, 512*sim.MiB) // bigger than any 96 MiB hole
+	if a.Compactions() != 1 {
+		t.Fatalf("Compactions = %d, want 1", a.Compactions())
+	}
+	if got := a.Stats().Reserved; got != reserved {
+		t.Fatalf("reserved grew %d -> %d; compaction should reuse holes", reserved, got)
+	}
+	if a.MovedBytes() == 0 {
+		t.Fatal("compaction moved nothing")
+	}
+	a.Free(big)
+	for _, b := range keep {
+		a.Free(b)
+	}
+	checkInv(t, a)
+}
+
+func TestCompactionChargesCopyTime(t *testing.T) {
+	a, drv := newTestAllocator(4 * sim.GiB)
+	var junk []*memalloc.Buffer
+	var keep []*memalloc.Buffer
+	for i := 0; i < 8; i++ {
+		junk = append(junk, mustAlloc(t, a, 96*sim.MiB))
+		keep = append(keep, mustAlloc(t, a, 32*sim.MiB))
+	}
+	for _, b := range junk {
+		a.Free(b)
+	}
+	before := drv.Clock().Now()
+	big := mustAlloc(t, a, 512*sim.MiB)
+	elapsed := drv.Clock().Now() - before
+	if elapsed < syncStall {
+		t.Fatalf("compaction took %v, below the sync stall %v", elapsed, syncStall)
+	}
+	a.Free(big)
+	for _, b := range keep {
+		a.Free(b)
+	}
+}
+
+func TestNoCompactionWhenFitExists(t *testing.T) {
+	a, _ := newTestAllocator(sim.GiB)
+	b1 := mustAlloc(t, a, 100*sim.MiB)
+	a.Free(b1)
+	b2 := mustAlloc(t, a, 64*sim.MiB)
+	if a.Compactions() != 0 {
+		t.Fatal("compaction ran despite a fitting free block")
+	}
+	a.Free(b2)
+	checkInv(t, a)
+}
+
+func TestGrowWhenFreeInsufficient(t *testing.T) {
+	a, _ := newTestAllocator(sim.GiB)
+	b1 := mustAlloc(t, a, 100*sim.MiB)
+	// Nothing free: must extend, not compact.
+	b2 := mustAlloc(t, a, 100*sim.MiB)
+	if a.Compactions() != 0 {
+		t.Fatal("pointless compaction")
+	}
+	if a.Stats().Reserved != 200*sim.MiB {
+		t.Fatalf("Reserved = %d", a.Stats().Reserved)
+	}
+	a.Free(b1)
+	a.Free(b2)
+	checkInv(t, a)
+}
+
+func TestOOM(t *testing.T) {
+	a, _ := newTestAllocator(256 * sim.MiB)
+	b := mustAlloc(t, a, 200*sim.MiB)
+	if _, err := a.Alloc(100 * sim.MiB); !errors.Is(err, cuda.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want OOM", err)
+	}
+	a.Free(b)
+}
+
+func TestEmptyCacheTrims(t *testing.T) {
+	a, drv := newTestAllocator(sim.GiB)
+	b := mustAlloc(t, a, 128*sim.MiB)
+	a.Free(b)
+	a.EmptyCache()
+	if a.Stats().Reserved != 0 {
+		t.Fatalf("Reserved = %d after trim", a.Stats().Reserved)
+	}
+	if free, total := drv.MemGetInfo(); free != total {
+		t.Fatal("device not free")
+	}
+	checkInv(t, a)
+}
+
+func TestRandomWorkloadInvariants(t *testing.T) {
+	a, drv := newTestAllocator(8 * sim.GiB)
+	rng := sim.NewRNG(77)
+	var live []*memalloc.Buffer
+	for step := 0; step < 2500; step++ {
+		if rng.Float64() < 0.55 {
+			size := int64(rng.Intn(int(256*sim.MiB)) + 1)
+			if b, err := a.Alloc(size); err == nil {
+				live = append(live, b)
+			}
+		} else if len(live) > 0 {
+			i := rng.Intn(len(live))
+			a.Free(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		if step%500 == 0 {
+			checkInv(t, a)
+		}
+	}
+	for _, b := range live {
+		a.Free(b)
+	}
+	checkInv(t, a)
+	a.EmptyCache()
+	if free, total := drv.MemGetInfo(); free != total {
+		t.Fatalf("device leak: %d of %d", free, total)
+	}
+}
+
+func TestSmallPoolPath(t *testing.T) {
+	a, _ := newTestAllocator(sim.GiB)
+	b := mustAlloc(t, a, 64*sim.KiB)
+	a.Free(b)
+	if st := a.Stats(); st.Active != 0 {
+		t.Fatalf("Active = %d", st.Active)
+	}
+}
+
+func TestNameAndResetPeaks(t *testing.T) {
+	a, _ := newTestAllocator(sim.GiB)
+	if a.Name() != "compact" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	b, err := a.Alloc(8 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(b)
+	a.ResetPeaks()
+	st := a.Stats()
+	if st.PeakActive != st.Active || st.PeakReserved != st.Reserved {
+		t.Fatal("ResetPeaks did not restart peaks")
+	}
+}

@@ -1,0 +1,153 @@
+// Package conf parses PYTORCH_CUDA_ALLOC_CONF-style configuration strings
+// and builds the selected allocator. The paper stresses that switching
+// between the caching allocator and GMLake "is notably convenient by
+// switching certain configurations" — this package is that switch:
+//
+//	backend:gmlake
+//	backend:caching,max_split_size_mb:128,garbage_collection_threshold:0.8
+//	backend:gmlake,frag_limit_mb:256,max_sblocks:4096
+//
+// Keys are comma-separated key:value pairs, unknown keys are errors (typos
+// in environment variables should never be silent), and every knob maps to
+// a field of the corresponding allocator's Config.
+package conf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/caching"
+	"repro/internal/compact"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/expandable"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+// Config is a parsed allocator configuration.
+type Config struct {
+	// Backend selects the allocator: "caching" (default), "gmlake",
+	// "native", "expandable", "compact".
+	Backend string
+
+	// Caching knobs (PYTORCH_CUDA_ALLOC_CONF names).
+	MaxSplitSizeMB int64
+	GCThreshold    float64
+
+	// GMLake knobs.
+	FragLimitMB int64 // 0 = paper default
+	MaxSBlocks  int   // 0 = default
+	RebindSplit *bool // nil = default (on)
+}
+
+// Parse parses a configuration string. The empty string is the default
+// caching backend.
+func Parse(s string) (Config, error) {
+	cfg := Config{Backend: "caching"}
+	if strings.TrimSpace(s) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, ":")
+		if !ok {
+			return cfg, fmt.Errorf("conf: %q is not key:value", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "backend":
+			switch val {
+			case "caching", "gmlake", "native", "expandable", "compact":
+				cfg.Backend = val
+			default:
+				return cfg, fmt.Errorf("conf: unknown backend %q", val)
+			}
+		case "max_split_size_mb":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.MaxSplitSizeMB = n
+		case "garbage_collection_threshold":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return cfg, fmt.Errorf("conf: %s must be in [0,1], got %q", key, val)
+			}
+			cfg.GCThreshold = f
+		case "frag_limit_mb":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.FragLimitMB = n
+		case "max_sblocks":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.MaxSBlocks = int(n)
+		case "rebind_on_split":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return cfg, fmt.Errorf("conf: %s must be a bool, got %q", key, val)
+			}
+			cfg.RebindSplit = &b
+		default:
+			return cfg, fmt.Errorf("conf: unknown key %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+func parsePositive(key, val string) (int64, error) {
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("conf: %s must be a positive integer, got %q", key, val)
+	}
+	return n, nil
+}
+
+// Build constructs the configured allocator over driver.
+func (c Config) Build(driver *cuda.Driver) (memalloc.Allocator, error) {
+	switch c.Backend {
+	case "caching":
+		return caching.NewWithConfig(driver, caching.Config{
+			MaxSplitSize: c.MaxSplitSizeMB * sim.MiB,
+			GCThreshold:  c.GCThreshold,
+		}), nil
+	case "gmlake":
+		gc := core.DefaultConfig()
+		if c.FragLimitMB > 0 {
+			gc.FragLimit = c.FragLimitMB * sim.MiB
+		}
+		if c.MaxSBlocks > 0 {
+			gc.MaxSBlocks = c.MaxSBlocks
+		}
+		if c.RebindSplit != nil {
+			gc.RebindOnSplit = *c.RebindSplit
+		}
+		return core.New(driver, gc), nil
+	case "native":
+		return memalloc.NewNative(driver), nil
+	case "expandable":
+		return expandable.New(driver), nil
+	case "compact":
+		return compact.New(driver), nil
+	default:
+		return nil, fmt.Errorf("conf: unknown backend %q", c.Backend)
+	}
+}
+
+// New parses s and builds the allocator in one step.
+func New(s string, driver *cuda.Driver) (memalloc.Allocator, error) {
+	cfg, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.Build(driver)
+}

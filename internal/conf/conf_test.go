@@ -1,0 +1,112 @@
+package conf
+
+import (
+	"testing"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+func newDriver() *cuda.Driver {
+	return cuda.NewDriver(gpu.NewDevice("t", sim.GiB), sim.NewClock(), sim.DefaultCostModel())
+}
+
+func TestParseDefaults(t *testing.T) {
+	cfg, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backend != "caching" {
+		t.Fatalf("default backend %q", cfg.Backend)
+	}
+}
+
+func TestParseFullCachingString(t *testing.T) {
+	cfg, err := Parse("backend:caching, max_split_size_mb:128, garbage_collection_threshold:0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxSplitSizeMB != 128 || cfg.GCThreshold != 0.8 {
+		t.Fatalf("%+v", cfg)
+	}
+}
+
+func TestParseGMLakeKnobs(t *testing.T) {
+	cfg, err := Parse("backend:gmlake,frag_limit_mb:256,max_sblocks:4096,rebind_on_split:false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backend != "gmlake" || cfg.FragLimitMB != 256 || cfg.MaxSBlocks != 4096 {
+		t.Fatalf("%+v", cfg)
+	}
+	if cfg.RebindSplit == nil || *cfg.RebindSplit {
+		t.Fatal("rebind_on_split:false not captured")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"backend:turbo",                    // unknown backend
+		"max_split_size_mb:-1",             // negative
+		"max_split_size_mb:lots",           // not a number
+		"garbage_collection_threshold:1.5", // out of range
+		"rebind_on_split:perhaps",          // not a bool
+		"frag_limit_mb",                    // not key:value
+		"warp_speed:9",                     // unknown key
+		"max_sblocks:0",                    // zero
+	}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("accepted %q", s)
+		}
+	}
+}
+
+func TestParseSkipsEmptySegments(t *testing.T) {
+	cfg, err := Parse("backend:gmlake,,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Backend != "gmlake" {
+		t.Fatalf("%+v", cfg)
+	}
+}
+
+func TestBuildAllBackends(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"backend:gmlake",
+		"backend:native",
+		"backend:expandable",
+		"backend:compact",
+		"backend:caching,max_split_size_mb:64",
+		"backend:gmlake,frag_limit_mb:64,max_sblocks:128,rebind_on_split:true",
+	} {
+		a, err := New(s, newDriver())
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		b, err := a.Alloc(4 * sim.MiB)
+		if err != nil {
+			t.Fatalf("%q: alloc: %v", s, err)
+		}
+		a.Free(b)
+		if got := a.Stats().Active; got != 0 {
+			t.Fatalf("%q: active %d after free", s, got)
+		}
+	}
+}
+
+func TestNewPropagatesParseError(t *testing.T) {
+	if _, err := New("backend:bogus", newDriver()); err == nil {
+		t.Fatal("bad config built an allocator")
+	}
+}
+
+func TestBuildRejectsUnknownBackendStruct(t *testing.T) {
+	cfg := Config{Backend: "bogus"}
+	if _, err := cfg.Build(newDriver()); err == nil {
+		t.Fatal("unknown backend built")
+	}
+}

@@ -1,0 +1,309 @@
+package container
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func intTree() *Tree[int] {
+	return NewTree[int](func(a, b int) bool { return a < b })
+}
+
+func treeContents(t *Tree[int]) []int {
+	var out []int
+	t.Ascend(func(n *Node[int]) bool {
+		out = append(out, n.Value)
+		return true
+	})
+	return out
+}
+
+func TestTreeInsertAscend(t *testing.T) {
+	tr := intTree()
+	in := []int{5, 3, 8, 1, 9, 7, 2, 6, 4, 0}
+	for _, v := range in {
+		tr.Insert(v)
+	}
+	got := treeContents(tr)
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ascend order %v, want %v", got, want)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeDuplicates(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 5; i++ {
+		tr.Insert(7)
+	}
+	tr.Insert(3)
+	tr.Insert(9)
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tr.Len())
+	}
+	got := treeContents(tr)
+	want := []int{3, 7, 7, 7, 7, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("contents %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTreeDeleteByHandle(t *testing.T) {
+	tr := intTree()
+	nodes := make([]*Node[int], 0, 100)
+	for i := 0; i < 100; i++ {
+		nodes = append(nodes, tr.Insert(i%10))
+	}
+	// Delete every third node; handles must remain valid for the others.
+	for i := 0; i < 100; i += 3 {
+		tr.Delete(nodes[i])
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 100 - 34
+	if tr.Len() != wantLen {
+		t.Fatalf("Len = %d, want %d", tr.Len(), wantLen)
+	}
+	// Remaining handles still deletable.
+	for i := 1; i < 100; i += 3 {
+		tr.Delete(nodes[i])
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeDeleteStaleHandlePanics(t *testing.T) {
+	tr := intTree()
+	n := tr.Insert(1)
+	tr.Delete(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Delete did not panic")
+		}
+	}()
+	tr.Delete(n)
+}
+
+func TestTreeCeilFloor(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{10, 20, 30, 40} {
+		tr.Insert(v)
+	}
+	tests := []struct {
+		v           int
+		ceil, floor int // -1 means nil
+	}{
+		{5, 10, -1},
+		{10, 10, 10},
+		{15, 20, 10},
+		{40, 40, 40},
+		{45, -1, 40},
+	}
+	for _, tt := range tests {
+		c := tr.Ceil(tt.v)
+		f := tr.Floor(tt.v)
+		if tt.ceil == -1 && c != nil {
+			t.Errorf("Ceil(%d) = %d, want nil", tt.v, c.Value)
+		} else if tt.ceil != -1 && (c == nil || c.Value != tt.ceil) {
+			t.Errorf("Ceil(%d) = %v, want %d", tt.v, c, tt.ceil)
+		}
+		if tt.floor == -1 && f != nil {
+			t.Errorf("Floor(%d) = %d, want nil", tt.v, f.Value)
+		} else if tt.floor != -1 && (f == nil || f.Value != tt.floor) {
+			t.Errorf("Floor(%d) = %v, want %d", tt.v, f, tt.floor)
+		}
+	}
+}
+
+func TestTreeDescend(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{3, 1, 2} {
+		tr.Insert(v)
+	}
+	var out []int
+	tr.Descend(func(n *Node[int]) bool {
+		out = append(out, n.Value)
+		return true
+	})
+	want := []int{3, 2, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Descend order %v, want %v", out, want)
+		}
+	}
+}
+
+func TestTreeMinMaxEmpty(t *testing.T) {
+	tr := intTree()
+	if tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("Min/Max of empty tree should be nil")
+	}
+	tr.Insert(1)
+	tr.Clear()
+	if tr.Len() != 0 || tr.Min() != nil {
+		t.Fatal("Clear did not empty the tree")
+	}
+}
+
+// TestTreeRandomOps is a randomized property test: after arbitrary insert and
+// delete sequences, the tree matches a reference sorted multiset and keeps
+// red-black invariants.
+func TestTreeRandomOps(t *testing.T) {
+	rng := sim.NewRNG(12345)
+	tr := intTree()
+	var ref []int
+	handles := map[int][]*Node[int]{}
+	for step := 0; step < 5000; step++ {
+		if rng.Float64() < 0.6 || len(ref) == 0 {
+			v := rng.Intn(200)
+			handles[v] = append(handles[v], tr.Insert(v))
+			ref = append(ref, v)
+		} else {
+			v := ref[rng.Intn(len(ref))]
+			hs := handles[v]
+			h := hs[len(hs)-1]
+			handles[v] = hs[:len(hs)-1]
+			tr.Delete(h)
+			for i, rv := range ref {
+				if rv == v {
+					ref = append(ref[:i], ref[i+1:]...)
+					break
+				}
+			}
+		}
+		if step%250 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(ref)
+	got := treeContents(tr)
+	if len(got) != len(ref) {
+		t.Fatalf("len = %d, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("mismatch at %d: got %d want %d", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestTreeQuickSorted uses testing/quick: inserting any slice yields a sorted
+// traversal of the same multiset.
+func TestTreeQuickSorted(t *testing.T) {
+	f := func(vals []int16) bool {
+		tr := intTree()
+		for _, v := range vals {
+			tr.Insert(int(v))
+		}
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		got := treeContents(tr)
+		want := make([]int, len(vals))
+		for i, v := range vals {
+			want[i] = int(v)
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueBasic(t *testing.T) {
+	var q Queue[string]
+	a := q.PushBack("a")
+	b := q.PushBack("b")
+	c := q.PushBack("c")
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if q.Front() != a {
+		t.Fatal("Front should be a")
+	}
+	q.MoveToBack(a) // order: b c a
+	if q.Front() != b {
+		t.Fatal("Front should be b after MoveToBack(a)")
+	}
+	q.Remove(c) // order: b a
+	var got []string
+	q.Each(func(v string) bool { got = append(got, v); return true })
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("Each order %v, want [b a]", got)
+	}
+	q.Remove(b)
+	q.Remove(a)
+	if q.Len() != 0 || q.Front() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestQueueRemoveStalePanics(t *testing.T) {
+	var q Queue[int]
+	n := q.PushBack(1)
+	q.Remove(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Remove did not panic")
+		}
+	}()
+	q.Remove(n)
+}
+
+func TestQueueMoveToBackSingle(t *testing.T) {
+	var q Queue[int]
+	n := q.PushBack(1)
+	q.MoveToBack(n) // no-op, must not corrupt
+	if q.Front() != n || q.Len() != 1 {
+		t.Fatal("MoveToBack on singleton corrupted the queue")
+	}
+}
+
+func TestQueueLRUPattern(t *testing.T) {
+	var q Queue[int]
+	nodes := make([]*QueueNode[int], 10)
+	for i := range nodes {
+		nodes[i] = q.PushBack(i)
+	}
+	// Touch evens; odds should be evicted first.
+	for i := 0; i < 10; i += 2 {
+		q.MoveToBack(nodes[i])
+	}
+	var order []int
+	q.Each(func(v int) bool { order = append(order, v); return true })
+	want := []int{1, 3, 5, 7, 9, 0, 2, 4, 6, 8}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("LRU order %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,453 @@
+// Package container provides the ordered data structures shared by the
+// allocators: a generic red-black tree ordered multiset (the paper's sorted
+// sets backing pPool, sPool and the caching allocator's free lists) and a
+// small FIFO/LRU queue.
+package container
+
+// Tree is an ordered multiset implemented as a red-black tree. Elements are
+// ordered by the less function supplied at construction; duplicates (elements
+// neither less nor greater than each other) are allowed and kept in insertion
+// order on the right spine.
+//
+// Insert returns a *Node handle which the caller may retain for O(log n)
+// deletion, the pattern both allocators use to remove a specific block from
+// a pool.
+type Tree[T any] struct {
+	root *Node[T]
+	size int
+	less func(a, b T) bool
+}
+
+// Node is an element handle inside a Tree.
+type Node[T any] struct {
+	Value               T
+	left, right, parent *Node[T]
+	red                 bool
+	tree                *Tree[T] // owner; nil after removal
+}
+
+// NewTree returns an empty tree ordered by less.
+func NewTree[T any](less func(a, b T) bool) *Tree[T] {
+	return &Tree[T]{less: less}
+}
+
+// Len reports the number of elements in the tree.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Insert adds v to the tree and returns its node handle.
+func (t *Tree[T]) Insert(v T) *Node[T] {
+	n := &Node[T]{Value: v, red: true, tree: t}
+	var parent *Node[T]
+	cur := t.root
+	for cur != nil {
+		parent = cur
+		if t.less(v, cur.Value) {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	n.parent = parent
+	switch {
+	case parent == nil:
+		t.root = n
+	case t.less(v, parent.Value):
+		parent.left = n
+	default:
+		parent.right = n
+	}
+	t.size++
+	t.insertFixup(n)
+	return n
+}
+
+// Delete removes the node n from the tree. It panics if n does not belong to
+// this tree (including if it was already deleted), because silently ignoring
+// a stale handle would mask pool-accounting bugs in the allocators.
+func (t *Tree[T]) Delete(n *Node[T]) {
+	if n == nil || n.tree != t {
+		panic("container: Delete of node not in tree")
+	}
+	t.remove(n)
+	n.tree = nil
+	n.left, n.right, n.parent = nil, nil, nil
+	t.size--
+}
+
+// Min returns the smallest element's node, or nil if the tree is empty.
+func (t *Tree[T]) Min() *Node[T] {
+	if t.root == nil {
+		return nil
+	}
+	return t.root.min()
+}
+
+// Max returns the largest element's node, or nil if the tree is empty.
+func (t *Tree[T]) Max() *Node[T] {
+	if t.root == nil {
+		return nil
+	}
+	return t.root.max()
+}
+
+// Next returns the in-order successor of n, or nil.
+func (t *Tree[T]) Next(n *Node[T]) *Node[T] { return n.next() }
+
+// Prev returns the in-order predecessor of n, or nil.
+func (t *Tree[T]) Prev(n *Node[T]) *Node[T] { return n.prev() }
+
+// Ceil returns the first node whose value is >= v (i.e. not less than v),
+// or nil if all elements are smaller.
+func (t *Tree[T]) Ceil(v T) *Node[T] {
+	var best *Node[T]
+	cur := t.root
+	for cur != nil {
+		if t.less(cur.Value, v) {
+			cur = cur.right
+		} else {
+			best = cur
+			cur = cur.left
+		}
+	}
+	return best
+}
+
+// Floor returns the last node whose value is <= v (i.e. v is not less than
+// it), or nil if all elements are greater.
+func (t *Tree[T]) Floor(v T) *Node[T] {
+	var best *Node[T]
+	cur := t.root
+	for cur != nil {
+		if t.less(v, cur.Value) {
+			cur = cur.left
+		} else {
+			best = cur
+			cur = cur.right
+		}
+	}
+	return best
+}
+
+// Ascend calls fn for each element in ascending order until fn returns false.
+func (t *Tree[T]) Ascend(fn func(n *Node[T]) bool) {
+	for n := t.Min(); n != nil; n = n.next() {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// Descend calls fn for each element in descending order until fn returns
+// false.
+func (t *Tree[T]) Descend(fn func(n *Node[T]) bool) {
+	for n := t.Max(); n != nil; n = n.prev() {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// Clear removes all elements.
+func (t *Tree[T]) Clear() {
+	t.root = nil
+	t.size = 0
+}
+
+func (n *Node[T]) min() *Node[T] {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func (n *Node[T]) max() *Node[T] {
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+func (n *Node[T]) next() *Node[T] {
+	if n.right != nil {
+		return n.right.min()
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+func (n *Node[T]) prev() *Node[T] {
+	if n.left != nil {
+		return n.left.max()
+	}
+	p := n.parent
+	for p != nil && n == p.left {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+func isRed[T any](n *Node[T]) bool { return n != nil && n.red }
+
+func (t *Tree[T]) rotateLeft(x *Node[T]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[T]) rotateRight(x *Node[T]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[T]) insertFixup(z *Node[T]) {
+	for isRed(z.parent) {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			u := gp.right
+			if isRed(u) {
+				z.parent.red = false
+				u.red = false
+				gp.red = true
+				z = gp
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.red = false
+				gp.red = true
+				t.rotateRight(gp)
+			}
+		} else {
+			u := gp.left
+			if isRed(u) {
+				z.parent.red = false
+				u.red = false
+				gp.red = true
+				z = gp
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.red = false
+				gp.red = true
+				t.rotateLeft(gp)
+			}
+		}
+	}
+	t.root.red = false
+}
+
+// remove implements CLRS delete with a transplant that swaps node identity so
+// external handles stay valid: when the node to delete has two children we
+// splice out its successor and move the successor's links, not its value.
+func (t *Tree[T]) remove(z *Node[T]) {
+	var x, xParent *Node[T]
+	y := z
+	yWasRed := y.red
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = z.right.min()
+		yWasRed = y.red
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.red = z.red
+	}
+	if !yWasRed {
+		t.deleteFixup(x, xParent)
+	}
+}
+
+func (t *Tree[T]) transplant(u, v *Node[T]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *Tree[T]) deleteFixup(x, parent *Node[T]) {
+	for x != t.root && !isRed(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if isRed(w) {
+				w.red = false
+				parent.red = true
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if !isRed(w.left) && !isRed(w.right) {
+				w.red = true
+				x = parent
+				parent = x.parent
+			} else {
+				if !isRed(w.right) {
+					w.left.red = false
+					w.red = true
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.red = parent.red
+				parent.red = false
+				w.right.red = false
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if isRed(w) {
+				w.red = false
+				parent.red = true
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if !isRed(w.left) && !isRed(w.right) {
+				w.red = true
+				x = parent
+				parent = x.parent
+			} else {
+				if !isRed(w.left) {
+					w.right.red = false
+					w.red = true
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.red = parent.red
+				parent.red = false
+				w.left.red = false
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.red = false
+	}
+}
+
+// checkInvariants validates red-black properties; used by tests.
+func (t *Tree[T]) checkInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	if t.root.red {
+		return errRootRed
+	}
+	_, err := t.check(t.root)
+	return err
+}
+
+type rbError string
+
+func (e rbError) Error() string { return string(e) }
+
+const (
+	errRootRed   = rbError("container: root is red")
+	errRedRed    = rbError("container: red node with red child")
+	errBlackH    = rbError("container: unequal black heights")
+	errOrder     = rbError("container: ordering violated")
+	errParentPtr = rbError("container: bad parent pointer")
+)
+
+func (t *Tree[T]) check(n *Node[T]) (blackHeight int, err error) {
+	if n == nil {
+		return 1, nil
+	}
+	if n.left != nil {
+		if n.left.parent != n {
+			return 0, errParentPtr
+		}
+		if t.less(n.Value, n.left.Value) {
+			return 0, errOrder
+		}
+		if n.red && n.left.red {
+			return 0, errRedRed
+		}
+	}
+	if n.right != nil {
+		if n.right.parent != n {
+			return 0, errParentPtr
+		}
+		if t.less(n.right.Value, n.Value) {
+			return 0, errOrder
+		}
+		if n.red && n.right.red {
+			return 0, errRedRed
+		}
+	}
+	lh, err := t.check(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.check(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, errBlackH
+	}
+	if !n.red {
+		lh++
+	}
+	return lh, nil
+}

@@ -1,0 +1,579 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/caching"
+	"repro/internal/cuda"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+// Config tunes the GMLake allocator. The defaults follow the paper's best
+// practices.
+type Config struct {
+	// FragLimit is the minimal fragment size (paper §4.2.3, default
+	// 128 MiB): inactive pBlocks smaller than this are never used as stitch
+	// candidates and splits never produce them deliberately; they remain
+	// reusable through exact matches.
+	FragLimit int64
+
+	// SmallThreshold routes requests below it to an embedded caching
+	// allocator (paper §3.1: "for memory allocation less than 2 MB, we use
+	// the original PyTorch splitting method").
+	SmallThreshold int64
+
+	// MaxSBlocks caps the stitched pool. When exceeded, StitchFree evicts
+	// least-recently-used unassigned sBlocks (paper §4.2.3's fallback).
+	MaxSBlocks int
+
+	// RebindOnSplit keeps cached sBlocks alive across pBlock splits by
+	// rebinding their member lists to the two halves instead of destroying
+	// them. An sBlock's chunk mappings are unaffected by a member split —
+	// the physical chunks and the stitched VA stay exactly as they were —
+	// so only the soft links in the sPool (paper §4.2.1) need updating.
+	// This preserves the convergence "tape" (§5.4) under memory pressure,
+	// where splits are frequent. Disable to measure the paper's literal
+	// split semantics (the ablation benchmark in bench_test.go).
+	RebindOnSplit bool
+}
+
+// DefaultConfig returns the paper's recommended configuration.
+func DefaultConfig() Config {
+	return Config{
+		FragLimit:      128 * sim.MiB,
+		SmallThreshold: 2 * sim.MiB,
+		MaxSBlocks:     32768,
+		RebindOnSplit:  true,
+	}
+}
+
+// Allocator is the GMLake allocator (paper Figure 7, right side). It
+// implements memalloc.Allocator.
+type Allocator struct {
+	driver *cuda.Driver
+	cfg    Config
+	acct   memalloc.Accounting
+
+	pblocks *pPool
+	sblocks *sPool
+
+	// small serves sub-2 MiB requests with the original splitting method.
+	small *caching.Allocator
+
+	// strategy counters, one per Figure 9 state; tests assert convergence
+	// (steady-state training uses only S1) through them.
+	hits struct {
+		s1Exact, s2Single, s3Multiple, s4Insufficient int64
+	}
+	stitchFrees int64
+	gcRuns      int64
+}
+
+// assignment is the Buffer impl payload: which block a tensor occupies.
+type assignment struct {
+	p *PBlock
+	s *SBlock
+}
+
+// New returns a GMLake allocator over driver with cfg.
+func New(driver *cuda.Driver, cfg Config) *Allocator {
+	if cfg.SmallThreshold < ChunkSize {
+		cfg.SmallThreshold = ChunkSize
+	}
+	return &Allocator{
+		driver:  driver,
+		cfg:     cfg,
+		pblocks: newPPool(),
+		sblocks: newSPool(),
+		small:   caching.New(driver),
+	}
+}
+
+// NewDefault returns a GMLake allocator with DefaultConfig.
+func NewDefault(driver *cuda.Driver) *Allocator { return New(driver, DefaultConfig()) }
+
+// Name implements memalloc.Allocator.
+func (a *Allocator) Name() string { return "gmlake" }
+
+// Stats implements memalloc.Allocator, combining the VMM pools with the
+// embedded small-request allocator.
+func (a *Allocator) Stats() memalloc.Stats {
+	st := a.acct.Stats()
+	ss := a.small.Stats()
+	st.Active += ss.Active
+	st.Reserved += ss.Reserved
+	st.PeakActive += ss.PeakActive
+	st.PeakReserved += ss.PeakReserved
+	st.AllocCount += ss.AllocCount
+	st.FreeCount += ss.FreeCount
+	return st
+}
+
+// ResetPeaks restarts peak tracking from current levels.
+func (a *Allocator) ResetPeaks() {
+	a.acct.ResetPeaks()
+	a.small.ResetPeaks()
+}
+
+// StrategyCounts reports how many allocations each Figure 9 state served:
+// exact match (S1), split (S2), stitch (S3), new physical allocation (S4).
+func (a *Allocator) StrategyCounts() (s1, s2, s3, s4 int64) {
+	return a.hits.s1Exact, a.hits.s2Single, a.hits.s3Multiple, a.hits.s4Insufficient
+}
+
+// Alloc implements memalloc.Allocator with the paper's Figure 9 strategy.
+func (a *Allocator) Alloc(size int64) (*memalloc.Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: Alloc(%d)", size)
+	}
+	if size < a.cfg.SmallThreshold {
+		return a.small.Alloc(size)
+	}
+	a.driver.Clock().Advance(a.driver.Cost().HostOp())
+	rounded := sim.RoundUp(size, ChunkSize)
+
+	fit := a.bestFit(rounded)
+	switch fit.state {
+	case fitExact: // S1
+		a.hits.s1Exact++
+		if fit.exactS != nil {
+			return a.assignSBlock(fit.exactS, size), nil
+		}
+		return a.assignPBlock(fit.exactP, size), nil
+
+	case fitSingle: // S2
+		a.hits.s2Single++
+		buf := a.allocSplit(fit.cands[0], rounded, size)
+		a.stitchFreeIfNeeded()
+		return buf, nil
+
+	case fitMultiple: // S3
+		a.hits.s3Multiple++
+		buf := a.allocStitch(fit.cands, rounded, size)
+		a.stitchFreeIfNeeded()
+		return buf, nil
+
+	default: // S4 (and S5 on failure)
+		a.hits.s4Insufficient++
+		buf, err := a.allocNew(fit.cands, fit.total, rounded, size)
+		if err == nil {
+			a.stitchFreeIfNeeded()
+		}
+		return buf, err
+	}
+}
+
+// assignPBlock hands p to a tensor.
+func (a *Allocator) assignPBlock(p *PBlock, requested int64) *memalloc.Buffer {
+	if p.assigned || p.Active() {
+		panic("core: assign of active pBlock")
+	}
+	p.assigned = true
+	a.activatePBlock(p)
+	a.acct.OnAlloc(p.size)
+	buf := &memalloc.Buffer{Ptr: p.va, Requested: requested, BlockSize: p.size}
+	buf.SetImpl(&assignment{p: p})
+	return buf
+}
+
+// assignSBlock hands s to a tensor, activating all member pBlocks.
+func (a *Allocator) assignSBlock(s *SBlock, requested int64) *memalloc.Buffer {
+	if s.assigned || s.Active() {
+		panic("core: assign of active sBlock")
+	}
+	s.assigned = true
+	a.sblocks.markUnavailable(s)
+	a.sblocks.touch(s)
+	for _, p := range s.members {
+		a.activatePBlock(p)
+	}
+	a.acct.OnAlloc(s.size)
+	buf := &memalloc.Buffer{Ptr: s.va, Requested: requested, BlockSize: s.size}
+	buf.SetImpl(&assignment{s: s})
+	return buf
+}
+
+// activatePBlock increments p's active references, pulling p and every
+// sBlock stitched over it out of the inactive indexes on the 0→1 edge.
+func (a *Allocator) activatePBlock(p *PBlock) {
+	p.activeRefs++
+	if p.activeRefs == 1 {
+		a.pblocks.markActive(p)
+		for s := range p.owners {
+			a.sblocks.markUnavailable(s)
+		}
+	}
+}
+
+// deactivatePBlock decrements p's active references; on the 1→0 edge p
+// re-enters the inactive index and any fully-inactive unassigned owner
+// sBlocks become available again.
+func (a *Allocator) deactivatePBlock(p *PBlock) {
+	if p.activeRefs <= 0 {
+		panic("core: deactivate of inactive pBlock")
+	}
+	p.activeRefs--
+	if p.activeRefs == 0 {
+		a.pblocks.markInactive(p)
+		for s := range p.owners {
+			if !s.assigned && !s.Active() {
+				a.sblocks.markAvailable(s)
+			}
+		}
+	}
+}
+
+// allocSplit implements S2: split the best-fit pBlock to the exact size, hand
+// out the front, and — per Figure 9 — stitch the two halves into an sBlock
+// that preserves the original size for future exact matches.
+func (a *Allocator) allocSplit(cand *PBlock, rounded, requested int64) *memalloc.Buffer {
+	if cand.size-rounded < ChunkSize {
+		// Remainder below chunk granularity: hand out the whole block.
+		return a.assignPBlock(cand, requested)
+	}
+	hadOwners := len(cand.owners) > 0
+	front, back := a.split(cand, rounded)
+	if !hadOwners {
+		// Preserve the original size for future exact matches (Figure 9's
+		// S2 side effect); with rebinding, surviving owner sBlocks already
+		// do that.
+		a.addSBlock(stitchSBlock(a.driver, []*PBlock{front, back}))
+	}
+	return a.assignPBlock(front, requested)
+}
+
+// split divides an inactive pBlock, either rebinding or destroying the
+// sBlocks stitched over it per the configuration, and updates the pool.
+func (a *Allocator) split(p *PBlock, size int64) (front, back *PBlock) {
+	var rebind []*SBlock
+	if a.cfg.RebindOnSplit {
+		for s := range p.owners {
+			if s.assigned {
+				panic("core: owner sBlock assigned while member inactive")
+			}
+			rebind = append(rebind, s)
+			delete(p.owners, s)
+		}
+	} else {
+		a.dropOwners(p)
+	}
+	a.pblocks.remove(p)
+	front, back = splitPBlock(a.driver, p, size)
+	a.pblocks.add(front)
+	a.pblocks.add(back)
+	for _, s := range rebind {
+		replaceMember(s, p, front, back)
+		front.owners[s] = struct{}{}
+		back.owners[s] = struct{}{}
+	}
+	return front, back
+}
+
+// allocStitch implements S3: stitch candidate pBlocks (splitting the last one
+// if the total overshoots) into an exact-size sBlock and hand it out.
+func (a *Allocator) allocStitch(cands []*PBlock, rounded, requested int64) *memalloc.Buffer {
+	members, total := a.trimCandidates(cands, rounded)
+	if total != rounded {
+		panic(fmt.Sprintf("core: stitch total %d != rounded %d", total, rounded))
+	}
+	if len(members) == 1 {
+		// Trimming collapsed the request onto a single exact block.
+		return a.assignPBlock(members[0], requested)
+	}
+	s := stitchSBlock(a.driver, members)
+	a.addSBlock(s)
+	return a.assignSBlock(s, requested)
+}
+
+// trimCandidates adjusts the candidate set so the combined size equals
+// rounded exactly. It first tries to complete the sum with an existing
+// inactive pBlock of exactly the missing size — splitting destroys every
+// cached sBlock stitched over the split block (erasing the §5.4 "tape"), so
+// an exact completion is strictly better. Only when no exact completion
+// exists is the last candidate split (the paper's S3 "the final pBlock can
+// be subdivided").
+func (a *Allocator) trimCandidates(cands []*PBlock, rounded int64) ([]*PBlock, int64) {
+	var total int64
+	for _, p := range cands {
+		total += p.size
+	}
+	if total == rounded {
+		return cands, total
+	}
+	last := cands[len(cands)-1]
+	need := rounded - (total - last.size)
+	if need <= 0 || need%ChunkSize != 0 {
+		panic(fmt.Sprintf("core: trim needs %d from block of %d", need, last.size))
+	}
+	if exact := a.findExactCompletion(cands, need); exact != nil {
+		out := append(append([]*PBlock(nil), cands[:len(cands)-1]...), exact)
+		return out, rounded
+	}
+	hadOwners := len(last.owners) > 0
+	front, back := a.split(last, need)
+	if !hadOwners && !a.cfg.RebindOnSplit {
+		a.addSBlock(stitchSBlock(a.driver, []*PBlock{front, back}))
+	}
+	out := append(append([]*PBlock(nil), cands[:len(cands)-1]...), front)
+	return out, rounded
+}
+
+// findExactCompletion returns an inactive pBlock of exactly need bytes that
+// is not already among cands, or nil.
+func (a *Allocator) findExactCompletion(cands []*PBlock, need int64) *PBlock {
+	taken := make(map[*PBlock]struct{}, len(cands))
+	for _, p := range cands {
+		taken[p] = struct{}{}
+	}
+	for n := a.pblocks.inactive.Ceil(&PBlock{size: need}); n != nil; n = a.pblocks.inactive.Next(n) {
+		p := n.Value
+		if p.size != need {
+			return nil
+		}
+		if _, dup := taken[p]; !dup {
+			return p
+		}
+	}
+	return nil
+}
+
+// allocNew implements S4: allocate a fresh pBlock covering the deficit and
+// stitch it with whatever candidates exist. On device OOM it garbage-collects
+// inactive physical memory (sparing the candidates) and retries once; if the
+// deficit still cannot be created, S5 reports out-of-memory.
+func (a *Allocator) allocNew(cands []*PBlock, total, rounded, requested int64) (*memalloc.Buffer, error) {
+	deficit := rounded - total
+	fresh, err := newPBlock(a.driver, deficit)
+	if err != nil {
+		a.gcInactive(cands)
+		fresh, err = newPBlock(a.driver, deficit)
+		if err != nil {
+			return nil, fmt.Errorf("core: S5 out of memory allocating %s (deficit %s): %w",
+				sim.FormatBytes(rounded), sim.FormatBytes(deficit), err)
+		}
+	}
+	a.pblocks.add(fresh)
+	a.acct.OnReserve(deficit)
+	if len(cands) == 0 {
+		return a.assignPBlock(fresh, requested), nil
+	}
+	members := append(append([]*PBlock(nil), cands...), fresh)
+	s := stitchSBlock(a.driver, members)
+	a.addSBlock(s)
+	return a.assignSBlock(s, requested), nil
+}
+
+// Free implements memalloc.Allocator. Per the paper's deallocation module it
+// never releases physical memory — it only flips active state (Update), so a
+// future same-size allocation exact-matches instantly.
+func (a *Allocator) Free(buf *memalloc.Buffer) {
+	if buf.Impl() == nil {
+		panic("core: Free of unowned or already-freed buffer")
+	}
+	if asg, ok := buf.Impl().(*assignment); ok {
+		a.driver.Clock().Advance(a.driver.Cost().HostOp())
+		a.update(asg)
+		a.acct.OnFree(buf.BlockSize)
+		buf.SetImpl(nil)
+		return
+	}
+	// Small-pool buffer: owned by the embedded caching allocator.
+	a.small.Free(buf)
+}
+
+// update is the paper's Update function: restore inactive state on the freed
+// block and its neighbours in the pools.
+func (a *Allocator) update(asg *assignment) {
+	switch {
+	case asg.p != nil:
+		p := asg.p
+		if !p.assigned {
+			panic("core: double Free of pBlock")
+		}
+		p.assigned = false
+		a.deactivatePBlock(p)
+	case asg.s != nil:
+		s := asg.s
+		if !s.assigned {
+			panic("core: double Free of sBlock")
+		}
+		s.assigned = false
+		a.sblocks.touch(s)
+		for _, p := range s.members {
+			a.deactivatePBlock(p)
+		}
+		if !s.Active() {
+			a.sblocks.markAvailable(s)
+		}
+	default:
+		panic("core: empty assignment")
+	}
+}
+
+// addSBlock registers a freshly stitched sBlock. The caller runs
+// stitchFreeIfNeeded once the block is assigned, so a brand-new sBlock can
+// never be evicted before the tensor lands in it.
+func (a *Allocator) addSBlock(s *SBlock) {
+	a.sblocks.add(s)
+	if !s.assigned && !s.Active() {
+		a.sblocks.markAvailable(s)
+	}
+}
+
+// stitchFreeIfNeeded evicts least-recently-used unassigned sBlocks while the
+// stitched pool exceeds its cap (paper's StitchFree).
+func (a *Allocator) stitchFreeIfNeeded() {
+	if a.cfg.MaxSBlocks <= 0 {
+		return
+	}
+	for len(a.sblocks.all) > a.cfg.MaxSBlocks {
+		victim := a.oldestUnassigned()
+		if victim == nil {
+			return // everything is assigned; nothing to evict
+		}
+		a.dropSBlock(victim)
+		a.stitchFrees++
+	}
+}
+
+// oldestUnassigned returns the least-recently-used sBlock with no tensor.
+func (a *Allocator) oldestUnassigned() *SBlock {
+	var victim *SBlock
+	a.sblocks.lru.Each(func(s *SBlock) bool {
+		if !s.assigned {
+			victim = s
+			return false
+		}
+		return true
+	})
+	return victim
+}
+
+// dropSBlock unstitches s and removes it from the pool.
+func (a *Allocator) dropSBlock(s *SBlock) {
+	a.sblocks.remove(s)
+	unstitchSBlock(a.driver, s)
+}
+
+// dropOwners unstitches every sBlock referencing p. Only legal when p is
+// inactive, which guarantees no tensor lives in any of those sBlocks.
+func (a *Allocator) dropOwners(p *PBlock) {
+	if p.Active() {
+		panic("core: dropOwners of active pBlock")
+	}
+	for s := range p.owners {
+		if s.assigned {
+			panic("core: owner sBlock assigned while member inactive")
+		}
+		a.dropSBlock(s)
+	}
+}
+
+// gcInactive releases the physical memory of every inactive pBlock except
+// those in keep: the allocator's last resort before reporting OOM, analogous
+// to the caching allocator's cache flush.
+func (a *Allocator) gcInactive(keep []*PBlock) {
+	a.gcRuns++
+	keepSet := make(map[*PBlock]struct{}, len(keep))
+	for _, p := range keep {
+		keepSet[p] = struct{}{}
+	}
+	var victims []*PBlock
+	for p := range a.pblocks.all {
+		if _, kept := keepSet[p]; kept {
+			continue
+		}
+		if !p.Active() {
+			victims = append(victims, p)
+		}
+	}
+	for _, p := range victims {
+		a.dropOwners(p)
+		a.pblocks.remove(p)
+		a.acct.OnRelease(p.size)
+		destroyPBlock(a.driver, p)
+	}
+	a.small.EmptyCache()
+}
+
+// EmptyCache implements memalloc.Allocator: release all inactive physical
+// memory and cached stitched views.
+func (a *Allocator) EmptyCache() { a.gcInactive(nil) }
+
+// PBlockCount reports live pBlocks (diagnostics).
+func (a *Allocator) PBlockCount() int { return len(a.pblocks.all) }
+
+// SBlockCount reports live sBlocks (diagnostics).
+func (a *Allocator) SBlockCount() int { return len(a.sblocks.all) }
+
+// FreeBlockSizes returns the size of every inactive pBlock, ascending;
+// fragstat consumes it for fragmentation indices. The notion is softer for
+// GMLake than for the caching allocator: inactive pBlocks can be stitched
+// into arbitrarily larger virtual blocks, so "free but small" does not mean
+// "unusable" — exactly the paper's point.
+func (a *Allocator) FreeBlockSizes() []int64 {
+	out := make([]int64, 0, a.pblocks.inactive.Len())
+	a.pblocks.inactive.Ascend(func(n *pNode) bool {
+		out = append(out, n.Value.size)
+		return true
+	})
+	return out
+}
+
+// StitchFreeCount reports how many sBlocks StitchFree evicted.
+func (a *Allocator) StitchFreeCount() int64 { return a.stitchFrees }
+
+// GCRuns reports how many times the OOM fallback garbage collector ran.
+func (a *Allocator) GCRuns() int64 { return a.gcRuns }
+
+// CheckInvariants validates the §4.2.1 structural guarantees; tests call it
+// after workloads:
+//
+//   - pPool bytes equal the allocator's reserved accounting.
+//   - every inactive pBlock is indexed, every active one is not;
+//   - an sBlock is indexed as available iff unassigned with all members
+//     inactive;
+//   - sBlock membership and owner back-pointers agree (the "sPool is a
+//     subset of pPool" soft-link rule).
+func (a *Allocator) CheckInvariants() error {
+	var bytes int64
+	for p := range a.pblocks.all {
+		bytes += p.size
+		if p.Active() && p.node != nil {
+			return fmt.Errorf("core: active pBlock in inactive index")
+		}
+		if !p.Active() && p.node == nil {
+			return fmt.Errorf("core: inactive pBlock missing from index")
+		}
+		for s := range p.owners {
+			if _, ok := a.sblocks.all[s]; !ok {
+				return fmt.Errorf("core: pBlock owner sBlock not in sPool")
+			}
+		}
+	}
+	if bytes != a.pblocks.bytes {
+		return fmt.Errorf("core: pPool bytes %d != tracked %d", bytes, a.pblocks.bytes)
+	}
+	if got := a.acct.Stats().Reserved; got != bytes {
+		return fmt.Errorf("core: reserved accounting %d != pPool bytes %d", got, bytes)
+	}
+	for s := range a.sblocks.all {
+		available := !s.assigned && !s.Active()
+		if available && s.node == nil {
+			return fmt.Errorf("core: available sBlock missing from index")
+		}
+		if !available && s.node != nil {
+			return fmt.Errorf("core: unavailable sBlock present in index")
+		}
+		for _, p := range s.members {
+			if _, ok := a.pblocks.all[p]; !ok {
+				return fmt.Errorf("core: sBlock member not in pPool")
+			}
+			if _, ok := p.owners[s]; !ok {
+				return fmt.Errorf("core: sBlock missing from member's owners")
+			}
+		}
+	}
+	return nil
+}

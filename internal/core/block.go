@@ -1,0 +1,286 @@
+// Package core implements GMLake, the paper's contribution: a GPU memory
+// allocator that defragments transparently by stitching non-contiguous
+// physical memory into contiguous virtual address ranges with the CUDA
+// low-level virtual memory management (VMM) API.
+//
+// The building blocks mirror the paper's §3:
+//
+//   - PBlock ("primitive block"): one contiguous VA reservation fully mapped
+//     to physical chunks that the pBlock owns. pBlocks are the only objects
+//     that own physical memory.
+//   - SBlock ("stitched block"): a second VA reservation mapped onto the
+//     chunks of one or more pBlocks. sBlocks never own physical memory; they
+//     give tensors one contiguous view over scattered pBlocks.
+//   - pPool / sPool: ordered pools of the inactive blocks, searched by the
+//     BestFit algorithm (paper Algorithm 1).
+//
+// The allocator (see allocator.go) wires these into the multi-state
+// allocation strategy of paper Figure 9.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/cuda"
+)
+
+// ChunkSize is the uniform physical chunk size GMLake uses for every pBlock
+// (paper §3.1: "we apply a uniform chunk size of 2 MB across all chunks").
+const ChunkSize = cuda.ChunkGranularity
+
+// PBlock is a primitive block: a VA range backed by physical chunks it owns.
+type PBlock struct {
+	va     cuda.DevicePtr
+	size   int64
+	chunks []cuda.MemHandle
+
+	// activeRefs counts reasons this pBlock is in use: 1 for a tensor
+	// assigned directly to it plus 1 per assigned sBlock that contains it.
+	// The paper's "active" flag is activeRefs > 0.
+	activeRefs int
+
+	// assigned reports a tensor living directly in this pBlock.
+	assigned bool
+
+	// owners are the sBlocks stitched over this pBlock.
+	owners map[*SBlock]struct{}
+
+	// node is the pBlock's position in the pPool inactive tree (nil while
+	// active).
+	node *container.Node[*PBlock]
+}
+
+// VA returns the block's base virtual address.
+func (p *PBlock) VA() cuda.DevicePtr { return p.va }
+
+// Size returns the block's size in bytes.
+func (p *PBlock) Size() int64 { return p.size }
+
+// Active reports whether the block backs any live tensor.
+func (p *PBlock) Active() bool { return p.activeRefs > 0 }
+
+// SBlock is a stitched block: a contiguous VA view over several pBlocks'
+// physical chunks.
+type SBlock struct {
+	va      cuda.DevicePtr
+	size    int64
+	members []*PBlock
+
+	// assigned reports a tensor living in this sBlock.
+	assigned bool
+
+	// node is the sBlock's position in the sPool inactive tree (nil while
+	// any member is active or while assigned).
+	node *container.Node[*SBlock]
+
+	// lru is the sBlock's position in the StitchFree LRU queue.
+	lru *container.QueueNode[*SBlock]
+}
+
+// VA returns the stitched range's base virtual address.
+func (s *SBlock) VA() cuda.DevicePtr { return s.va }
+
+// Size returns the stitched range's size in bytes.
+func (s *SBlock) Size() int64 { return s.size }
+
+// Members returns the pBlocks this sBlock stitches, in address order of the
+// stitched view.
+func (s *SBlock) Members() []*PBlock { return s.members }
+
+// Active reports whether any member pBlock is active (paper §3.2: "if even
+// one pBlock is active, all corresponding sBlocks are labeled as active").
+func (s *SBlock) Active() bool {
+	for _, p := range s.members {
+		if p.Active() {
+			return true
+		}
+	}
+	return false
+}
+
+// newPBlock allocates a fresh pBlock of size bytes (a multiple of ChunkSize):
+// one AddrReserve, then Create+Map per 2 MiB chunk, then SetAccess — the
+// paper's Figure 8 "Alloc" primitive. This is the only operation in GMLake
+// that allocates new physical memory.
+func newPBlock(drv *cuda.Driver, size int64) (*PBlock, error) {
+	if size <= 0 || size%ChunkSize != 0 {
+		return nil, fmt.Errorf("core: pBlock size %d not a positive multiple of %d", size, ChunkSize)
+	}
+	va, err := drv.MemAddressReserve(size)
+	if err != nil {
+		return nil, err
+	}
+	n := size / ChunkSize
+	chunks := make([]cuda.MemHandle, 0, n)
+	for i := int64(0); i < n; i++ {
+		h, err := drv.MemCreate(ChunkSize)
+		if err != nil {
+			// Roll back everything created so far.
+			unmapAndReleaseChunks(drv, va, chunks)
+			if e := drv.MemAddressFree(va, size); e != nil {
+				panic("core: rollback MemAddressFree: " + e.Error())
+			}
+			return nil, err
+		}
+		if err := drv.MemMap(va+cuda.DevicePtr(i*ChunkSize), h); err != nil {
+			panic("core: MemMap into fresh reservation: " + err.Error())
+		}
+		chunks = append(chunks, h)
+	}
+	if err := drv.MemSetAccess(va, size); err != nil {
+		panic("core: MemSetAccess on fresh pBlock: " + err.Error())
+	}
+	return &PBlock{va: va, size: size, chunks: chunks, owners: make(map[*SBlock]struct{})}, nil
+}
+
+// mapChunksAt maps chunks consecutively starting at va and enables access.
+func mapChunksAt(drv *cuda.Driver, va cuda.DevicePtr, chunks []cuda.MemHandle) {
+	for i, h := range chunks {
+		if err := drv.MemMap(va+cuda.DevicePtr(int64(i)*ChunkSize), h); err != nil {
+			panic("core: MemMap: " + err.Error())
+		}
+	}
+	size := int64(len(chunks)) * ChunkSize
+	if err := drv.MemSetAccess(va, size); err != nil {
+		panic("core: MemSetAccess: " + err.Error())
+	}
+}
+
+// unmapAndReleaseChunks unmaps the first len(chunks) chunk slots at va.
+func unmapAndReleaseChunks(drv *cuda.Driver, va cuda.DevicePtr, chunks []cuda.MemHandle) {
+	if len(chunks) == 0 {
+		return
+	}
+	size := int64(len(chunks)) * ChunkSize
+	if err := drv.MemUnmap(va, size); err != nil {
+		panic("core: MemUnmap: " + err.Error())
+	}
+	for _, h := range chunks {
+		if err := drv.MemRelease(h); err != nil {
+			panic("core: MemRelease: " + err.Error())
+		}
+	}
+}
+
+// splitPBlock splits p into two fresh pBlocks of size bytes and p.size-size
+// bytes (paper's Split: "two new pBlocks with corresponding virtual memory
+// addresses and remapped physical chunks; the previous pBlock structure is
+// subsequently removed"). The physical chunks are reused — no cuMemCreate —
+// so splitting costs only remapping, which is the VMM advantage over copying
+// defragmenters.
+//
+// The caller must have destroyed or rebound every sBlock referencing p and
+// must remove p from the pools.
+func splitPBlock(drv *cuda.Driver, p *PBlock, size int64) (front, back *PBlock) {
+	if size <= 0 || size%ChunkSize != 0 || size >= p.size {
+		panic(fmt.Sprintf("core: splitPBlock(%d) of pBlock size %d", size, p.size))
+	}
+	if len(p.owners) != 0 {
+		panic("core: splitPBlock with live sBlock owners")
+	}
+	// Tear down the old view.
+	if err := drv.MemUnmap(p.va, p.size); err != nil {
+		panic("core: splitPBlock unmap: " + err.Error())
+	}
+	if err := drv.MemAddressFree(p.va, p.size); err != nil {
+		panic("core: splitPBlock address free: " + err.Error())
+	}
+	k := size / ChunkSize
+	frontChunks := p.chunks[:k]
+	backChunks := p.chunks[k:]
+
+	front = remapAsPBlock(drv, size, frontChunks)
+	back = remapAsPBlock(drv, p.size-size, backChunks)
+	p.chunks = nil
+	return front, back
+}
+
+func remapAsPBlock(drv *cuda.Driver, size int64, chunks []cuda.MemHandle) *PBlock {
+	va, err := drv.MemAddressReserve(size)
+	if err != nil {
+		panic("core: remapAsPBlock reserve: " + err.Error())
+	}
+	mapChunksAt(drv, va, chunks)
+	return &PBlock{va: va, size: size, chunks: chunks, owners: make(map[*SBlock]struct{})}
+}
+
+// stitchSBlock builds an sBlock over members: one VA reservation of the
+// combined size with every member's chunks mapped consecutively (paper's
+// Stitch). sBlocks never create physical chunks — the same physical memory
+// is now reachable through both the pBlock VAs and the stitched VA.
+func stitchSBlock(drv *cuda.Driver, members []*PBlock) *SBlock {
+	if len(members) == 0 {
+		panic("core: stitchSBlock with no members")
+	}
+	var total int64
+	for _, p := range members {
+		total += p.size
+	}
+	va, err := drv.MemAddressReserve(total)
+	if err != nil {
+		panic("core: stitchSBlock reserve: " + err.Error())
+	}
+	off := cuda.DevicePtr(0)
+	for _, p := range members {
+		mapChunksAt(drv, va+off, p.chunks)
+		off += cuda.DevicePtr(p.size)
+	}
+	s := &SBlock{va: va, size: total, members: members}
+	for _, p := range members {
+		p.owners[s] = struct{}{}
+	}
+	return s
+}
+
+// replaceMember substitutes pBlock old with its two split halves in s's
+// member list, keeping the stitched order. No driver work is needed: s maps
+// physical chunks, and the split reused them untouched.
+func replaceMember(s *SBlock, old, front, back *PBlock) {
+	for i, m := range s.members {
+		if m != old {
+			continue
+		}
+		out := make([]*PBlock, 0, len(s.members)+1)
+		out = append(out, s.members[:i]...)
+		out = append(out, front, back)
+		out = append(out, s.members[i+1:]...)
+		s.members = out
+		return
+	}
+	panic("core: replaceMember: old pBlock not a member")
+}
+
+// unstitchSBlock tears down an sBlock's VA view. Member pBlocks and their
+// physical chunks are untouched.
+func unstitchSBlock(drv *cuda.Driver, s *SBlock) {
+	if s.assigned {
+		panic("core: unstitch of assigned sBlock")
+	}
+	if err := drv.MemUnmap(s.va, s.size); err != nil {
+		panic("core: unstitch unmap: " + err.Error())
+	}
+	if err := drv.MemAddressFree(s.va, s.size); err != nil {
+		panic("core: unstitch address free: " + err.Error())
+	}
+	for _, p := range s.members {
+		delete(p.owners, s)
+	}
+	s.members = nil
+}
+
+// destroyPBlock releases a pBlock's physical chunks and VA. The caller must
+// have destroyed its owner sBlocks first and removed it from the pools.
+func destroyPBlock(drv *cuda.Driver, p *PBlock) {
+	if p.Active() {
+		panic("core: destroy of active pBlock")
+	}
+	if len(p.owners) != 0 {
+		panic("core: destroy of pBlock with live sBlock owners")
+	}
+	unmapAndReleaseChunks(drv, p.va, p.chunks)
+	if err := drv.MemAddressFree(p.va, p.size); err != nil {
+		panic("core: destroyPBlock address free: " + err.Error())
+	}
+	p.chunks = nil
+}

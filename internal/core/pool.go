@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/container"
+)
+
+// pNode abbreviates the tree node type in iteration callbacks.
+type pNode = container.Node[*PBlock]
+
+// pPool holds every pBlock. Inactive pBlocks are additionally indexed in an
+// ordered tree so BestFit can scan them by size (the paper keeps the pool
+// "sorted by block size in descending order"; we store ascending and walk
+// backwards, which is equivalent).
+type pPool struct {
+	all      map[*PBlock]struct{}
+	inactive *container.Tree[*PBlock]
+	bytes    int64 // Σ sizes of all pBlocks == GMLake's reserved memory
+}
+
+func newPPool() *pPool {
+	return &pPool{
+		all: make(map[*PBlock]struct{}),
+		inactive: container.NewTree[*PBlock](func(a, b *PBlock) bool {
+			if a.size != b.size {
+				return a.size < b.size
+			}
+			return a.va < b.va
+		}),
+	}
+}
+
+// add registers a new (inactive) pBlock.
+func (pp *pPool) add(p *PBlock) {
+	pp.all[p] = struct{}{}
+	pp.bytes += p.size
+	p.node = pp.inactive.Insert(p)
+}
+
+// remove unregisters a pBlock entirely (it is being split or destroyed).
+func (pp *pPool) remove(p *PBlock) {
+	delete(pp.all, p)
+	pp.bytes -= p.size
+	if p.node != nil {
+		pp.inactive.Delete(p.node)
+		p.node = nil
+	}
+}
+
+// markActive pulls p from the inactive index.
+func (pp *pPool) markActive(p *PBlock) {
+	if p.node != nil {
+		pp.inactive.Delete(p.node)
+		p.node = nil
+	}
+}
+
+// markInactive puts p back into the inactive index.
+func (pp *pPool) markInactive(p *PBlock) {
+	if p.node == nil {
+		p.node = pp.inactive.Insert(p)
+	}
+}
+
+// sPool holds every sBlock, its inactive index, and the LRU queue StitchFree
+// evicts from.
+type sPool struct {
+	all      map[*SBlock]struct{}
+	inactive *container.Tree[*SBlock]
+	lru      container.Queue[*SBlock]
+}
+
+func newSPool() *sPool {
+	return &sPool{
+		all: make(map[*SBlock]struct{}),
+		inactive: container.NewTree[*SBlock](func(a, b *SBlock) bool {
+			if a.size != b.size {
+				return a.size < b.size
+			}
+			return a.va < b.va
+		}),
+	}
+}
+
+func (sp *sPool) add(s *SBlock) {
+	sp.all[s] = struct{}{}
+	s.lru = sp.lru.PushBack(s)
+}
+
+func (sp *sPool) remove(s *SBlock) {
+	delete(sp.all, s)
+	if s.node != nil {
+		sp.inactive.Delete(s.node)
+		s.node = nil
+	}
+	if s.lru != nil {
+		sp.lru.Remove(s.lru)
+		s.lru = nil
+	}
+}
+
+func (sp *sPool) markAvailable(s *SBlock) {
+	if s.node == nil {
+		s.node = sp.inactive.Insert(s)
+	}
+}
+
+func (sp *sPool) markUnavailable(s *SBlock) {
+	if s.node != nil {
+		sp.inactive.Delete(s.node)
+		s.node = nil
+	}
+}
+
+func (sp *sPool) touch(s *SBlock) {
+	if s.lru != nil {
+		sp.lru.MoveToBack(s.lru)
+	}
+}
+
+// findExactP returns an inactive pBlock of exactly size bytes, or nil.
+// Among equal-sized blocks it prefers one with the fewest sBlocks stitched
+// over it: assigning a lightly-shared block keeps the heavily-shared ones
+// free, so the cached stitched views over them stay available for exact
+// matches (the convergence mechanism of §5.4).
+func findExactP(tree *container.Tree[*PBlock], size int64) *PBlock {
+	n := tree.Ceil(&PBlock{size: size})
+	if n == nil || n.Value.size != size {
+		return nil
+	}
+	best := n.Value
+	for scanned := 0; scanned < 8 && len(best.owners) > 0; scanned++ {
+		n = tree.Next(n)
+		if n == nil || n.Value.size != size {
+			break
+		}
+		if len(n.Value.owners) < len(best.owners) {
+			best = n.Value
+		}
+	}
+	return best
+}
+
+func findExactS(tree *container.Tree[*SBlock], size int64) *SBlock {
+	n := tree.Ceil(&SBlock{size: size})
+	if n == nil || n.Value.size != size {
+		return nil
+	}
+	return n.Value
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+// opSeq is a compact encoding of an alloc/free sequence for property tests:
+// non-negative values allocate (value scales the size), negative values free
+// the oldest live buffer.
+func runOpSeq(a *Allocator, ops []int16) (live []*memalloc.Buffer) {
+	for _, op := range ops {
+		if op >= 0 {
+			size := (int64(op)%1024 + 1) * sim.MiB
+			if b, err := a.Alloc(size); err == nil {
+				live = append(live, b)
+			}
+		} else if len(live) > 0 {
+			a.Free(live[0])
+			live = live[1:]
+		}
+	}
+	return live
+}
+
+// TestQuickInvariants drives arbitrary alloc/free sequences and checks the
+// §4.2.1 structural invariants plus device-accounting agreement throughout.
+func TestQuickInvariants(t *testing.T) {
+	f := func(ops []int16) bool {
+		dev := gpu.NewDevice("q", 8*sim.GiB)
+		drv := cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+		a := NewDefault(drv)
+		live := runOpSeq(a, ops)
+		if err := a.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		// Reserved must equal what the device has handed out.
+		if a.Stats().Reserved != dev.Used() {
+			t.Logf("reserved %d != device used %d", a.Stats().Reserved, dev.Used())
+			return false
+		}
+		for _, b := range live {
+			a.Free(b)
+		}
+		a.EmptyCache()
+		if dev.Used() != 0 {
+			t.Logf("device leak: %d", dev.Used())
+			return false
+		}
+		return a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickActiveNeverExceedsReserved holds by construction but is the
+// paper's core accounting identity; check it across random sequences.
+func TestQuickActiveNeverExceedsReserved(t *testing.T) {
+	f := func(ops []int16) bool {
+		dev := gpu.NewDevice("q", 4*sim.GiB)
+		drv := cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+		a := NewDefault(drv)
+		var live []*memalloc.Buffer
+		for _, op := range ops {
+			if op >= 0 {
+				size := (int64(op)%512 + 1) * sim.MiB
+				if b, err := a.Alloc(size); err == nil {
+					live = append(live, b)
+				}
+			} else if len(live) > 0 {
+				a.Free(live[len(live)-1])
+				live = live[:len(live)-1]
+			}
+			st := a.Stats()
+			if st.Active > st.Reserved {
+				return false
+			}
+		}
+		for _, b := range live {
+			a.Free(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebindOnSplitPreservesSBlocks verifies the rebind extension directly:
+// splitting a pBlock that cached sBlocks reference must keep those sBlocks
+// alive and exactly-matchable.
+func TestRebindOnSplitPreservesSBlocks(t *testing.T) {
+	dev := gpu.NewDevice("t", 4*sim.GiB)
+	drv := cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+	a := NewDefault(drv)
+
+	// Build a 600 MiB stitched block over two pBlocks.
+	b1 := mustAlloc(t, a, 200*sim.MiB)
+	b2 := mustAlloc(t, a, 400*sim.MiB)
+	a.Free(b1)
+	a.Free(b2)
+	big := mustAlloc(t, a, 600*sim.MiB)
+	a.Free(big)
+	sBefore := a.SBlockCount()
+
+	// Split the 400 MiB member via a smaller request (S2).
+	small := mustAlloc(t, a, 300*sim.MiB)
+	if a.SBlockCount() < sBefore {
+		t.Fatalf("split destroyed cached sBlocks: %d -> %d", sBefore, a.SBlockCount())
+	}
+	a.Free(small)
+	checkInv(t, a)
+
+	// The 600 MiB view must still exact-match (S1), with no new stitch.
+	_, _, s3Before, _ := a.StrategyCounts()
+	again := mustAlloc(t, a, 600*sim.MiB)
+	_, _, s3After, _ := a.StrategyCounts()
+	if s3After != s3Before {
+		t.Fatal("600 MiB request re-stitched; rebind failed to preserve the cached view")
+	}
+	a.Free(again)
+	checkInv(t, a)
+}
+
+// TestDestroyOnSplitAblation runs the same scenario with the paper's literal
+// semantics: the cached view dies with the split and the request re-stitches.
+func TestDestroyOnSplitAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RebindOnSplit = false
+	dev := gpu.NewDevice("t", 4*sim.GiB)
+	drv := cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+	a := New(drv, cfg)
+
+	b1 := mustAlloc(t, a, 200*sim.MiB)
+	b2 := mustAlloc(t, a, 400*sim.MiB)
+	a.Free(b1)
+	a.Free(b2)
+	big := mustAlloc(t, a, 600*sim.MiB)
+	a.Free(big)
+
+	small := mustAlloc(t, a, 300*sim.MiB)
+	a.Free(small)
+	checkInv(t, a)
+
+	_, _, s3Before, _ := a.StrategyCounts()
+	again := mustAlloc(t, a, 600*sim.MiB)
+	_, _, s3After, _ := a.StrategyCounts()
+	if s3After == s3Before {
+		t.Fatal("expected a re-stitch under destroy-on-split semantics")
+	}
+	a.Free(again)
+	checkInv(t, a)
+}
+
+// TestQuickInvariantsDestroyOnSplit re-runs the structural property test
+// under the ablation configuration.
+func TestQuickInvariantsDestroyOnSplit(t *testing.T) {
+	f := func(ops []int16) bool {
+		dev := gpu.NewDevice("q", 8*sim.GiB)
+		drv := cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+		cfg := DefaultConfig()
+		cfg.RebindOnSplit = false
+		a := New(drv, cfg)
+		live := runOpSeq(a, ops)
+		if err := a.CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, b := range live {
+			a.Free(b)
+		}
+		a.EmptyCache()
+		return dev.Used() == 0 && a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVASpaceReleasedOnEmptyCache confirms no virtual address space leaks
+// across heavy stitch/split churn followed by a full GC.
+func TestVASpaceReleasedOnEmptyCache(t *testing.T) {
+	dev := gpu.NewDevice("t", 8*sim.GiB)
+	drv := cuda.NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+	a := NewDefault(drv)
+	rng := sim.NewRNG(11)
+	var live []*memalloc.Buffer
+	for i := 0; i < 600; i++ {
+		if rng.Float64() < 0.55 {
+			if b, err := a.Alloc((rng.Int63n(512) + 1) * sim.MiB); err == nil {
+				live = append(live, b)
+			}
+		} else if len(live) > 0 {
+			j := rng.Intn(len(live))
+			a.Free(live[j])
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	for _, b := range live {
+		a.Free(b)
+	}
+	a.EmptyCache()
+	if got := dev.VAFragments(); got != 1 {
+		t.Fatalf("virtual address space fragmented into %d pieces after full GC, want 1", got)
+	}
+}

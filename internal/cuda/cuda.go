@@ -1,0 +1,376 @@
+// Package cuda simulates the slice of the CUDA driver API that GMLake and
+// the PyTorch caching allocator use: the native allocator (cudaMalloc /
+// cudaFree) and the low-level virtual memory management (VMM) API
+// (cuMemAddressReserve, cuMemCreate, cuMemMap, cuMemSetAccess and their
+// teardown counterparts).
+//
+// Every call is priced by the sim.CostModel — calibrated to the paper's
+// Table 1 and Figure 6 — and charged to a sim.Clock, so experiments measure
+// allocation latency and end-to-end overhead in deterministic virtual time.
+//
+// Semantics follow the real driver where it matters to the paper:
+//
+//   - Physical memory handles (cuMemCreate) are reference-counted: a handle's
+//     memory is released only once it has been cuMemRelease'd *and* every
+//     mapping of it has been unmapped. GMLake depends on this to map the same
+//     physical chunks from both a pBlock VA and one or more sBlock VAs.
+//   - Virtual address reservations are contiguous and distinct; mappings must
+//     land inside a reservation and may not overlap one another.
+//   - Physical chunks are sized in multiples of the 2 MiB granularity.
+package cuda
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/container"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// ChunkGranularity is the minimum physical allocation granularity of the VMM
+// API (2 MiB on NVIDIA hardware).
+const ChunkGranularity = 2 * sim.MiB
+
+// DevicePtr is a device virtual address.
+type DevicePtr uint64
+
+// MemHandle names a physical memory allocation created with MemCreate.
+type MemHandle int64
+
+// Errors mirroring the driver's failure modes.
+var (
+	ErrOutOfMemory    = gpu.ErrOutOfMemory
+	ErrInvalidValue   = errors.New("cuda: invalid value")
+	ErrNotMapped      = errors.New("cuda: range not mapped")
+	ErrAlreadyMapped  = errors.New("cuda: range already mapped")
+	ErrInvalidHandle  = errors.New("cuda: invalid memory handle")
+	ErrRangeNotFound  = errors.New("cuda: address range not reserved")
+	ErrRangeStillUsed = errors.New("cuda: reservation still has mappings")
+)
+
+// Counters aggregates driver-call statistics; the harness reports them and
+// the paper's "caching allocator is ~10x faster than native" observation is
+// visible directly in the call counts.
+type Counters struct {
+	Malloc, Free                  int64
+	AddressReserve, AddressFree   int64
+	MemCreate, MemRelease         int64
+	MemMap, MemUnmap, MemSet      int64
+	BytesAllocated, BytesReleased int64
+}
+
+// Driver is one device's simulated driver context.
+type Driver struct {
+	dev   *gpu.Device
+	clock *sim.Clock
+	cost  *sim.CostModel
+
+	counters Counters
+
+	mallocs      map[DevicePtr]mallocAlloc
+	reservations map[DevicePtr]*reservation
+	resByAddr    *container.Tree[*reservation] // ordered by base for range lookup
+	handles      map[MemHandle]*physical
+	nextHandle   MemHandle
+}
+
+type mallocAlloc struct {
+	size int64
+	seg  gpu.SegmentID
+}
+
+type reservation struct {
+	base     DevicePtr
+	size     int64
+	mappings *container.Tree[*mapping] // ordered by mapped address
+	node     *container.Node[*reservation]
+}
+
+type mapping struct {
+	addr   DevicePtr
+	size   int64
+	handle MemHandle
+	access bool
+	node   *container.Node[*mapping]
+}
+
+func newMappingTree() *container.Tree[*mapping] {
+	return container.NewTree[*mapping](func(a, b *mapping) bool { return a.addr < b.addr })
+}
+
+type physical struct {
+	id       MemHandle
+	size     int64
+	seg      gpu.SegmentID
+	mapCount int
+	released bool
+}
+
+// NewDriver creates a driver over dev, charging costs from model to clock.
+func NewDriver(dev *gpu.Device, clock *sim.Clock, model *sim.CostModel) *Driver {
+	return &Driver{
+		dev:          dev,
+		clock:        clock,
+		cost:         model,
+		mallocs:      make(map[DevicePtr]mallocAlloc),
+		reservations: make(map[DevicePtr]*reservation),
+		resByAddr: container.NewTree[*reservation](func(a, b *reservation) bool {
+			return a.base < b.base
+		}),
+		handles: make(map[MemHandle]*physical),
+	}
+}
+
+// Device returns the underlying simulated device.
+func (d *Driver) Device() *gpu.Device { return d.dev }
+
+// Clock returns the driver's virtual clock.
+func (d *Driver) Clock() *sim.Clock { return d.clock }
+
+// Cost returns the driver's cost model.
+func (d *Driver) Cost() *sim.CostModel { return d.cost }
+
+// Counters returns a snapshot of the driver-call statistics.
+func (d *Driver) Counters() Counters { return d.counters }
+
+// MemGetInfo reports free and total physical memory, like cuMemGetInfo.
+func (d *Driver) MemGetInfo() (free, total int64) {
+	return d.dev.FreeBytes(), d.dev.Capacity()
+}
+
+// Malloc is cudaMalloc: a contiguous device allocation with a device
+// synchronization. The latency is charged even on failure, as on real
+// hardware.
+func (d *Driver) Malloc(size int64) (DevicePtr, error) {
+	d.clock.Advance(d.cost.CudaMalloc(size))
+	d.counters.Malloc++
+	if size <= 0 {
+		return 0, fmt.Errorf("%w: Malloc(%d)", ErrInvalidValue, size)
+	}
+	seg, err := d.dev.AllocPhysical(size)
+	if err != nil {
+		return 0, err
+	}
+	va, err := d.dev.ReserveVA(size)
+	if err != nil {
+		d.dev.FreePhysical(seg)
+		return 0, err
+	}
+	ptr := DevicePtr(va)
+	d.mallocs[ptr] = mallocAlloc{size: size, seg: seg}
+	d.counters.BytesAllocated += size
+	return ptr, nil
+}
+
+// Free is cudaFree.
+func (d *Driver) Free(ptr DevicePtr) error {
+	a, ok := d.mallocs[ptr]
+	if !ok {
+		return fmt.Errorf("%w: Free(%#x)", ErrInvalidValue, uint64(ptr))
+	}
+	d.clock.Advance(d.cost.CudaFree(a.size))
+	d.counters.Free++
+	d.counters.BytesReleased += a.size
+	d.dev.FreePhysical(a.seg)
+	d.dev.ReleaseVA(uint64(ptr), a.size)
+	delete(d.mallocs, ptr)
+	return nil
+}
+
+// MemAddressReserve reserves size bytes of contiguous virtual address space.
+func (d *Driver) MemAddressReserve(size int64) (DevicePtr, error) {
+	d.clock.Advance(d.cost.MemAddressReserve(size))
+	d.counters.AddressReserve++
+	if size <= 0 || size%ChunkGranularity != 0 {
+		return 0, fmt.Errorf("%w: MemAddressReserve(%d): must be a positive multiple of %d",
+			ErrInvalidValue, size, ChunkGranularity)
+	}
+	va, err := d.dev.ReserveVA(size)
+	if err != nil {
+		return 0, err
+	}
+	ptr := DevicePtr(va)
+	r := &reservation{
+		base:     ptr,
+		size:     size,
+		mappings: newMappingTree(),
+	}
+	r.node = d.resByAddr.Insert(r)
+	d.reservations[ptr] = r
+	return ptr, nil
+}
+
+// MemAddressFree releases a reservation. All mappings must be unmapped first.
+func (d *Driver) MemAddressFree(ptr DevicePtr, size int64) error {
+	r, ok := d.reservations[ptr]
+	if !ok {
+		return fmt.Errorf("%w: MemAddressFree(%#x)", ErrRangeNotFound, uint64(ptr))
+	}
+	if r.size != size {
+		return fmt.Errorf("%w: MemAddressFree size %d != reserved %d", ErrInvalidValue, size, r.size)
+	}
+	if r.mappings.Len() != 0 {
+		return fmt.Errorf("%w: %d mappings live", ErrRangeStillUsed, r.mappings.Len())
+	}
+	d.clock.Advance(d.cost.MemAddressFree(size))
+	d.counters.AddressFree++
+	d.dev.ReleaseVA(uint64(ptr), size)
+	d.resByAddr.Delete(r.node)
+	delete(d.reservations, ptr)
+	return nil
+}
+
+// MemCreate allocates a physical memory chunk of the given size (a positive
+// multiple of ChunkGranularity) and returns its handle.
+func (d *Driver) MemCreate(size int64) (MemHandle, error) {
+	d.clock.Advance(d.cost.MemCreate(size))
+	d.counters.MemCreate++
+	if size <= 0 || size%ChunkGranularity != 0 {
+		return 0, fmt.Errorf("%w: MemCreate(%d): must be a positive multiple of %d",
+			ErrInvalidValue, size, ChunkGranularity)
+	}
+	seg, err := d.dev.AllocPhysical(size)
+	if err != nil {
+		return 0, err
+	}
+	d.nextHandle++
+	h := d.nextHandle
+	d.handles[h] = &physical{id: h, size: size, seg: seg}
+	d.counters.BytesAllocated += size
+	return h, nil
+}
+
+// MemRelease drops the caller's reference to a physical handle. The memory is
+// returned to the device once no mapping references it, per driver semantics.
+func (d *Driver) MemRelease(h MemHandle) error {
+	p, ok := d.handles[h]
+	if !ok || p.released {
+		return fmt.Errorf("%w: MemRelease(%d)", ErrInvalidHandle, h)
+	}
+	d.clock.Advance(d.cost.MemRelease(p.size))
+	d.counters.MemRelease++
+	p.released = true
+	d.maybeReclaim(p)
+	return nil
+}
+
+// MemMap maps the whole physical handle h at address ptr, which must lie
+// inside a reservation with enough room and no overlapping mapping.
+func (d *Driver) MemMap(ptr DevicePtr, h MemHandle) error {
+	p, ok := d.handles[h]
+	if !ok || p.released {
+		return fmt.Errorf("%w: MemMap handle %d", ErrInvalidHandle, h)
+	}
+	r := d.findReservation(ptr, p.size)
+	if r == nil {
+		return fmt.Errorf("%w: MemMap(%#x, %d bytes)", ErrRangeNotFound, uint64(ptr), p.size)
+	}
+	// Overlap check against the nearest mappings on either side.
+	if fn := r.mappings.Floor(&mapping{addr: ptr}); fn != nil {
+		if m := fn.Value; ptr < m.addr+DevicePtr(m.size) {
+			return fmt.Errorf("%w: [%#x,%#x)", ErrAlreadyMapped, uint64(ptr), uint64(ptr)+uint64(p.size))
+		}
+	}
+	if cn := r.mappings.Ceil(&mapping{addr: ptr}); cn != nil {
+		if m := cn.Value; m.addr < ptr+DevicePtr(p.size) {
+			return fmt.Errorf("%w: [%#x,%#x)", ErrAlreadyMapped, uint64(ptr), uint64(ptr)+uint64(p.size))
+		}
+	}
+	d.clock.Advance(d.cost.MemMap(p.size))
+	d.counters.MemMap++
+	m := &mapping{addr: ptr, size: p.size, handle: h}
+	m.node = r.mappings.Insert(m)
+	p.mapCount++
+	return nil
+}
+
+// MemSetAccess enables access on [ptr, ptr+size), which must exactly cover
+// one or more existing mappings.
+func (d *Driver) MemSetAccess(ptr DevicePtr, size int64) error {
+	r := d.findReservation(ptr, size)
+	if r == nil {
+		return fmt.Errorf("%w: MemSetAccess(%#x)", ErrRangeNotFound, uint64(ptr))
+	}
+	covered := int64(0)
+	for n := r.mappings.Ceil(&mapping{addr: ptr}); n != nil; n = r.mappings.Next(n) {
+		m := n.Value
+		if m.addr+DevicePtr(m.size) > ptr+DevicePtr(size) {
+			break
+		}
+		if !m.access {
+			d.clock.Advance(d.cost.MemSetAccess(m.size))
+			d.counters.MemSet++
+			m.access = true
+		}
+		covered += m.size
+	}
+	if covered != size {
+		return fmt.Errorf("%w: MemSetAccess covers %d of %d bytes", ErrNotMapped, covered, size)
+	}
+	return nil
+}
+
+// MemUnmap removes every mapping fully contained in [ptr, ptr+size).
+func (d *Driver) MemUnmap(ptr DevicePtr, size int64) error {
+	r := d.findReservation(ptr, size)
+	if r == nil {
+		return fmt.Errorf("%w: MemUnmap(%#x)", ErrRangeNotFound, uint64(ptr))
+	}
+	var victims []*mapping
+	for n := r.mappings.Ceil(&mapping{addr: ptr}); n != nil; n = r.mappings.Next(n) {
+		m := n.Value
+		if m.addr+DevicePtr(m.size) > ptr+DevicePtr(size) {
+			break
+		}
+		victims = append(victims, m)
+	}
+	if len(victims) == 0 {
+		return fmt.Errorf("%w: MemUnmap(%#x, %d)", ErrNotMapped, uint64(ptr), size)
+	}
+	for _, m := range victims {
+		d.clock.Advance(d.cost.MemUnmap(m.size))
+		d.counters.MemUnmap++
+		p := d.handles[m.handle]
+		p.mapCount--
+		r.mappings.Delete(m.node)
+		d.maybeReclaim(p)
+	}
+	return nil
+}
+
+// MappedBytes reports the total bytes currently mapped across reservations
+// (each mapping counted once; shared physical chunks counted per mapping).
+func (d *Driver) MappedBytes() int64 {
+	var total int64
+	for _, r := range d.reservations {
+		r.mappings.Ascend(func(n *container.Node[*mapping]) bool {
+			total += n.Value.size
+			return true
+		})
+	}
+	return total
+}
+
+// LiveHandles reports physical handles whose memory is still held.
+func (d *Driver) LiveHandles() int { return len(d.handles) }
+
+func (d *Driver) maybeReclaim(p *physical) {
+	if p.released && p.mapCount == 0 {
+		d.dev.FreePhysical(p.seg)
+		d.counters.BytesReleased += p.size
+		delete(d.handles, p.id)
+	}
+}
+
+func (d *Driver) findReservation(ptr DevicePtr, size int64) *reservation {
+	n := d.resByAddr.Floor(&reservation{base: ptr})
+	if n == nil {
+		return nil
+	}
+	r := n.Value
+	if ptr >= r.base && ptr+DevicePtr(size) <= r.base+DevicePtr(r.size) {
+		return r
+	}
+	return nil
+}

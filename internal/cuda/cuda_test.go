@@ -1,0 +1,270 @@
+package cuda
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+func newTestDriver(capacity int64) *Driver {
+	dev := gpu.NewDevice("test", capacity)
+	return NewDriver(dev, sim.NewClock(), sim.DefaultCostModel())
+}
+
+func TestMallocFree(t *testing.T) {
+	d := newTestDriver(1 * sim.GiB)
+	ptr, err := d.Malloc(256 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free, total := d.MemGetInfo(); free != 768*sim.MiB || total != sim.GiB {
+		t.Fatalf("MemGetInfo = %d/%d", free, total)
+	}
+	if err := d.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+	if free, _ := d.MemGetInfo(); free != sim.GiB {
+		t.Fatalf("free after Free = %d", free)
+	}
+	if err := d.Free(ptr); err == nil {
+		t.Fatal("double Free succeeded")
+	}
+}
+
+func TestMallocOOM(t *testing.T) {
+	d := newTestDriver(100 * sim.MiB)
+	if _, err := d.Malloc(200 * sim.MiB); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// Failed Malloc must not leak VA or physical.
+	if free, _ := d.MemGetInfo(); free != 100*sim.MiB {
+		t.Fatalf("free after failed malloc = %d", free)
+	}
+}
+
+func TestMallocChargesClock(t *testing.T) {
+	d := newTestDriver(4 * sim.GiB)
+	before := d.Clock().Now()
+	if _, err := d.Malloc(2 * sim.GiB); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := d.Clock().Now() - before
+	// Calibration pin: cudaMalloc(2 GiB) = 1 ms.
+	if elapsed != d.Cost().CudaMalloc(2*sim.GiB) {
+		t.Fatalf("elapsed = %v, want %v", elapsed, d.Cost().CudaMalloc(2*sim.GiB))
+	}
+}
+
+func TestVMMLifecycle(t *testing.T) {
+	d := newTestDriver(1 * sim.GiB)
+	const size = 10 * sim.MiB // 5 chunks of 2 MiB
+
+	va, err := d.MemAddressReserve(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []MemHandle
+	for i := int64(0); i < 5; i++ {
+		h, err := d.MemCreate(ChunkGranularity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.MemMap(va+DevicePtr(i*ChunkGranularity), h); err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := d.MemSetAccess(va, size); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MappedBytes(); got != size {
+		t.Fatalf("MappedBytes = %d, want %d", got, size)
+	}
+	if free, _ := d.MemGetInfo(); free != sim.GiB-size {
+		t.Fatalf("free = %d", free)
+	}
+
+	// Release handles first: memory must stay until unmapped.
+	for _, h := range handles {
+		if err := d.MemRelease(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if free, _ := d.MemGetInfo(); free != sim.GiB-size {
+		t.Fatalf("free after release-before-unmap = %d, memory reclaimed too early", free)
+	}
+	if err := d.MemUnmap(va, size); err != nil {
+		t.Fatal(err)
+	}
+	if free, _ := d.MemGetInfo(); free != sim.GiB {
+		t.Fatalf("free after unmap = %d, want full capacity", free)
+	}
+	if err := d.MemAddressFree(va, size); err != nil {
+		t.Fatal(err)
+	}
+	if d.LiveHandles() != 0 {
+		t.Fatalf("LiveHandles = %d, want 0", d.LiveHandles())
+	}
+}
+
+func TestVMMSharedMapping(t *testing.T) {
+	// GMLake's core trick: the same physical chunk mapped from two VA
+	// ranges (pBlock and sBlock). The chunk must survive until both
+	// unmap, even after release.
+	d := newTestDriver(1 * sim.GiB)
+	h, err := d.MemCreate(ChunkGranularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va1, _ := d.MemAddressReserve(ChunkGranularity)
+	va2, _ := d.MemAddressReserve(ChunkGranularity)
+	if err := d.MemMap(va1, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemMap(va2, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemRelease(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemUnmap(va1, ChunkGranularity); err != nil {
+		t.Fatal(err)
+	}
+	if free, _ := d.MemGetInfo(); free == sim.GiB {
+		t.Fatal("chunk reclaimed while still mapped from second VA")
+	}
+	if err := d.MemUnmap(va2, ChunkGranularity); err != nil {
+		t.Fatal(err)
+	}
+	if free, _ := d.MemGetInfo(); free != sim.GiB {
+		t.Fatalf("chunk not reclaimed after last unmap: free = %d", free)
+	}
+}
+
+func TestVMMValidation(t *testing.T) {
+	d := newTestDriver(1 * sim.GiB)
+
+	if _, err := d.MemAddressReserve(sim.MiB); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("Reserve(1MiB) err = %v, want ErrInvalidValue (not chunk multiple)", err)
+	}
+	if _, err := d.MemCreate(sim.MiB); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("MemCreate(1MiB) err = %v, want ErrInvalidValue", err)
+	}
+
+	va, _ := d.MemAddressReserve(4 * sim.MiB)
+	h, _ := d.MemCreate(2 * sim.MiB)
+	if err := d.MemMap(va, h); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping map of the same region must fail.
+	h2, _ := d.MemCreate(2 * sim.MiB)
+	if err := d.MemMap(va, h2); !errors.Is(err, ErrAlreadyMapped) {
+		t.Errorf("overlapping MemMap err = %v, want ErrAlreadyMapped", err)
+	}
+	// Map outside any reservation must fail.
+	if err := d.MemMap(DevicePtr(1<<48), h2); !errors.Is(err, ErrRangeNotFound) {
+		t.Errorf("unreserved MemMap err = %v, want ErrRangeNotFound", err)
+	}
+	// AddressFree with live mappings must fail.
+	if err := d.MemAddressFree(va, 4*sim.MiB); !errors.Is(err, ErrRangeStillUsed) {
+		t.Errorf("MemAddressFree err = %v, want ErrRangeStillUsed", err)
+	}
+	// SetAccess over a hole must fail.
+	if err := d.MemSetAccess(va, 4*sim.MiB); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("MemSetAccess over hole err = %v, want ErrNotMapped", err)
+	}
+	// Unmap of an unmapped region must fail.
+	if err := d.MemUnmap(va+DevicePtr(2*sim.MiB), 2*sim.MiB); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("MemUnmap err = %v, want ErrNotMapped", err)
+	}
+	// Release twice must fail.
+	if err := d.MemRelease(h2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MemRelease(h2); !errors.Is(err, ErrInvalidHandle) {
+		t.Errorf("double MemRelease err = %v, want ErrInvalidHandle", err)
+	}
+	// Mapping a released handle must fail.
+	if err := d.MemMap(va+DevicePtr(2*sim.MiB), h2); !errors.Is(err, ErrInvalidHandle) {
+		t.Errorf("MemMap of released handle err = %v, want ErrInvalidHandle", err)
+	}
+}
+
+func TestVMMCreateOOM(t *testing.T) {
+	d := newTestDriver(4 * sim.MiB)
+	h1, err := d.MemCreate(2 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.MemCreate(4 * sim.MiB); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	_ = h1
+}
+
+func TestTable1Breakdown(t *testing.T) {
+	// Allocating 2 GiB via 2 MiB chunks must cost ~115x a 2 GiB cudaMalloc
+	// (Table 1 / Figure 6 headline).
+	d := newTestDriver(8 * sim.GiB)
+
+	sw := sim.StartStopwatch(d.Clock())
+	mptr, err := d.Malloc(2 * sim.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nativeCost := sw.Elapsed()
+	if err := d.Free(mptr); err != nil {
+		t.Fatal(err)
+	}
+
+	sw = sim.StartStopwatch(d.Clock())
+	va, err := d.MemAddressReserve(2 * sim.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := int64(0); off < 2*sim.GiB; off += ChunkGranularity {
+		h, err := d.MemCreate(ChunkGranularity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.MemMap(va+DevicePtr(off), h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.MemSetAccess(va, 2*sim.GiB); err != nil {
+		t.Fatal(err)
+	}
+	vmmCost := sw.Elapsed()
+
+	ratio := float64(vmmCost) / float64(nativeCost)
+	if ratio < 100 || ratio > 130 {
+		t.Fatalf("VMM/native ratio = %.1f, want ~115 (Table 1)", ratio)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := newTestDriver(sim.GiB)
+	ptr, _ := d.Malloc(2 * sim.MiB)
+	_ = d.Free(ptr)
+	va, _ := d.MemAddressReserve(2 * sim.MiB)
+	h, _ := d.MemCreate(2 * sim.MiB)
+	_ = d.MemMap(va, h)
+	_ = d.MemSetAccess(va, 2*sim.MiB)
+	_ = d.MemUnmap(va, 2*sim.MiB)
+	_ = d.MemRelease(h)
+	_ = d.MemAddressFree(va, 2*sim.MiB)
+
+	c := d.Counters()
+	want := Counters{
+		Malloc: 1, Free: 1,
+		AddressReserve: 1, AddressFree: 1,
+		MemCreate: 1, MemRelease: 1,
+		MemMap: 1, MemUnmap: 1, MemSet: 1,
+		BytesAllocated: 4 * sim.MiB, BytesReleased: 4 * sim.MiB,
+	}
+	if c != want {
+		t.Fatalf("Counters = %+v, want %+v", c, want)
+	}
+}

@@ -1,0 +1,376 @@
+// Package expandable implements PyTorch's "expandable segments" allocator,
+// the VMM-based alternative to GMLake that PyTorch later shipped
+// (PYTORCH_CUDA_ALLOC_CONF=expandable_segments:True). The paper's §6
+// positions GMLake against this family of techniques; including it makes the
+// evaluation a three-way comparison between the splitting baseline, stitching
+// (GMLake) and growing (expandable segments).
+//
+// Design, mirroring the PyTorch implementation:
+//
+//   - One huge virtual address reservation (the expandable segment) per
+//     device, sized at device capacity. Nothing is mapped up front.
+//   - Physical memory is committed in 2 MiB chunks by extending a frontier:
+//     when no cached free block fits, the segment grows at its tail with
+//     cuMemCreate + cuMemMap + cuMemSetAccess, and the new space merges with
+//     a trailing free block.
+//   - Inside the mapped prefix, blocks are managed exactly like the caching
+//     allocator: best fit, split, and coalesce on free.
+//
+// Because every size class draws from one contiguous arena, the cross-class
+// segment fragmentation that dooms the caching allocator disappears; unlike
+// GMLake, interior holes can still pin the frontier (no stitching), so its
+// reserved memory sits between the two.
+//
+// Requests below the small threshold use a conventional caching small pool,
+// as in PyTorch.
+package expandable
+
+import (
+	"fmt"
+
+	"repro/internal/caching"
+	"repro/internal/container"
+	"repro/internal/cuda"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+// ChunkSize is the physical mapping granularity (2 MiB, as for GMLake).
+const ChunkSize = cuda.ChunkGranularity
+
+// SmallThreshold routes sub-2 MiB requests to the embedded small pool.
+const SmallThreshold = 2 * sim.MiB
+
+// Allocator is the expandable-segments allocator.
+type Allocator struct {
+	driver *cuda.Driver
+	acct   memalloc.Accounting
+
+	va       cuda.DevicePtr // segment base (reserved once, lazily)
+	vaSize   int64          // reservation size (device capacity)
+	frontier int64          // mapped prefix length
+	chunks   []cuda.MemHandle
+
+	blocks *block // address-ordered chain over [0, frontier)
+	free   *container.Tree[*block]
+
+	small *caching.Allocator
+}
+
+type block struct {
+	off       int64
+	size      int64
+	allocated bool
+	prev      *block
+	next      *block
+	node      *container.Node[*block]
+}
+
+// New returns an expandable-segments allocator over driver.
+func New(driver *cuda.Driver) *Allocator {
+	return &Allocator{
+		driver: driver,
+		free: container.NewTree[*block](func(a, b *block) bool {
+			if a.size != b.size {
+				return a.size < b.size
+			}
+			return a.off < b.off
+		}),
+		small: caching.New(driver),
+	}
+}
+
+// Name implements memalloc.Allocator.
+func (a *Allocator) Name() string { return "expandable" }
+
+// Stats implements memalloc.Allocator.
+func (a *Allocator) Stats() memalloc.Stats {
+	st := a.acct.Stats()
+	ss := a.small.Stats()
+	st.Active += ss.Active
+	st.Reserved += ss.Reserved
+	st.PeakActive += ss.PeakActive
+	st.PeakReserved += ss.PeakReserved
+	st.AllocCount += ss.AllocCount
+	st.FreeCount += ss.FreeCount
+	return st
+}
+
+// ResetPeaks restarts peak tracking.
+func (a *Allocator) ResetPeaks() {
+	a.acct.ResetPeaks()
+	a.small.ResetPeaks()
+}
+
+// ensureSegment lazily reserves the segment VA at first use.
+func (a *Allocator) ensureSegment() error {
+	if a.vaSize != 0 {
+		return nil
+	}
+	_, total := a.driver.MemGetInfo()
+	size := sim.RoundUp(total, ChunkSize)
+	va, err := a.driver.MemAddressReserve(size)
+	if err != nil {
+		return err
+	}
+	a.va = va
+	a.vaSize = size
+	return nil
+}
+
+// Alloc implements memalloc.Allocator.
+func (a *Allocator) Alloc(size int64) (*memalloc.Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("expandable: Alloc(%d)", size)
+	}
+	if size < SmallThreshold {
+		return a.small.Alloc(size)
+	}
+	a.driver.Clock().Advance(a.driver.Cost().HostOp())
+	if err := a.ensureSegment(); err != nil {
+		return nil, err
+	}
+	rounded := caching.RoundSize(size)
+
+	blk := a.findBestFit(rounded)
+	if blk == nil {
+		var err error
+		blk, err = a.extend(rounded)
+		if err != nil {
+			return nil, err
+		}
+	}
+	blk = a.maybeSplit(blk, rounded)
+	blk.allocated = true
+	a.acct.OnAlloc(blk.size)
+	buf := &memalloc.Buffer{
+		Ptr:       a.va + cuda.DevicePtr(blk.off),
+		Requested: size,
+		BlockSize: blk.size,
+	}
+	buf.SetImpl(blk)
+	return buf, nil
+}
+
+func (a *Allocator) findBestFit(size int64) *block {
+	n := a.free.Ceil(&block{size: size})
+	if n == nil {
+		return nil
+	}
+	blk := n.Value
+	a.free.Delete(n)
+	blk.node = nil
+	return blk
+}
+
+// extend grows the mapped frontier so a block of size bytes fits at the
+// tail, merging with a trailing free block if one exists. Returns the
+// ready-to-split free block covering the request.
+func (a *Allocator) extend(size int64) (*block, error) {
+	tail := a.tail()
+	tailFree := int64(0)
+	if tail != nil && !tail.allocated {
+		tailFree = tail.size
+	}
+	need := sim.RoundUp(size-tailFree, ChunkSize)
+	if a.frontier+need > a.vaSize {
+		return nil, fmt.Errorf("expandable: %w: segment frontier at %d of %d",
+			cuda.ErrOutOfMemory, a.frontier, a.vaSize)
+	}
+	// Commit physical chunks; roll back on device OOM.
+	var created []cuda.MemHandle
+	for off := int64(0); off < need; off += ChunkSize {
+		h, err := a.driver.MemCreate(ChunkSize)
+		if err != nil {
+			for i, hh := range created {
+				base := a.va + cuda.DevicePtr(a.frontier+int64(i)*ChunkSize)
+				if e := a.driver.MemUnmap(base, ChunkSize); e != nil {
+					panic("expandable: rollback unmap: " + e.Error())
+				}
+				if e := a.driver.MemRelease(hh); e != nil {
+					panic("expandable: rollback release: " + e.Error())
+				}
+			}
+			return nil, err
+		}
+		if err := a.driver.MemMap(a.va+cuda.DevicePtr(a.frontier+off), h); err != nil {
+			panic("expandable: MemMap: " + err.Error())
+		}
+		created = append(created, h)
+	}
+	if err := a.driver.MemSetAccess(a.va+cuda.DevicePtr(a.frontier), need); err != nil {
+		panic("expandable: MemSetAccess: " + err.Error())
+	}
+	a.chunks = append(a.chunks, created...)
+	a.acct.OnReserve(need)
+
+	grown := &block{off: a.frontier, size: need, prev: tail}
+	a.frontier += need
+	if tail != nil {
+		tail.next = grown
+	} else {
+		a.blocks = grown
+	}
+	// Merge with a free tail block.
+	if tail != nil && !tail.allocated {
+		a.free.Delete(tail.node)
+		tail.node = nil
+		tail.size += grown.size
+		tail.next = nil
+		if tail.prev != nil {
+			tail.prev.next = tail
+		} else {
+			a.blocks = tail
+		}
+		return tail, nil
+	}
+	return grown, nil
+}
+
+func (a *Allocator) tail() *block {
+	if a.blocks == nil {
+		return nil
+	}
+	b := a.blocks
+	for b.next != nil {
+		b = b.next
+	}
+	return b
+}
+
+func (a *Allocator) maybeSplit(blk *block, size int64) *block {
+	remaining := blk.size - size
+	if remaining < caching.MinBlockSize {
+		return blk
+	}
+	rest := &block{
+		off:  blk.off + size,
+		size: remaining,
+		prev: blk,
+		next: blk.next,
+	}
+	if blk.next != nil {
+		blk.next.prev = rest
+	}
+	blk.next = rest
+	blk.size = size
+	rest.node = a.free.Insert(rest)
+	return blk
+}
+
+// Free implements memalloc.Allocator: coalescing free, no driver calls.
+func (a *Allocator) Free(buf *memalloc.Buffer) {
+	blk, ok := buf.Impl().(*block)
+	if !ok || blk == nil {
+		// Small-pool buffer.
+		a.small.Free(buf)
+		return
+	}
+	if !blk.allocated {
+		panic("expandable: double Free")
+	}
+	a.driver.Clock().Advance(a.driver.Cost().HostOp())
+	a.acct.OnFree(blk.size)
+	blk.allocated = false
+	buf.SetImpl(nil)
+
+	if nb := blk.next; nb != nil && !nb.allocated {
+		a.free.Delete(nb.node)
+		blk.size += nb.size
+		blk.next = nb.next
+		if nb.next != nil {
+			nb.next.prev = blk
+		}
+	}
+	if pb := blk.prev; pb != nil && !pb.allocated {
+		a.free.Delete(pb.node)
+		pb.size += blk.size
+		pb.next = blk.next
+		if blk.next != nil {
+			blk.next.prev = pb
+		}
+		blk = pb
+	}
+	blk.node = a.free.Insert(blk)
+}
+
+// EmptyCache implements memalloc.Allocator: unmap the free tail of the
+// segment, returning its physical chunks to the device (PyTorch trims
+// expandable segments the same way).
+func (a *Allocator) EmptyCache() {
+	a.small.EmptyCache()
+	tail := a.tail()
+	if tail == nil || tail.allocated {
+		return
+	}
+	// Unmap whole chunks contained in the free tail.
+	releaseFrom := sim.RoundUp(tail.off, ChunkSize)
+	releaseBytes := a.frontier - releaseFrom
+	if releaseBytes <= 0 {
+		return
+	}
+	if err := a.driver.MemUnmap(a.va+cuda.DevicePtr(releaseFrom), releaseBytes); err != nil {
+		panic("expandable: trim unmap: " + err.Error())
+	}
+	nChunks := releaseBytes / ChunkSize
+	for _, h := range a.chunks[int64(len(a.chunks))-nChunks:] {
+		if err := a.driver.MemRelease(h); err != nil {
+			panic("expandable: trim release: " + err.Error())
+		}
+	}
+	a.chunks = a.chunks[:int64(len(a.chunks))-nChunks]
+	a.acct.OnRelease(releaseBytes)
+	a.frontier = releaseFrom
+
+	// Shrink or drop the tail block.
+	a.free.Delete(tail.node)
+	tail.node = nil
+	if tail.off == releaseFrom {
+		if tail.prev != nil {
+			tail.prev.next = nil
+		} else {
+			a.blocks = nil
+		}
+		return
+	}
+	tail.size = releaseFrom - tail.off
+	tail.next = nil
+	tail.node = a.free.Insert(tail)
+}
+
+// Frontier reports the mapped prefix length (diagnostics).
+func (a *Allocator) Frontier() int64 { return a.frontier }
+
+// CheckInvariants validates the block chain: it must tile [0, frontier)
+// exactly, with free blocks indexed and coalesced.
+func (a *Allocator) CheckInvariants() error {
+	var off int64
+	prevFree := false
+	for blk := a.blocks; blk != nil; blk = blk.next {
+		if blk.off != off {
+			return fmt.Errorf("expandable: gap at offset %d", off)
+		}
+		if blk.next != nil && blk.next.prev != blk {
+			return fmt.Errorf("expandable: broken chain links")
+		}
+		if !blk.allocated {
+			if prevFree {
+				return fmt.Errorf("expandable: adjacent free blocks not merged")
+			}
+			if blk.node == nil {
+				return fmt.Errorf("expandable: free block missing from index")
+			}
+			prevFree = true
+		} else {
+			prevFree = false
+		}
+		off += blk.size
+	}
+	if off != a.frontier {
+		return fmt.Errorf("expandable: blocks tile %d of frontier %d", off, a.frontier)
+	}
+	if got := int64(len(a.chunks)) * ChunkSize; got != a.frontier {
+		return fmt.Errorf("expandable: %d chunk bytes vs frontier %d", got, a.frontier)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+// Package fragstat computes fragmentation indices over an allocator's free
+// blocks: the Gorman–Whitcroft unusable-free-space index the paper cites as
+// FMFI (§5.1, [18, 41]), largest-allocatable, and log₂ free-block
+// histograms.
+//
+// The paper deliberately does not use FMFI as its headline metric — GMLake's
+// blocks have arbitrary sizes, so it defines fragmentation as
+// 1 − active/reserved instead. This package supplies the classic indices
+// anyway: they expose *why* the caching allocator's reserved memory is
+// unusable (free space shattered into blocks below the request sizes) and
+// why GMLake's is not (small free pBlocks remain stitchable).
+package fragstat
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+// FreeLister is implemented by allocators that expose their cached free
+// blocks (caching.Allocator, core.Allocator).
+type FreeLister interface {
+	FreeBlockSizes() []int64
+}
+
+// Snapshot is one observation of an allocator's free space.
+type Snapshot struct {
+	Free     []int64 // free block sizes, ascending
+	Active   int64   // bytes assigned to tensors at capture time
+	Reserved int64   // bytes reserved from the device at capture time
+}
+
+// Capture snapshots a's free blocks; ok is false when the allocator does not
+// expose them.
+func Capture(a memalloc.Allocator) (Snapshot, bool) {
+	fl, ok := a.(FreeLister)
+	if !ok {
+		return Snapshot{}, false
+	}
+	free := fl.FreeBlockSizes()
+	sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+	st := a.Stats()
+	return Snapshot{Free: free, Active: st.Active, Reserved: st.Reserved}, true
+}
+
+// FreeBytes returns the total cached free bytes.
+func (s Snapshot) FreeBytes() int64 {
+	var total int64
+	for _, f := range s.Free {
+		total += f
+	}
+	return total
+}
+
+// LargestFree returns the largest single free block; zero when none.
+func (s Snapshot) LargestFree() int64 {
+	if len(s.Free) == 0 {
+		return 0
+	}
+	return s.Free[len(s.Free)-1]
+}
+
+// UnusableIndex returns the Gorman–Whitcroft fragmentation index for a
+// request of size bytes: the fraction of free memory sitting in blocks too
+// small to serve it. 0 means any free byte is usable; approaching 1 means
+// the free space is shattered below the request size. Zero free space
+// reports 0 (nothing is unusable).
+func (s Snapshot) UnusableIndex(size int64) float64 {
+	total := s.FreeBytes()
+	if total == 0 {
+		return 0
+	}
+	// Free is ascending: find the first block that can serve the request.
+	i := sort.Search(len(s.Free), func(i int) bool { return s.Free[i] >= size })
+	var usable int64
+	for _, f := range s.Free[i:] {
+		usable += f
+	}
+	return 1 - float64(usable)/float64(total)
+}
+
+// ExternalFragmentation returns 1 − largest/total over the free space, the
+// classic single-number external fragmentation measure. Zero or one free
+// block reports 0.
+func (s Snapshot) ExternalFragmentation() float64 {
+	total := s.FreeBytes()
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(s.LargestFree())/float64(total)
+}
+
+// ReservedWaste returns (reserved − active) / reserved, the paper's
+// fragmentation ratio at this instant (not at peaks).
+func (s Snapshot) ReservedWaste() float64 {
+	if s.Reserved == 0 {
+		return 0
+	}
+	return 1 - float64(s.Active)/float64(s.Reserved)
+}
+
+// Bucket is one log₂ histogram bin: sizes in [Lo, Hi).
+type Bucket struct {
+	Lo, Hi int64
+	Count  int
+	Bytes  int64
+}
+
+// String renders "[2.0 MB,4.0 MB): 3 blocks, 7.5 MB".
+func (b Bucket) String() string {
+	return fmt.Sprintf("[%s,%s): %d blocks, %s",
+		sim.FormatBytes(b.Lo), sim.FormatBytes(b.Hi), b.Count, sim.FormatBytes(b.Bytes))
+}
+
+// Histogram returns the free blocks bucketed by power-of-two size, from the
+// smallest to the largest occupied bucket. Empty buckets in between are
+// included so series plot evenly.
+func (s Snapshot) Histogram() []Bucket {
+	if len(s.Free) == 0 {
+		return nil
+	}
+	lo := log2Floor(s.Free[0])
+	hi := log2Floor(s.Free[len(s.Free)-1])
+	buckets := make([]Bucket, hi-lo+1)
+	for i := range buckets {
+		buckets[i].Lo = 1 << (lo + i)
+		buckets[i].Hi = 1 << (lo + i + 1)
+	}
+	for _, f := range s.Free {
+		b := &buckets[log2Floor(f)-lo]
+		b.Count++
+		b.Bytes += f
+	}
+	return buckets
+}
+
+func log2Floor(n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	return 63 - bits.LeadingZeros64(uint64(n))
+}

@@ -1,0 +1,195 @@
+package fragstat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/caching"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+func snap(free ...int64) Snapshot {
+	s := Snapshot{Free: free}
+	return s
+}
+
+func TestFreeBytesAndLargest(t *testing.T) {
+	s := snap(2, 8, 4)
+	if s.FreeBytes() != 14 {
+		t.Fatalf("FreeBytes = %d", s.FreeBytes())
+	}
+	// Snapshot fields are assumed ascending when built by Capture; the
+	// direct accessors still work on raw order except LargestFree.
+	s = snap(2, 4, 8)
+	if s.LargestFree() != 8 {
+		t.Fatalf("LargestFree = %d", s.LargestFree())
+	}
+	if (Snapshot{}).LargestFree() != 0 {
+		t.Fatal("empty snapshot largest != 0")
+	}
+}
+
+func TestUnusableIndex(t *testing.T) {
+	s := snap(1, 1, 2, 4) // total 8
+	cases := []struct {
+		size int64
+		want float64
+	}{
+		{1, 0},    // everything usable
+		{2, 0.25}, // the two 1s unusable
+		{3, 0.5},  // only the 4 usable
+		{4, 0.5},  //
+		{5, 1},    // nothing usable
+		{100, 1},  //
+	}
+	for _, c := range cases {
+		if got := s.UnusableIndex(c.size); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("UnusableIndex(%d) = %v, want %v", c.size, got, c.want)
+		}
+	}
+	if (Snapshot{}).UnusableIndex(8) != 0 {
+		t.Fatal("empty snapshot must report 0")
+	}
+}
+
+func TestExternalFragmentation(t *testing.T) {
+	if got := snap(4, 4, 8).ExternalFragmentation(); got != 0.5 {
+		t.Fatalf("got %v, want 0.5", got)
+	}
+	if got := snap(16).ExternalFragmentation(); got != 0 {
+		t.Fatalf("single block frag = %v", got)
+	}
+	if (Snapshot{}).ExternalFragmentation() != 0 {
+		t.Fatal("empty snapshot frag != 0")
+	}
+}
+
+func TestReservedWaste(t *testing.T) {
+	s := Snapshot{Active: 60, Reserved: 80}
+	if got := s.ReservedWaste(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("waste = %v", got)
+	}
+	if (Snapshot{}).ReservedWaste() != 0 {
+		t.Fatal("zero reserved waste != 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := snap(2, 3, 4, 9, 16)
+	h := s.Histogram()
+	// Buckets [2,4) [4,8) [8,16) [16,32).
+	if len(h) != 4 {
+		t.Fatalf("%d buckets: %v", len(h), h)
+	}
+	if h[0].Count != 2 || h[0].Bytes != 5 {
+		t.Fatalf("bucket0 %+v", h[0])
+	}
+	if h[1].Count != 1 || h[2].Count != 1 || h[3].Count != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	if h[1].Lo != 4 || h[1].Hi != 8 {
+		t.Fatalf("bucket1 bounds %+v", h[1])
+	}
+	if (Snapshot{}).Histogram() != nil {
+		t.Fatal("empty snapshot should have nil histogram")
+	}
+	if h[0].String() == "" {
+		t.Fatal("Bucket.String empty")
+	}
+}
+
+func TestHistogramIncludesEmptyMiddleBuckets(t *testing.T) {
+	h := snap(2, 64).Histogram()
+	if len(h) != 6 { // [2,4) .. [64,128)
+		t.Fatalf("%d buckets", len(h))
+	}
+	if h[2].Count != 0 {
+		t.Fatal("middle bucket should be empty")
+	}
+}
+
+func newDriver(capacity int64) *cuda.Driver {
+	return cuda.NewDriver(gpu.NewDevice("t", capacity), sim.NewClock(), sim.DefaultCostModel())
+}
+
+func TestCaptureCachingAllocator(t *testing.T) {
+	a := caching.New(newDriver(sim.GiB))
+	b1, _ := a.Alloc(64 * sim.MiB)
+	b2, _ := a.Alloc(32 * sim.MiB)
+	a.Free(b2) // leaves one cached free block
+	s, ok := Capture(a)
+	if !ok {
+		t.Fatal("caching allocator does not expose free blocks")
+	}
+	if len(s.Free) == 0 {
+		t.Fatal("no free blocks captured")
+	}
+	for i := 1; i < len(s.Free); i++ {
+		if s.Free[i-1] > s.Free[i] {
+			t.Fatal("Capture must sort ascending")
+		}
+	}
+	if s.Active != b1.BlockSize {
+		t.Fatalf("active = %d, want %d", s.Active, b1.BlockSize)
+	}
+	a.Free(b1)
+}
+
+func TestCaptureGMLake(t *testing.T) {
+	a := core.NewDefault(newDriver(sim.GiB))
+	b, err := a.Alloc(64 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(b)
+	s, ok := Capture(a)
+	if !ok {
+		t.Fatal("gmlake does not expose free blocks")
+	}
+	if s.FreeBytes() < 64*sim.MiB {
+		t.Fatalf("free bytes %d below the freed block", s.FreeBytes())
+	}
+}
+
+func TestCaptureUnsupportedAllocator(t *testing.T) {
+	a := memalloc.NewNative(newDriver(sim.GiB))
+	if _, ok := Capture(a); ok {
+		t.Fatal("native allocator should not support capture")
+	}
+}
+
+// Property: indices stay in [0,1], UnusableIndex is monotone in the request
+// size, and FreeBytes ≥ LargestFree.
+func TestIndexProperties(t *testing.T) {
+	prop := func(raw []uint32, probe uint32) bool {
+		free := make([]int64, 0, len(raw))
+		for _, r := range raw {
+			free = append(free, int64(r%(1<<20))+1)
+		}
+		s := Snapshot{Free: free}
+		// Capture sorts; emulate.
+		for i := 1; i < len(s.Free); i++ {
+			for j := i; j > 0 && s.Free[j-1] > s.Free[j]; j-- {
+				s.Free[j-1], s.Free[j] = s.Free[j], s.Free[j-1]
+			}
+		}
+		p := int64(probe%(1<<21)) + 1
+		u1, u2 := s.UnusableIndex(p), s.UnusableIndex(p*2)
+		ef := s.ExternalFragmentation()
+		if u1 < 0 || u1 > 1 || ef < 0 || ef > 1 {
+			return false
+		}
+		if u2 < u1 {
+			return false
+		}
+		return s.FreeBytes() >= s.LargestFree()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package gpu simulates the GPU device that both allocators run against: a
+// fixed-capacity physical memory (page-mapped, so physical contiguity is
+// never a client-visible constraint — exactly as on real CUDA devices) and a
+// process-wide virtual address space from which cudaMalloc results and
+// cuMemAddressReserve reservations are carved.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/container"
+)
+
+// ErrSpaceExhausted is returned by RangeAllocator when no free range can
+// satisfy a request.
+var ErrSpaceExhausted = errors.New("gpu: address space exhausted")
+
+// RangeAllocator hands out non-overlapping [offset, offset+size) ranges from
+// a fixed span, with best-fit placement and free-range coalescing. It backs
+// the simulated virtual address space.
+//
+// Two ordered indexes are kept over the free ranges: one by offset (for
+// neighbour coalescing on free) and one by size (for best-fit allocation).
+type RangeAllocator struct {
+	span    int64
+	free    int64
+	byAddr  *container.Tree[*freeRange]
+	bySize  *container.Tree[*freeRange]
+	granule int64
+}
+
+type freeRange struct {
+	offset, size int64
+	addrNode     *container.Node[*freeRange]
+	sizeNode     *container.Node[*freeRange]
+}
+
+// NewRangeAllocator creates an allocator over [0, span) handing out ranges
+// aligned to granule. Span must be a positive multiple of granule.
+func NewRangeAllocator(span, granule int64) *RangeAllocator {
+	if granule <= 0 || span <= 0 || span%granule != 0 {
+		panic(fmt.Sprintf("gpu: bad range allocator span=%d granule=%d", span, granule))
+	}
+	a := &RangeAllocator{
+		span:    span,
+		free:    span,
+		granule: granule,
+		byAddr: container.NewTree[*freeRange](func(x, y *freeRange) bool {
+			return x.offset < y.offset
+		}),
+		bySize: container.NewTree[*freeRange](func(x, y *freeRange) bool {
+			if x.size != y.size {
+				return x.size < y.size
+			}
+			return x.offset < y.offset
+		}),
+	}
+	a.insertFree(&freeRange{offset: 0, size: span})
+	return a
+}
+
+// Span reports the total span managed by the allocator.
+func (a *RangeAllocator) Span() int64 { return a.span }
+
+// Free reports the total free bytes (possibly non-contiguous).
+func (a *RangeAllocator) Free() int64 { return a.free }
+
+// Alloc reserves size bytes (rounded up to the granule) and returns the
+// range's offset. Placement is best-fit: the smallest free range that can
+// hold the request, lowest address on ties.
+func (a *RangeAllocator) Alloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("gpu: Alloc size %d", size)
+	}
+	size = roundUp(size, a.granule)
+	probe := &freeRange{size: size, offset: -1}
+	n := a.bySize.Ceil(probe)
+	if n == nil {
+		return 0, ErrSpaceExhausted
+	}
+	fr := n.Value
+	a.removeFree(fr)
+	offset := fr.offset
+	if fr.size > size {
+		a.insertFree(&freeRange{offset: fr.offset + size, size: fr.size - size})
+	}
+	a.free -= size
+	return offset, nil
+}
+
+// FreeRange returns [offset, offset+size) to the allocator, coalescing with
+// adjacent free ranges. Size is rounded up to the granule exactly as Alloc
+// rounded it. Freeing an overlapping or unallocated range corrupts no state
+// silently: overlaps with existing free ranges panic.
+func (a *RangeAllocator) FreeRange(offset, size int64) {
+	if size <= 0 || offset < 0 || offset+size > a.span {
+		panic(fmt.Sprintf("gpu: FreeRange(%d, %d) out of span %d", offset, size, a.span))
+	}
+	size = roundUp(size, a.granule)
+	nr := &freeRange{offset: offset, size: size}
+
+	// Find potential neighbours: greatest free range starting at or before
+	// offset, and the successor after it.
+	var prev, next *freeRange
+	if fn := a.byAddr.Floor(&freeRange{offset: offset}); fn != nil {
+		prev = fn.Value
+		if nn := a.byAddr.Next(fn); nn != nil {
+			next = nn.Value
+		}
+	} else if fn := a.byAddr.Min(); fn != nil {
+		next = fn.Value
+	}
+	if prev != nil && prev.offset+prev.size > offset {
+		panic(fmt.Sprintf("gpu: double free / overlap at [%d,%d)", offset, offset+size))
+	}
+	if next != nil && offset+size > next.offset {
+		panic(fmt.Sprintf("gpu: double free / overlap at [%d,%d)", offset, offset+size))
+	}
+	if prev != nil && prev.offset+prev.size == offset {
+		a.removeFree(prev)
+		nr.offset = prev.offset
+		nr.size += prev.size
+	}
+	if next != nil && nr.offset+nr.size == next.offset {
+		a.removeFree(next)
+		nr.size += next.size
+	}
+	a.insertFree(nr)
+	a.free += size
+}
+
+// FragmentCount reports the number of disjoint free ranges; used by tests to
+// validate coalescing.
+func (a *RangeAllocator) FragmentCount() int { return a.byAddr.Len() }
+
+// LargestFree reports the size of the largest contiguous free range.
+func (a *RangeAllocator) LargestFree() int64 {
+	n := a.bySize.Max()
+	if n == nil {
+		return 0
+	}
+	return n.Value.size
+}
+
+func (a *RangeAllocator) insertFree(fr *freeRange) {
+	fr.addrNode = a.byAddr.Insert(fr)
+	fr.sizeNode = a.bySize.Insert(fr)
+}
+
+func (a *RangeAllocator) removeFree(fr *freeRange) {
+	a.byAddr.Delete(fr.addrNode)
+	a.bySize.Delete(fr.sizeNode)
+	fr.addrNode, fr.sizeNode = nil, nil
+}
+
+func roundUp(n, g int64) int64 {
+	if rem := n % g; rem != 0 {
+		return n + g - rem
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package harness
+
+import "io"
+
+// Experiment names runnable via RunExperiment.
+var Experiments = []string{
+	"table1", "figure3", "figure4", "figure5", "figure6",
+	"figure10", "figure11", "figure12", "figure13", "figure14",
+	"headline", "extended", "ablations", "cluster",
+	"zero", "topology", "recompute", "offload", "streams",
+	"serving", "fragindex", "pipefrag",
+}
+
+// RunExperiment executes one experiment by id and returns its tables.
+func (e *Env) RunExperiment(id string) []*Table {
+	switch id {
+	case "table1":
+		return []*Table{e.Table1()}
+	case "figure3":
+		return []*Table{e.Figure3()}
+	case "figure4":
+		return []*Table{e.Figure4()}
+	case "figure5":
+		return []*Table{e.Figure5()}
+	case "figure6":
+		return []*Table{e.Figure6()}
+	case "figure10":
+		return e.Figure10()
+	case "figure11":
+		return e.Figure11()
+	case "figure12":
+		return []*Table{e.Figure12()}
+	case "figure13":
+		return e.Figure13()
+	case "figure14":
+		t, _ := e.Figure14()
+		return []*Table{t}
+	case "headline":
+		return []*Table{e.Headline()}
+	case "extended":
+		return []*Table{e.Extended()}
+	case "ablations":
+		return []*Table{e.Ablations()}
+	case "cluster":
+		return []*Table{e.ClusterExperiment()}
+	case "zero":
+		return []*Table{e.ZeROExperiment()}
+	case "topology":
+		return []*Table{e.TopologyExperiment()}
+	case "recompute":
+		return []*Table{e.RecomputeExperiment()}
+	case "offload":
+		return []*Table{e.OffloadExperiment()}
+	case "streams":
+		return []*Table{e.StreamsExperiment()}
+	case "serving":
+		return []*Table{e.ServingExperiment()}
+	case "fragindex":
+		return []*Table{e.FragIndexExperiment()}
+	case "pipefrag":
+		return []*Table{e.PipelineExperiment()}
+	default:
+		return nil
+	}
+}
+
+// RunAll executes every experiment, rendering each table to w as it
+// completes.
+func (e *Env) RunAll(w io.Writer) {
+	for _, id := range Experiments {
+		for _, t := range e.RunExperiment(id) {
+			t.Render(w)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package harness reproduces the paper's evaluation: one runner per table
+// and figure, each returning a renderable text table with the same rows or
+// series the paper reports. DESIGN.md maps experiment ids to these
+// functions; EXPERIMENTS.md records paper-vs-measured values.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/caching"
+	"repro/internal/compact"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/expandable"
+	"repro/internal/gpu"
+	"repro/internal/memalloc"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Allocator names accepted by the runners.
+const (
+	AllocCaching    = "caching"
+	AllocGMLake     = "gmlake"
+	AllocNative     = "native"
+	AllocExpandable = "expandable"
+	AllocCompact    = "compact"
+	// AllocCachingTuned is the caching allocator with the
+	// PYTORCH_CUDA_ALLOC_CONF mitigations practitioners used before
+	// VMM-based allocators: max_split_size_mb=128 and
+	// garbage_collection_threshold=0.8.
+	AllocCachingTuned = "caching-tuned"
+)
+
+// Env fixes the simulated testbed: A100-80GB-class devices and the
+// calibrated driver cost model.
+type Env struct {
+	// Capacity is the per-GPU memory (default 80 GiB, the paper's A100).
+	Capacity int64
+
+	// TotalSteps is the minimum per-run step count. GMLake's stitched-block
+	// cache needs tens of iterations to converge on the more irregular
+	// strategy mixes (paper Figure 14 shows the same warm-up effect), and
+	// the caching allocator's reserved memory needs a similar horizon to
+	// reach its steady-state union of packings.
+	TotalSteps int
+
+	// MaxSteps caps the adaptive warm-up: a run keeps stepping past
+	// TotalSteps until the allocator converges (GMLake: S1-only; caching:
+	// reserved memory stable) or MaxSteps is reached.
+	MaxSteps int
+
+	// MeasureSteps is how many post-convergence steps the throughput is
+	// averaged over.
+	MeasureSteps int
+
+	// Seed drives the workload generators.
+	Seed uint64
+}
+
+// NewEnv returns the default environment.
+func NewEnv() *Env {
+	return &Env{
+		Capacity:     80 * sim.GiB,
+		TotalSteps:   40,
+		MaxSteps:     200,
+		MeasureSteps: 12,
+		Seed:         7,
+	}
+}
+
+// rig is one assembled device + driver + allocator.
+type rig struct {
+	dev    *gpu.Device
+	clock  *sim.Clock
+	driver *cuda.Driver
+	alloc  memalloc.Allocator
+}
+
+func (e *Env) newRig(name string) rig {
+	dev := gpu.NewDevice("sim-a100", e.Capacity)
+	clock := sim.NewClock()
+	driver := cuda.NewDriver(dev, clock, sim.DefaultCostModel())
+	var alloc memalloc.Allocator
+	switch name {
+	case AllocCaching:
+		alloc = caching.New(driver)
+	case AllocCachingTuned:
+		alloc = caching.NewWithConfig(driver, caching.Config{
+			MaxSplitSize: 128 * sim.MiB,
+			GCThreshold:  0.8,
+		})
+	case AllocGMLake:
+		alloc = core.NewDefault(driver)
+	case AllocNative:
+		alloc = memalloc.NewNative(driver)
+	case AllocExpandable:
+		alloc = expandable.New(driver)
+	case AllocCompact:
+		alloc = compact.New(driver)
+	default:
+		panic("harness: unknown allocator " + name)
+	}
+	return rig{dev: dev, clock: clock, driver: driver, alloc: alloc}
+}
+
+// RunResult is one workload × allocator execution.
+type RunResult struct {
+	metrics.Run
+	Spec     workload.Spec
+	Timeline *metrics.Timeline
+	Counters cuda.Counters
+}
+
+// RunOptions tweaks RunWorkload.
+type RunOptions struct {
+	// Timeline attaches per-phase memory sampling.
+	Timeline bool
+	// Steps overrides the environment's step budget (0 = default).
+	Steps int
+}
+
+// RunWorkload executes spec on the named allocator and summarizes it.
+// Out-of-memory — at setup or any step — is reported in the result, not as
+// an error: OOM points are data in Figures 13 and 14.
+func (e *Env) RunWorkload(spec workload.Spec, allocName string, opts RunOptions) RunResult {
+	return e.runOnRig(e.newRig(allocName), spec, allocName, opts)
+}
+
+// runOnRig drives spec on an already-assembled rig (used directly by the
+// ablation runner, which needs custom allocator configurations).
+func (e *Env) runOnRig(r rig, spec workload.Spec, allocName string, opts RunOptions) RunResult {
+	spec.Seed = e.Seed
+	res := RunResult{Spec: spec}
+	res.Allocator = allocName
+
+	tr, err := workload.NewTrainer(spec, r.alloc, r.clock)
+	if err != nil {
+		panic("harness: bad spec: " + err.Error())
+	}
+	var tl *metrics.Timeline
+	if opts.Timeline {
+		tl = &metrics.Timeline{}
+		tr.SetTimeline(tl)
+		res.Timeline = tl
+	}
+
+	minSteps, maxSteps := e.TotalSteps, e.MaxSteps
+	if opts.Steps != 0 {
+		minSteps, maxSteps = opts.Steps, opts.Steps
+	}
+	measure := e.MeasureSteps
+
+	oom := false
+	if err := tr.Setup(); err != nil {
+		oom = true
+	}
+
+	// Warm up adaptively: run at least minSteps, then continue until the
+	// allocator converges or maxSteps.
+	conv := newConvergenceProbe(r.alloc)
+	if !oom {
+		for i := 0; i < maxSteps; i++ {
+			if err := tr.Step(); err != nil {
+				oom = true
+				break
+			}
+			if i+1 >= minSteps && conv.converged() {
+				break
+			}
+		}
+	}
+
+	// Measure throughput over post-warm-up steps.
+	var measStart time.Duration
+	measSamples := 0
+	if !oom {
+		measStart = r.clock.Now()
+		for i := 0; i < measure; i++ {
+			if err := tr.Step(); err != nil {
+				oom = true
+				break
+			}
+			measSamples += spec.Batch * spec.World
+		}
+	}
+	st := r.alloc.Stats()
+	res.PeakActive = st.PeakActive
+	res.PeakReserved = st.PeakReserved
+	res.AllocCount = st.AllocCount
+	res.FreeCount = st.FreeCount
+	res.Steps = tr.Steps()
+	res.OOM = oom
+	if measSamples > 0 && r.clock.Now() > measStart {
+		res.Samples = measSamples
+		res.Elapsed = r.clock.Now() - measStart
+	}
+	tr.Teardown()
+	res.Counters = r.driver.Counters()
+	return res
+}
+
+// Compare runs spec on both the caching baseline and GMLake.
+func (e *Env) Compare(spec workload.Spec, opts RunOptions) (base, gml RunResult) {
+	return e.RunWorkload(spec, AllocCaching, opts), e.RunWorkload(spec, AllocGMLake, opts)
+}
+
+// TraceRun records the allocation request stream of steps training steps of
+// spec on the caching allocator (stream statistics are
+// allocator-independent: the trainer emits the same requests either way).
+func (e *Env) TraceRun(spec workload.Spec, steps int) *trace.Trace {
+	r := e.newRig(AllocCaching)
+	spec.Seed = e.Seed
+	rec := trace.NewRecorder(r.alloc, r.clock)
+	tr, err := workload.NewTrainer(spec, rec, r.clock)
+	if err != nil {
+		panic("harness: bad spec: " + err.Error())
+	}
+	if err := tr.Setup(); err != nil {
+		return rec.Trace()
+	}
+	for i := 0; i < steps; i++ {
+		if err := tr.Step(); err != nil {
+			break
+		}
+	}
+	tr.Teardown()
+	return rec.Trace()
+}
+
+// convergenceProbe detects allocator steady state between training steps.
+type convergenceProbe struct {
+	gml *core.Allocator
+	// lastNonExact is the S2+S3+S4 total at the previous check (GMLake);
+	// lastReserved the reserved bytes (caching/native).
+	lastNonExact int64
+	alloc        memalloc.Allocator
+	lastReserved int64
+	stable       int
+}
+
+func newConvergenceProbe(alloc memalloc.Allocator) *convergenceProbe {
+	p := &convergenceProbe{alloc: alloc}
+	if g, ok := alloc.(*core.Allocator); ok {
+		p.gml = g
+	}
+	return p
+}
+
+// converged reports steady state once the probe's signal has been stable for
+// six consecutive steps: for GMLake no allocation left the S1 exact-match
+// path (the paper's §5.4 convergence), for the baseline no reserved-memory
+// growth. Six steps cover every recurring shape bucket a few times, so a
+// lucky streak of repeated buckets cannot fake convergence.
+func (p *convergenceProbe) converged() bool {
+	var signal int64
+	if p.gml != nil {
+		_, s2, s3, s4 := p.gml.StrategyCounts()
+		signal = s2 + s3 + s4
+		if signal == p.lastNonExact {
+			p.stable++
+		} else {
+			p.stable = 0
+		}
+		p.lastNonExact = signal
+	} else {
+		signal = p.alloc.Stats().PeakReserved
+		if signal == p.lastReserved {
+			p.stable++
+		} else {
+			p.stable = 0
+		}
+		p.lastReserved = signal
+	}
+	return p.stable >= 6
+}
+
+// gb formats bytes as "12.3" gigabytes.
+func gb(n int64) string { return fmt.Sprintf("%.1f", float64(n)/float64(sim.GiB)) }
+
+// pct formats a ratio as "87.3%".
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

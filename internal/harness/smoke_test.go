@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every registered experiment with a tiny step
+// budget, exercising all runner code paths and validating table structure.
+// The full-budget numbers live in results_full.txt / EXPERIMENTS.md.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; minutes of work")
+	}
+	e := NewEnv()
+	e.TotalSteps = 3
+	e.MaxSteps = 6
+	e.MeasureSteps = 2
+
+	for _, id := range Experiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables := e.RunExperiment(id)
+			if len(tables) == 0 {
+				t.Fatalf("experiment %q produced no tables", id)
+			}
+			for _, tbl := range tables {
+				if tbl.ID == "" || tbl.Title == "" {
+					t.Errorf("%s: missing id/title", id)
+				}
+				if len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+					t.Errorf("%s: empty table", tbl.ID)
+				}
+				for i, row := range tbl.Rows {
+					if len(row) != len(tbl.Header) {
+						t.Errorf("%s row %d: %d cells vs %d headers", tbl.ID, i, len(row), len(tbl.Header))
+					}
+					for j, cell := range row {
+						if strings.TrimSpace(cell) == "" {
+							t.Errorf("%s row %d col %d: empty cell", tbl.ID, i, j)
+						}
+					}
+				}
+				var sb strings.Builder
+				tbl.Render(&sb)
+				if !strings.Contains(sb.String(), tbl.ID) {
+					t.Errorf("%s: render missing id", tbl.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestRunAllWritesEverything checks the batch entry point used by
+// cmd/gmlake-bench.
+func TestRunAllWritesEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	e := NewEnv()
+	e.TotalSteps = 2
+	e.MaxSteps = 3
+	e.MeasureSteps = 1
+	var sb strings.Builder
+	e.RunAll(&sb)
+	out := sb.String()
+	for _, id := range Experiments {
+		if !strings.Contains(out, "== "+id) && !strings.Contains(out, "== "+id[:len(id)-1]) {
+			t.Errorf("RunAll output missing experiment %q", id)
+		}
+	}
+}

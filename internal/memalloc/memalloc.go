@@ -1,0 +1,117 @@
+// Package memalloc defines the allocator interface shared by the baseline
+// caching allocator and GMLake, plus the trivial native (cudaMalloc-only)
+// allocator and the statistics all of them report.
+//
+// The interface mirrors what a DL framework's tensor allocator needs:
+// allocate, free, query statistics, and drop caches under memory pressure.
+package memalloc
+
+import (
+	"repro/internal/cuda"
+)
+
+// Buffer is one live tensor allocation. Requested is the tensor's byte size;
+// BlockSize is the (possibly rounded or split) block actually assigned, which
+// is what "active memory" accounts in the paper's utilization metric.
+type Buffer struct {
+	Ptr       cuda.DevicePtr
+	Requested int64
+	BlockSize int64
+
+	// impl is allocator-private block state.
+	impl any
+}
+
+// Impl returns the allocator-private state attached to the buffer; only the
+// owning allocator should interpret it.
+func (b *Buffer) Impl() any { return b.impl }
+
+// SetImpl attaches allocator-private state; for allocator implementations.
+func (b *Buffer) SetImpl(v any) { b.impl = v }
+
+// Allocator is the tensor-facing memory allocator interface.
+type Allocator interface {
+	// Name identifies the allocator in reports ("caching", "gmlake", ...).
+	Name() string
+
+	// Alloc returns a buffer of at least size bytes, or an out-of-memory
+	// error once every fallback (cache flush, defragmentation) failed.
+	Alloc(size int64) (*Buffer, error)
+
+	// Free returns a buffer. Buffers must be freed exactly once.
+	Free(b *Buffer)
+
+	// Stats returns a snapshot of the allocator's accounting.
+	Stats() Stats
+
+	// EmptyCache releases every cached, currently-unused byte back to the
+	// device, like torch.cuda.empty_cache().
+	EmptyCache()
+}
+
+// Stats is the paper's measurement vocabulary (§5.1): active memory is the
+// total of blocks currently assigned to tensors, reserved memory is the
+// total set aside from the device. Utilization = peak active / peak
+// reserved; fragmentation = 1 - utilization.
+type Stats struct {
+	Active       int64 // block bytes currently assigned to tensors
+	Reserved     int64 // bytes currently reserved from the device
+	PeakActive   int64
+	PeakReserved int64
+
+	AllocCount int64 // tensor allocations served
+	FreeCount  int64 // tensor frees served
+}
+
+// Utilization returns peak active / peak reserved, the paper's utilization
+// ratio. A fresh allocator with no traffic reports 1 (no waste).
+func (s Stats) Utilization() float64 {
+	if s.PeakReserved == 0 {
+		return 1
+	}
+	return float64(s.PeakActive) / float64(s.PeakReserved)
+}
+
+// Fragmentation returns 1 - Utilization, the paper's fragmentation ratio.
+func (s Stats) Fragmentation() float64 { return 1 - s.Utilization() }
+
+// Accounting tracks the running statistics; embed it in allocators.
+type Accounting struct {
+	stats Stats
+}
+
+// OnAlloc records a block of blockSize bytes becoming active.
+func (a *Accounting) OnAlloc(blockSize int64) {
+	a.stats.Active += blockSize
+	a.stats.AllocCount++
+	if a.stats.Active > a.stats.PeakActive {
+		a.stats.PeakActive = a.stats.Active
+	}
+}
+
+// OnFree records a block of blockSize bytes becoming inactive.
+func (a *Accounting) OnFree(blockSize int64) {
+	a.stats.Active -= blockSize
+	a.stats.FreeCount++
+}
+
+// OnReserve records bytes reserved from the device.
+func (a *Accounting) OnReserve(bytes int64) {
+	a.stats.Reserved += bytes
+	if a.stats.Reserved > a.stats.PeakReserved {
+		a.stats.PeakReserved = a.stats.Reserved
+	}
+}
+
+// OnRelease records bytes released back to the device.
+func (a *Accounting) OnRelease(bytes int64) { a.stats.Reserved -= bytes }
+
+// Stats returns the current snapshot.
+func (a *Accounting) Stats() Stats { return a.stats }
+
+// ResetPeaks restarts peak tracking from current levels; harnesses call this
+// after warm-up iterations.
+func (a *Accounting) ResetPeaks() {
+	a.stats.PeakActive = a.stats.Active
+	a.stats.PeakReserved = a.stats.Reserved
+}

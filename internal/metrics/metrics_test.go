@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeline(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 10, 20)
+	tl.Record(time.Second, 50, 60)
+	tl.Record(2*time.Second, 30, 60)
+	if tl.Len() != 3 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+	if tl.PeakActive() != 50 || tl.PeakReserved() != 60 {
+		t.Fatalf("peaks %d/%d", tl.PeakActive(), tl.PeakReserved())
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	var tl Timeline
+	tl.Record(1500*time.Millisecond, 1<<20, 2<<20)
+	var sb strings.Builder
+	if err := tl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "seconds,active_bytes,reserved_bytes\n1.500,1048576,2097152\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	r := Run{PeakActive: 75, PeakReserved: 100, Samples: 200, Elapsed: 4 * time.Second}
+	if r.Utilization() != 0.75 {
+		t.Fatalf("Utilization = %v", r.Utilization())
+	}
+	if r.Fragmentation() != 0.25 {
+		t.Fatalf("Fragmentation = %v", r.Fragmentation())
+	}
+	if r.Throughput() != 50 {
+		t.Fatalf("Throughput = %v", r.Throughput())
+	}
+	empty := Run{}
+	if empty.Utilization() != 1 || empty.Throughput() != 0 {
+		t.Fatal("zero-run metrics wrong")
+	}
+}
+
+func TestMemReductionRatio(t *testing.T) {
+	base := []Run{{PeakReserved: 100}, {PeakReserved: 100}}
+	treat := []Run{{PeakReserved: 80}, {PeakReserved: 60}}
+	if got := MemReductionRatio(base, treat); got != 0.3 {
+		t.Fatalf("ratio = %v, want 0.3", got)
+	}
+	// OOM pairs are skipped.
+	base = append(base, Run{PeakReserved: 1000, OOM: true})
+	treat = append(treat, Run{PeakReserved: 10})
+	if got := MemReductionRatio(base, treat); got != 0.3 {
+		t.Fatalf("ratio with OOM pair = %v, want 0.3", got)
+	}
+}
+
+func TestMemReductionRatioMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lists did not panic")
+		}
+	}()
+	MemReductionRatio([]Run{{}}, nil)
+}

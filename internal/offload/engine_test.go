@@ -1,0 +1,85 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+func newTestEngine() (*Engine, *stream.Scheduler, *sim.Clock) {
+	clock := sim.NewClock()
+	sched := stream.NewScheduler(clock)
+	return NewEngine(DefaultPCIe(), sched), sched, clock
+}
+
+func TestCopiesAreAsynchronous(t *testing.T) {
+	e, _, clock := newTestEngine()
+	e.CopyH2D(sim.GiB, true)
+	if clock.Now() != 0 {
+		t.Fatal("CopyH2D blocked the host")
+	}
+	if !e.Busy() {
+		t.Fatal("engine idle with a copy in flight")
+	}
+	e.Synchronize()
+	if clock.Now() != e.Link().H2D(sim.GiB, true) {
+		t.Fatalf("sync at %v, want one transfer time", clock.Now())
+	}
+}
+
+func TestDirectionsOverlap(t *testing.T) {
+	e, _, clock := newTestEngine()
+	e.CopyH2D(sim.GiB, true)
+	e.CopyD2H(sim.GiB, true)
+	e.Synchronize()
+	// Full duplex: both directions run concurrently.
+	if clock.Now() != e.Link().H2D(sim.GiB, true) {
+		t.Fatalf("duplex copies serialized: %v", clock.Now())
+	}
+}
+
+func TestSameDirectionSerializes(t *testing.T) {
+	e, _, clock := newTestEngine()
+	e.CopyH2D(sim.GiB, true)
+	e.CopyH2D(sim.GiB, true)
+	e.Synchronize()
+	if clock.Now() != 2*e.Link().H2D(sim.GiB, true) {
+		t.Fatalf("same-direction copies did not serialize: %v", clock.Now())
+	}
+}
+
+func TestAfterOrdersCopyBehindEvent(t *testing.T) {
+	e, sched, clock := newTestEngine()
+	compute := sched.NewStream()
+	sched.Launch(compute, 100*time.Millisecond)
+	ev := sched.Record(compute)
+
+	e.After(DeviceToHost, ev) // D2H must wait for the producer kernel
+	done := e.CopyD2H(sim.MiB, true)
+	done.Sync(clock)
+	if clock.Now() < 100*time.Millisecond {
+		t.Fatalf("D2H ran before its producer: %v", clock.Now())
+	}
+}
+
+func TestByteAndCopyCounters(t *testing.T) {
+	e, _, _ := newTestEngine()
+	e.CopyH2D(3*sim.MiB, true)
+	e.CopyD2H(5*sim.MiB, false)
+	if e.BytesH2D() != 3*sim.MiB || e.BytesD2H() != 5*sim.MiB {
+		t.Fatalf("byte counters h2d=%d d2h=%d", e.BytesH2D(), e.BytesD2H())
+	}
+	if e.Copies() != 2 {
+		t.Fatalf("Copies = %d, want 2", e.Copies())
+	}
+}
+
+func TestEstimateRoundTrip(t *testing.T) {
+	e, _, _ := newTestEngine()
+	want := e.Link().D2H(sim.GiB, true) + e.Link().H2D(sim.GiB, true)
+	if got := e.EstimateRoundTrip(sim.GiB, true); got != want {
+		t.Fatalf("EstimateRoundTrip = %v, want %v", got, want)
+	}
+}

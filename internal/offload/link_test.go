@@ -1,0 +1,56 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestPinnedBandwidthMath(t *testing.T) {
+	l := DefaultPCIe()
+	// 25 GiB at 25 GiB/s = 1 s + latency.
+	got := l.H2D(25*sim.GiB, true)
+	want := time.Second + l.Latency
+	if got != want {
+		t.Fatalf("H2D(25GiB, pinned) = %v, want %v", got, want)
+	}
+	if d2h := l.D2H(25*sim.GiB, true); d2h != want {
+		t.Fatalf("D2H(25GiB, pinned) = %v, want %v", d2h, want)
+	}
+}
+
+func TestPageableIsSlowerThanPinned(t *testing.T) {
+	l := DefaultPCIe()
+	size := int64(sim.GiB)
+	if l.H2D(size, false) <= l.H2D(size, true) {
+		t.Fatal("pageable H2D not slower than pinned")
+	}
+	if l.D2H(size, false) <= l.D2H(size, true) {
+		t.Fatal("pageable D2H not slower than pinned")
+	}
+}
+
+func TestZeroSizeCostsOnlyLatency(t *testing.T) {
+	l := DefaultPCIe()
+	if got := l.H2D(0, true); got != l.Latency {
+		t.Fatalf("H2D(0) = %v, want %v", got, l.Latency)
+	}
+}
+
+func TestTransferScalesLinearly(t *testing.T) {
+	l := DefaultPCIe()
+	one := l.H2D(sim.GiB, true) - l.Latency
+	four := l.H2D(4*sim.GiB, true) - l.Latency
+	if four != 4*one {
+		t.Fatalf("4 GiB = %v, want 4x 1 GiB (%v)", four, 4*one)
+	}
+}
+
+func TestNVLinkMuchFasterThanPCIe(t *testing.T) {
+	pcie, nvl := DefaultPCIe(), NVLinkC2C()
+	size := int64(10 * sim.GiB)
+	if nvl.H2D(size, true)*10 > pcie.H2D(size, true) {
+		t.Fatal("NVLink-C2C should be >10x faster than PCIe for bulk")
+	}
+}

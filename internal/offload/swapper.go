@@ -1,0 +1,162 @@
+package offload
+
+import (
+	"fmt"
+
+	"repro/internal/memalloc"
+	"repro/internal/stream"
+)
+
+// Handle identifies one tensor currently parked in host memory.
+type Handle int64
+
+// Swapper moves activation tensors between GPU and host memory (the swap
+// half of the paper's "O" strategy). SwapOut parks a tensor on the host and
+// frees its GPU block; SwapIn brings it back into a freshly allocated block.
+// Prefetch starts the return copy early so a later SwapIn finds it complete.
+//
+// Because every swap-in allocates a new block, a swap-heavy workload turns a
+// stable resident set into high-frequency allocate/free traffic — the
+// offload-induced fragmentation the paper measures in Figures 3 and 10.
+type Swapper struct {
+	engine *Engine
+	alloc  memalloc.Allocator
+	pinned bool
+
+	next    Handle
+	parked  map[Handle]*swapEntry
+	host    int64
+	peak    int64
+	outs    int64
+	ins     int64
+	prefhit int64
+}
+
+type swapEntry struct {
+	size int64
+	// prefetched is the GPU buffer a Prefetch already allocated, with the
+	// event marking its H2D completion.
+	prefetched *memalloc.Buffer
+	ready      stream.Event
+}
+
+// NewSwapper returns a swapper that moves data over engine and (re)allocates
+// GPU blocks from alloc.
+func NewSwapper(engine *Engine, alloc memalloc.Allocator, pinned bool) *Swapper {
+	return &Swapper{
+		engine: engine,
+		alloc:  alloc,
+		pinned: pinned,
+		parked: make(map[Handle]*swapEntry),
+	}
+}
+
+// SwapOut enqueues the D2H copy of b, frees b's GPU block (deferred behind
+// the copy when the allocator is stream-aware) and returns a handle for the
+// parked host copy. The host does not block.
+func (s *Swapper) SwapOut(b *memalloc.Buffer) Handle {
+	size := b.Requested
+	ev := s.engine.CopyD2H(size, s.pinned)
+	if rec, ok := s.alloc.(StreamRecorder); ok {
+		rec.RecordStream(b, s.engine.D2HStream())
+		s.alloc.Free(b)
+	} else {
+		ev.Sync(s.engine.Scheduler().Clock())
+		s.alloc.Free(b)
+	}
+
+	s.next++
+	h := s.next
+	s.parked[h] = &swapEntry{size: size}
+	s.host += size
+	if s.host > s.peak {
+		s.peak = s.host
+	}
+	s.outs++
+	return h
+}
+
+// Prefetch allocates the GPU destination and starts the asynchronous H2D
+// copy for h, so a later SwapIn does not wait. Safe to call once per handle;
+// repeated calls are no-ops.
+func (s *Swapper) Prefetch(h Handle) error {
+	e, ok := s.parked[h]
+	if !ok {
+		return fmt.Errorf("offload: prefetch of unknown handle %d", h)
+	}
+	if e.prefetched != nil {
+		return nil
+	}
+	b, err := s.alloc.Alloc(e.size)
+	if err != nil {
+		return fmt.Errorf("offload: prefetch destination: %w", err)
+	}
+	e.prefetched = b
+	e.ready = s.engine.CopyH2D(e.size, s.pinned)
+	return nil
+}
+
+// SwapIn returns the tensor to GPU memory, blocking the host until the data
+// has landed, and releases the host copy. A preceding Prefetch that already
+// completed makes this free.
+func (s *Swapper) SwapIn(h Handle) (*memalloc.Buffer, error) {
+	e, ok := s.parked[h]
+	if !ok {
+		return nil, fmt.Errorf("offload: swap-in of unknown handle %d", h)
+	}
+	clock := s.engine.Scheduler().Clock()
+
+	b := e.prefetched
+	ready := e.ready
+	if b == nil {
+		var err error
+		b, err = s.alloc.Alloc(e.size)
+		if err != nil {
+			return nil, fmt.Errorf("offload: swap-in destination: %w", err)
+		}
+		ready = s.engine.CopyH2D(e.size, s.pinned)
+	} else if ready.Done(clock) {
+		s.prefhit++
+	}
+	ready.Sync(clock)
+
+	delete(s.parked, h)
+	s.host -= e.size
+	s.ins++
+	return b, nil
+}
+
+// Drop discards a parked tensor without bringing it back (e.g. the
+// activation became dead after the backward pass consumed its sibling).
+func (s *Swapper) Drop(h Handle) error {
+	e, ok := s.parked[h]
+	if !ok {
+		return fmt.Errorf("offload: drop of unknown handle %d", h)
+	}
+	if e.prefetched != nil {
+		e.ready.Sync(s.engine.Scheduler().Clock())
+		s.alloc.Free(e.prefetched)
+	}
+	delete(s.parked, h)
+	s.host -= e.size
+	return nil
+}
+
+// HostBytes returns the bytes currently parked in host memory.
+func (s *Swapper) HostBytes() int64 { return s.host }
+
+// PeakHostBytes returns the maximum ever parked at once.
+func (s *Swapper) PeakHostBytes() int64 { return s.peak }
+
+// Parked returns how many tensors are currently on the host.
+func (s *Swapper) Parked() int { return len(s.parked) }
+
+// SwapOuts and SwapIns return the operation counts; PrefetchHits counts
+// swap-ins whose data had already arrived.
+func (s *Swapper) SwapOuts() int64 { return s.outs }
+
+// SwapIns returns how many tensors were brought back to the device.
+func (s *Swapper) SwapIns() int64 { return s.ins }
+
+// PrefetchHits counts swap-ins that found their prefetch already complete.
+func (s *Swapper) PrefetchHits() int64 { return s.prefhit }

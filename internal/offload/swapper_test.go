@@ -1,0 +1,196 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/caching"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+func newSwapperStack(capacity int64, streamAware bool) (*Swapper, *stream.Scheduler, *sim.Clock) {
+	clock := sim.NewClock()
+	sched := stream.NewScheduler(clock)
+	dev := gpu.NewDevice("t", capacity)
+	drv := cuda.NewDriver(dev, clock, sim.DefaultCostModel())
+	engine := NewEngine(DefaultPCIe(), sched)
+	if streamAware {
+		return NewSwapper(engine, stream.NewAllocator(caching.New(drv), sched), true), sched, clock
+	}
+	return NewSwapper(engine, caching.New(drv), true), sched, clock
+}
+
+func TestSwapOutParksAndFrees(t *testing.T) {
+	s, _, _ := newSwapperStack(sim.GiB, false)
+	b, err := s.alloc.Alloc(64 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.SwapOut(b)
+	if s.HostBytes() != 64*sim.MiB {
+		t.Fatalf("host bytes = %d", s.HostBytes())
+	}
+	if s.Parked() != 1 {
+		t.Fatalf("parked = %d", s.Parked())
+	}
+	if got := s.alloc.Stats().Active; got != 0 {
+		t.Fatalf("GPU still holds %d active bytes after swap-out", got)
+	}
+	if _, err := s.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	if s.HostBytes() != 0 || s.Parked() != 0 {
+		t.Fatalf("host copy not released: %d bytes, %d parked", s.HostBytes(), s.Parked())
+	}
+}
+
+func TestSwapRoundTripTiming(t *testing.T) {
+	s, _, clock := newSwapperStack(sim.GiB, false)
+	b, _ := s.alloc.Alloc(250 * sim.MiB)
+	start := clock.Now()
+	h := s.SwapOut(b)
+	if _, err := s.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clock.Now() - start
+	// At least the two transfers; allocator host ops add a little.
+	floor := s.engine.EstimateRoundTrip(250*sim.MiB, true)
+	if elapsed < floor {
+		t.Fatalf("round trip %v under transfer floor %v", elapsed, floor)
+	}
+}
+
+func TestStreamAwareSwapOutDoesNotBlockHost(t *testing.T) {
+	s, _, clock := newSwapperStack(sim.GiB, true)
+	b, _ := s.alloc.Alloc(256 * sim.MiB)
+	before := clock.Now()
+	s.SwapOut(b)
+	// Only host bookkeeping may have advanced the clock — far less than
+	// the ~10 ms the 256 MiB D2H takes.
+	if clock.Now()-before > time.Millisecond {
+		t.Fatalf("SwapOut blocked the host for %v", clock.Now()-before)
+	}
+}
+
+func TestPrefetchMakesSwapInFree(t *testing.T) {
+	s, _, clock := newSwapperStack(sim.GiB, false)
+	b, _ := s.alloc.Alloc(128 * sim.MiB)
+	h := s.SwapOut(b)
+
+	if err := s.Prefetch(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prefetch(h); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second) // plenty for the H2D to land
+
+	before := clock.Now()
+	if _, err := s.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != before {
+		t.Fatalf("prefetched swap-in still waited %v", clock.Now()-before)
+	}
+	if s.PrefetchHits() != 1 {
+		t.Fatalf("PrefetchHits = %d, want 1", s.PrefetchHits())
+	}
+}
+
+func TestSwapInWithoutPrefetchWaits(t *testing.T) {
+	s, _, clock := newSwapperStack(sim.GiB, false)
+	b, _ := s.alloc.Alloc(128 * sim.MiB)
+	h := s.SwapOut(b)
+	before := clock.Now()
+	if _, err := s.SwapIn(h); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now()-before < s.engine.Link().H2D(128*sim.MiB, true) {
+		t.Fatal("unprefetched swap-in did not wait for the copy")
+	}
+	if s.PrefetchHits() != 0 {
+		t.Fatal("phantom prefetch hit")
+	}
+}
+
+func TestDropReleasesHostAndPrefetchedBuffer(t *testing.T) {
+	s, _, _ := newSwapperStack(sim.GiB, false)
+	b, _ := s.alloc.Alloc(32 * sim.MiB)
+	h := s.SwapOut(b)
+	if err := s.Prefetch(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop(h); err != nil {
+		t.Fatal(err)
+	}
+	if s.HostBytes() != 0 || s.Parked() != 0 {
+		t.Fatal("Drop left host state behind")
+	}
+	if got := s.alloc.Stats().Active; got != 0 {
+		t.Fatalf("Drop leaked %d GPU bytes", got)
+	}
+}
+
+func TestUnknownHandleErrors(t *testing.T) {
+	s, _, _ := newSwapperStack(sim.GiB, false)
+	if _, err := s.SwapIn(Handle(99)); err == nil {
+		t.Fatal("SwapIn of unknown handle succeeded")
+	}
+	if err := s.Prefetch(Handle(99)); err == nil {
+		t.Fatal("Prefetch of unknown handle succeeded")
+	}
+	if err := s.Drop(Handle(99)); err == nil {
+		t.Fatal("Drop of unknown handle succeeded")
+	}
+}
+
+func TestPeakHostBytesAndCounters(t *testing.T) {
+	s, _, _ := newSwapperStack(sim.GiB, false)
+	b1, _ := s.alloc.Alloc(10 * sim.MiB)
+	b2, _ := s.alloc.Alloc(20 * sim.MiB)
+	h1, h2 := s.SwapOut(b1), s.SwapOut(b2)
+	if s.PeakHostBytes() != 30*sim.MiB {
+		t.Fatalf("peak = %d", s.PeakHostBytes())
+	}
+	if _, err := s.SwapIn(h1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SwapIn(h2); err != nil {
+		t.Fatal(err)
+	}
+	if s.SwapOuts() != 2 || s.SwapIns() != 2 {
+		t.Fatalf("counters out=%d in=%d", s.SwapOuts(), s.SwapIns())
+	}
+	if s.PeakHostBytes() != 30*sim.MiB {
+		t.Fatal("peak must not decay")
+	}
+}
+
+func TestSwapManyCyclesNoLeak(t *testing.T) {
+	s, _, _ := newSwapperStack(sim.GiB, true)
+	for i := 0; i < 50; i++ {
+		b, err := s.alloc.Alloc(16 * sim.MiB)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		h := s.SwapOut(b)
+		if err := s.Prefetch(h); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		back, err := s.SwapIn(h)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		s.alloc.Free(back)
+	}
+	s.engine.Synchronize()
+	if sa, ok := s.alloc.(*stream.Allocator); ok {
+		sa.ProcessEvents()
+	}
+	if got := s.alloc.Stats().Active; got != 0 {
+		t.Fatalf("leaked %d bytes over swap cycles", got)
+	}
+}

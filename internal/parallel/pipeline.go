@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Schedule selects the pipeline-parallel execution order.
+type Schedule int
+
+// Pipeline schedules.
+const (
+	// GPipe runs all microbatch forwards, then all backwards; every stage
+	// buffers every microbatch's activations at the flush point.
+	GPipe Schedule = iota
+	// OneFOneB interleaves one forward with one backward after warm-up,
+	// bounding stage s's buffered microbatches to (stages − s).
+	OneFOneB
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case GPipe:
+		return "GPipe"
+	case OneFOneB:
+		return "1F1B"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// PipelineConfig describes one pipeline-parallel setup.
+type PipelineConfig struct {
+	Stages       int
+	MicroBatches int
+	Schedule     Schedule
+}
+
+// Validate checks the configuration.
+func (c PipelineConfig) Validate() error {
+	if c.Stages <= 0 {
+		return fmt.Errorf("parallel: %d pipeline stages", c.Stages)
+	}
+	if c.MicroBatches <= 0 {
+		return fmt.Errorf("parallel: %d microbatches", c.MicroBatches)
+	}
+	if c.Schedule != GPipe && c.Schedule != OneFOneB {
+		return fmt.Errorf("parallel: unknown schedule %v", c.Schedule)
+	}
+	return nil
+}
+
+// BubbleFraction returns the idle fraction of the pipeline,
+// (S−1)/(M+S−1) for both schedules.
+func (c PipelineConfig) BubbleFraction() float64 {
+	return float64(c.Stages-1) / float64(c.MicroBatches+c.Stages-1)
+}
+
+// PeakMicrobatchesInFlight returns how many microbatches' activations stage
+// (0-based) holds at its worst moment.
+func (c PipelineConfig) PeakMicrobatchesInFlight(stage int) int {
+	if stage < 0 || stage >= c.Stages {
+		panic(fmt.Sprintf("parallel: stage %d of %d", stage, c.Stages))
+	}
+	switch c.Schedule {
+	case OneFOneB:
+		// Warm-up depth: earlier stages run ahead by the distance to the
+		// last stage, bounded by the microbatch count.
+		if inflight := c.Stages - stage; inflight < c.MicroBatches {
+			return inflight
+		}
+		return c.MicroBatches
+	default: // GPipe buffers everything until the flush
+		return c.MicroBatches
+	}
+}
+
+// StageActivationBytes returns stage's peak buffered activation bytes given
+// the per-microbatch activation footprint of that stage's layers.
+func (c PipelineConfig) StageActivationBytes(stage int, perMicrobatch int64) int64 {
+	return int64(c.PeakMicrobatchesInFlight(stage)) * perMicrobatch
+}
+
+// StepTime returns one training step's duration given per-microbatch
+// forward and backward times of one stage (assumed balanced). Both
+// schedules complete in (M + S − 1) slots of (fwd+bwd); 1F1B's benefit is
+// memory, not time.
+func (c PipelineConfig) StepTime(fwd, bwd time.Duration) time.Duration {
+	slots := time.Duration(c.MicroBatches + c.Stages - 1)
+	return slots * (fwd + bwd)
+}
+
+// PartitionLayers splits n layers into the pipeline's stages as evenly as
+// possible (earlier stages take the remainder, Megatron's convention).
+// The result holds each stage's layer count and sums to n.
+func (c PipelineConfig) PartitionLayers(n int) ([]int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if n < c.Stages {
+		return nil, fmt.Errorf("parallel: %d layers across %d stages", n, c.Stages)
+	}
+	per, rem := n/c.Stages, n%c.Stages
+	out := make([]int, c.Stages)
+	for i := range out {
+		out[i] = per
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package parallel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipelineValidate(t *testing.T) {
+	good := PipelineConfig{Stages: 4, MicroBatches: 16, Schedule: OneFOneB}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []PipelineConfig{
+		{Stages: 0, MicroBatches: 4},
+		{Stages: 4, MicroBatches: 0},
+		{Stages: 4, MicroBatches: 4, Schedule: Schedule(9)},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestScheduleStrings(t *testing.T) {
+	if GPipe.String() != "GPipe" || OneFOneB.String() != "1F1B" {
+		t.Fatalf("%v %v", GPipe, OneFOneB)
+	}
+	if Schedule(5).String() != "Schedule(5)" {
+		t.Fatalf("%v", Schedule(5))
+	}
+}
+
+func TestBubbleFraction(t *testing.T) {
+	c := PipelineConfig{Stages: 4, MicroBatches: 12}
+	if got, want := c.BubbleFraction(), 3.0/15.0; got != want {
+		t.Fatalf("bubble = %v, want %v", got, want)
+	}
+	single := PipelineConfig{Stages: 1, MicroBatches: 8}
+	if single.BubbleFraction() != 0 {
+		t.Fatal("single stage has no bubble")
+	}
+}
+
+func TestGPipeBuffersAllMicrobatches(t *testing.T) {
+	c := PipelineConfig{Stages: 4, MicroBatches: 16, Schedule: GPipe}
+	for s := 0; s < 4; s++ {
+		if got := c.PeakMicrobatchesInFlight(s); got != 16 {
+			t.Fatalf("stage %d in-flight = %d, want 16", s, got)
+		}
+	}
+}
+
+func TestOneFOneBBoundsInFlight(t *testing.T) {
+	c := PipelineConfig{Stages: 4, MicroBatches: 16, Schedule: OneFOneB}
+	want := []int{4, 3, 2, 1}
+	for s, w := range want {
+		if got := c.PeakMicrobatchesInFlight(s); got != w {
+			t.Fatalf("stage %d in-flight = %d, want %d", s, got, w)
+		}
+	}
+}
+
+func TestOneFOneBClampsToMicrobatchCount(t *testing.T) {
+	c := PipelineConfig{Stages: 8, MicroBatches: 2, Schedule: OneFOneB}
+	if got := c.PeakMicrobatchesInFlight(0); got != 2 {
+		t.Fatalf("in-flight %d with only 2 microbatches", got)
+	}
+}
+
+func TestPeakInFlightPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad stage index")
+		}
+	}()
+	PipelineConfig{Stages: 2, MicroBatches: 2}.PeakMicrobatchesInFlight(2)
+}
+
+func TestStageActivationBytes(t *testing.T) {
+	c := PipelineConfig{Stages: 2, MicroBatches: 8, Schedule: GPipe}
+	if got := c.StageActivationBytes(0, 100); got != 800 {
+		t.Fatalf("got %d, want 800", got)
+	}
+}
+
+func TestStepTime(t *testing.T) {
+	c := PipelineConfig{Stages: 4, MicroBatches: 12, Schedule: OneFOneB}
+	got := c.StepTime(time.Millisecond, 2*time.Millisecond)
+	if want := 15 * 3 * time.Millisecond; got != want {
+		t.Fatalf("step = %v, want %v", got, want)
+	}
+}
+
+func TestPartitionLayers(t *testing.T) {
+	c := PipelineConfig{Stages: 4, MicroBatches: 4, Schedule: GPipe}
+	parts, err := c.PartitionLayers(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 3, 2, 2}
+	sum := 0
+	for i, p := range parts {
+		if p != want[i] {
+			t.Fatalf("partition = %v, want %v", parts, want)
+		}
+		sum += p
+	}
+	if sum != 10 {
+		t.Fatalf("partition sums to %d", sum)
+	}
+	if _, err := c.PartitionLayers(3); err == nil {
+		t.Fatal("3 layers across 4 stages accepted")
+	}
+}
+
+// Property: 1F1B never buffers more than GPipe anywhere, both partition
+// sums are exact, and in-flight counts are within [1, MicroBatches].
+func TestScheduleMemoryProperty(t *testing.T) {
+	prop := func(stagesRaw, microRaw uint8) bool {
+		stages := int(stagesRaw)%15 + 1
+		micro := int(microRaw)%63 + 1
+		g := PipelineConfig{Stages: stages, MicroBatches: micro, Schedule: GPipe}
+		o := PipelineConfig{Stages: stages, MicroBatches: micro, Schedule: OneFOneB}
+		for s := 0; s < stages; s++ {
+			gi, oi := g.PeakMicrobatchesInFlight(s), o.PeakMicrobatchesInFlight(s)
+			if oi > gi || oi < 1 || gi > micro {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Topology is a 3D parallel decomposition: DP data-parallel replicas (the
+// ZeRO group), TP tensor-parallel ranks within a layer, PP pipeline stages.
+type Topology struct {
+	DP int
+	TP int
+	PP int
+}
+
+// World returns the total GPU count, DP·TP·PP.
+func (t Topology) World() int { return t.DP * t.TP * t.PP }
+
+// String renders "dp4·tp2·pp2".
+func (t Topology) String() string { return fmt.Sprintf("dp%d·tp%d·pp%d", t.DP, t.TP, t.PP) }
+
+// Validate checks the topology against the model.
+func (t Topology) Validate(cfg model.Config) error {
+	if t.DP <= 0 || t.TP <= 0 || t.PP <= 0 {
+		return fmt.Errorf("parallel: degenerate topology %s", t)
+	}
+	if err := (TPConfig{Degree: t.TP}).Validate(cfg); err != nil {
+		return err
+	}
+	if cfg.Layers < t.PP {
+		return fmt.Errorf("parallel: %d layers across %d pipeline stages", cfg.Layers, t.PP)
+	}
+	return nil
+}
+
+// RankDemand is the memory one rank must provide.
+type RankDemand struct {
+	Stage       int // pipeline stage this rank sits in
+	Layers      int // transformer layers held
+	State       StateBreakdown
+	Activations int64 // peak buffered activation bytes
+}
+
+// Total returns the rank's total demand in bytes.
+func (d RankDemand) Total() int64 { return d.State.Total() + d.Activations }
+
+// MemoryPlan is the per-stage memory demand of one topology. Ranks within a
+// stage are symmetric, so one RankDemand per pipeline stage suffices.
+type MemoryPlan struct {
+	Topology Topology
+	Stages   []RankDemand
+}
+
+// MaxRankBytes returns the worst rank's demand — what the smallest GPU in
+// the job must fit.
+func (p MemoryPlan) MaxRankBytes() int64 {
+	var maxTotal int64
+	for _, d := range p.Stages {
+		if t := d.Total(); t > maxTotal {
+			maxTotal = t
+		}
+	}
+	return maxTotal
+}
+
+// PlanMemory computes the per-rank memory demand of training cfg under the
+// topology: parameters are first cut by TP and the stage's layer share, then
+// the ZeRO stage shards state across the DP group; activations follow the
+// pipeline schedule's in-flight bound and TP's interior sharding.
+// microBatch is the per-microbatch sample count (pipeline granularity).
+func PlanMemory(cfg model.Config, topo Topology, zero ZeROStage, sched Schedule, microBatch, seq int) (MemoryPlan, error) {
+	if err := topo.Validate(cfg); err != nil {
+		return MemoryPlan{}, err
+	}
+	if microBatch <= 0 {
+		return MemoryPlan{}, fmt.Errorf("parallel: microbatch %d", microBatch)
+	}
+	if seq <= 0 {
+		seq = cfg.SeqLen
+	}
+
+	pipe := PipelineConfig{
+		Stages: topo.PP,
+		// Standard sizing: enough microbatches to keep the bubble small.
+		MicroBatches: 4 * topo.PP,
+		Schedule:     sched,
+	}
+	layersPerStage, err := pipe.PartitionLayers(cfg.Layers)
+	if err != nil {
+		return MemoryPlan{}, err
+	}
+
+	tp := TPConfig{Degree: topo.TP}
+	shard, err := tp.ShardLayer(cfg)
+	if err != nil {
+		return MemoryPlan{}, err
+	}
+	layerParamsPerRank := shard.Bytes() / model.DTypeBytes
+	actPerLayer := tp.ActivationBytes(cfg, microBatch, seq)
+
+	plan := MemoryPlan{Topology: topo, Stages: make([]RankDemand, topo.PP)}
+	for s := 0; s < topo.PP; s++ {
+		params := layerParamsPerRank * int64(layersPerStage[s])
+		if s == 0 || s == topo.PP-1 {
+			// Embeddings sit on the first stage; the tied LM head and
+			// final norm on the last (both TP-sharded column-wise).
+			params += cfg.EmbeddingParams() / int64(topo.TP)
+		}
+		state, err := ZeROState(params, topo.DP, zero)
+		if err != nil {
+			return MemoryPlan{}, err
+		}
+		plan.Stages[s] = RankDemand{
+			Stage:       s,
+			Layers:      layersPerStage[s],
+			State:       state,
+			Activations: pipe.StageActivationBytes(s, actPerLayer*int64(layersPerStage[s])),
+		}
+	}
+	return plan, nil
+}
+
+// Fits reports whether every rank of the plan fits a device of capacity
+// bytes, leaving headroom fraction (e.g. 0.1 keeps 10% free for transients).
+func (p MemoryPlan) Fits(capacity int64, headroom float64) bool {
+	budget := int64(float64(capacity) * (1 - headroom))
+	return p.MaxRankBytes() <= budget
+}

@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestTopologyWorldAndString(t *testing.T) {
+	topo := Topology{DP: 4, TP: 2, PP: 2}
+	if topo.World() != 16 {
+		t.Fatalf("world = %d", topo.World())
+	}
+	if topo.String() != "dp4·tp2·pp2" {
+		t.Fatalf("String = %q", topo.String())
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{DP: 2, TP: 2, PP: 2}).Validate(model.OPT13B); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Topology{
+		{DP: 0, TP: 1, PP: 1},
+		{DP: 1, TP: 3, PP: 1},  // 3 does not divide 40 heads
+		{DP: 1, TP: 1, PP: 64}, // more stages than layers
+	} {
+		if err := bad.Validate(model.OPT13B); err == nil {
+			t.Fatalf("accepted %s", bad)
+		}
+	}
+}
+
+func TestPlanMemorySingleRankMatchesZeRO(t *testing.T) {
+	topo := Topology{DP: 1, TP: 1, PP: 1}
+	plan, err := PlanMemory(model.OPT13B, topo, Stage0, OneFOneB, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 1 {
+		t.Fatalf("%d stages", len(plan.Stages))
+	}
+	wantState, _ := ZeROState(model.OPT13B.Params(), 1, Stage0)
+	if got := plan.Stages[0].State.Total(); got != wantState.Total() {
+		t.Fatalf("state %d ≠ full-model ZeRO0 %d", got, wantState.Total())
+	}
+	if plan.Stages[0].Layers != model.OPT13B.Layers {
+		t.Fatalf("layers = %d", plan.Stages[0].Layers)
+	}
+}
+
+func TestPlanMemoryShardsWithTopology(t *testing.T) {
+	single, err := PlanMemory(model.OPT13B, Topology{DP: 1, TP: 1, PP: 1}, Stage0, OneFOneB, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := PlanMemory(model.OPT13B, Topology{DP: 4, TP: 2, PP: 2}, Stage3, OneFOneB, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.MaxRankBytes()*4 > single.MaxRankBytes() {
+		t.Fatalf("16-way 3D parallel rank %s not well below single rank %s",
+			sim.FormatBytes(sharded.MaxRankBytes()), sim.FormatBytes(single.MaxRankBytes()))
+	}
+}
+
+func TestPlanMemoryEdgeStagesCarryEmbeddings(t *testing.T) {
+	plan, err := PlanMemory(model.OPT13B, Topology{DP: 1, TP: 1, PP: 4}, Stage0, GPipe, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All stages hold 10 layers each here; first and last add embeddings.
+	if plan.Stages[0].State.Params <= plan.Stages[1].State.Params {
+		t.Fatal("first stage should carry embedding parameters")
+	}
+	if plan.Stages[3].State.Params <= plan.Stages[1].State.Params {
+		t.Fatal("last stage should carry LM-head parameters")
+	}
+}
+
+func TestPlanMemoryGPipeCostsMoreActivationsThan1F1B(t *testing.T) {
+	topo := Topology{DP: 1, TP: 1, PP: 4}
+	g, err := PlanMemory(model.OPT13B, topo, Stage0, GPipe, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := PlanMemory(model.OPT13B, topo, Stage0, OneFOneB, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stages[0].Activations <= o.Stages[0].Activations {
+		t.Fatalf("GPipe %d ≤ 1F1B %d on stage 0 activations",
+			g.Stages[0].Activations, o.Stages[0].Activations)
+	}
+}
+
+func TestPlanMemoryValidation(t *testing.T) {
+	if _, err := PlanMemory(model.OPT13B, Topology{DP: 1, TP: 3, PP: 1}, Stage0, GPipe, 4, 0); err == nil {
+		t.Fatal("invalid TP degree accepted")
+	}
+	if _, err := PlanMemory(model.OPT13B, Topology{DP: 1, TP: 1, PP: 1}, Stage0, GPipe, 0, 0); err == nil {
+		t.Fatal("zero microbatch accepted")
+	}
+}
+
+func TestFits(t *testing.T) {
+	plan, err := PlanMemory(model.OPT13B, Topology{DP: 4, TP: 2, PP: 2}, Stage3, OneFOneB, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Fits(80*sim.GiB, 0.1) {
+		t.Fatalf("13B across 16 GPUs needs %s and should fit 72 GiB budget",
+			sim.FormatBytes(plan.MaxRankBytes()))
+	}
+	if plan.Fits(plan.MaxRankBytes(), 0.5) {
+		t.Fatal("plan fits a budget half its own demand")
+	}
+}
+
+func TestPlanMemoryLayerCoverage(t *testing.T) {
+	for _, pp := range []int{1, 2, 4} {
+		plan, err := PlanMemory(model.GPTNeoX20B, Topology{DP: 1, TP: 1, PP: pp}, Stage0, GPipe, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, s := range plan.Stages {
+			total += s.Layers
+		}
+		if total != model.GPTNeoX20B.Layers {
+			t.Fatalf("pp=%d covers %d layers, want %d", pp, total, model.GPTNeoX20B.Layers)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package plot renders small ASCII charts for the figures whose shape is
+// easier to see as a curve than a table: memory-trace timelines (Figures 5
+// and 14) and the Figure 6 latency sweep.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points. X values must be ascending.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a multi-series ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 18)
+	Series []Series
+	LogY   bool
+}
+
+// markers label the series, in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 18
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) || xmax == xmin {
+		fmt.Fprintf(w, "%s\n (no data)\n", c.Title)
+		return
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", c.Title)
+	yTop, yBot := ymax, ymin
+	if c.LogY {
+		yTop, yBot = math.Pow(10, ymax), math.Pow(10, ymin)
+	}
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", yTop)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", yBot)
+		case height / 2:
+			mid := (ymax + ymin) / 2
+			if c.LogY {
+				mid = math.Pow(10, mid)
+			}
+			label = fmt.Sprintf("%9.3g ", mid)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s%-*.4g%*.4g\n", strings.Repeat(" ", 11), width/2, xmin, width/2, xmax)
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "   x: %s   y: %s   [%s]\n\n", c.XLabel, c.YLabel, strings.Join(legend, ", "))
+}

@@ -1,0 +1,72 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+	}
+	var sb strings.Builder
+	c.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "+=b") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	var sb strings.Builder
+	c.Render(&sb)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	c := Chart{
+		Title: "log",
+		LogY:  true,
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 10, 100}},
+		},
+	}
+	var sb strings.Builder
+	c.Render(&sb)
+	if !strings.Contains(sb.String(), "100") {
+		t.Fatal("log chart should label the top decade")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := Chart{Title: "one", Series: []Series{{Name: "a", X: []float64{5}, Y: []float64{5}}}}
+	var sb strings.Builder
+	c.Render(&sb) // must not panic or divide by zero
+	if sb.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestChartConstantY(t *testing.T) {
+	c := Chart{Title: "flat", Series: []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{7, 7}}}}
+	var sb strings.Builder
+	c.Render(&sb)
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("flat series not drawn")
+	}
+}

@@ -1,0 +1,227 @@
+// Package recompute plans activation checkpointing (the paper's "R"
+// strategy, §2.3): which transformer layers keep their activations and which
+// are recomputed during the backward pass.
+//
+// The planner works over a per-layer cost model — activation bytes,
+// checkpoint (layer-input) bytes and forward time — and evaluates a plan to
+// its peak activation memory and extra recompute time. Besides the classic
+// schedules (uniform segments, Chen et al.'s √N rule) it offers
+// PlanForBudget, which finds the cheapest segmentation whose peak fits a
+// byte budget; the harness uses it to show how checkpointing converts a
+// memory problem into the small-and-frequent allocation pattern that
+// fragments the baseline allocator (Figure 5).
+package recompute
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// LayerCost prices one layer for the planner.
+type LayerCost struct {
+	// Activation is the byte size of everything the layer must keep for
+	// its backward pass when not checkpointed.
+	Activation int64
+	// Checkpoint is the byte size of the layer's input, the only tensor a
+	// checkpointed segment starting at this layer retains.
+	Checkpoint int64
+	// Forward is the layer's forward compute time, paid again when the
+	// layer is recomputed.
+	Forward time.Duration
+}
+
+// Model is the sequence of layers to plan over.
+type Model struct {
+	Layers []LayerCost
+}
+
+// Plan is a checkpointing decision: either "store everything" or a
+// partition of the layers into contiguous segments, each of which stores
+// only its input and recomputes its body during backward.
+type Plan struct {
+	// Recompute selects checkpointing; false stores all activations.
+	Recompute bool
+	// Starts holds the first layer index of every segment, ascending,
+	// beginning with 0. Only meaningful when Recompute is true.
+	Starts []int
+}
+
+// Segments returns the number of segments; zero for a store-all plan.
+func (p Plan) Segments() int {
+	if !p.Recompute {
+		return 0
+	}
+	return len(p.Starts)
+}
+
+// Validate checks the plan against a model of n layers.
+func (p Plan) Validate(n int) error {
+	if !p.Recompute {
+		return nil
+	}
+	if len(p.Starts) == 0 {
+		return fmt.Errorf("recompute: checkpointing plan with no segments")
+	}
+	if p.Starts[0] != 0 {
+		return fmt.Errorf("recompute: first segment starts at %d, want 0", p.Starts[0])
+	}
+	for i := 1; i < len(p.Starts); i++ {
+		if p.Starts[i] <= p.Starts[i-1] {
+			return fmt.Errorf("recompute: segment starts not ascending at %d", i)
+		}
+	}
+	if last := p.Starts[len(p.Starts)-1]; last >= n {
+		return fmt.Errorf("recompute: segment start %d beyond %d layers", last, n)
+	}
+	return nil
+}
+
+// Report is the evaluated cost of a plan.
+type Report struct {
+	// PeakBytes is the peak activation memory: all segment checkpoints
+	// plus the fully materialized activations of the largest segment
+	// (segments are recomputed one at a time during backward).
+	PeakBytes int64
+	// StoredBytes is what stays resident across the whole forward pass.
+	StoredBytes int64
+	// ExtraTime is the recomputation time added to the backward pass.
+	ExtraTime time.Duration
+	// Segments echoes the plan's segment count.
+	Segments int
+}
+
+// NoRecompute returns the store-everything plan.
+func NoRecompute() Plan { return Plan{} }
+
+// Uniform returns a plan with segments of segLen layers (the last may be
+// shorter).
+func Uniform(n, segLen int) (Plan, error) {
+	if n <= 0 {
+		return Plan{}, fmt.Errorf("recompute: %d layers", n)
+	}
+	if segLen <= 0 {
+		return Plan{}, fmt.Errorf("recompute: segment length %d", segLen)
+	}
+	var starts []int
+	for s := 0; s < n; s += segLen {
+		starts = append(starts, s)
+	}
+	return Plan{Recompute: true, Starts: starts}, nil
+}
+
+// SqrtN returns the classic √N schedule: segment length ⌈√n⌉, which for
+// uniform layers keeps O(√n) activations at O(1) extra forward passes.
+func SqrtN(n int) (Plan, error) {
+	if n <= 0 {
+		return Plan{}, fmt.Errorf("recompute: %d layers", n)
+	}
+	return Uniform(n, int(math.Ceil(math.Sqrt(float64(n)))))
+}
+
+// Evaluate prices plan p over model m. It panics on an invalid plan;
+// validate first when the plan is untrusted.
+func (m Model) Evaluate(p Plan) Report {
+	if err := p.Validate(len(m.Layers)); err != nil {
+		panic(err)
+	}
+	if !p.Recompute {
+		var total int64
+		for _, l := range m.Layers {
+			total += l.Activation
+		}
+		return Report{PeakBytes: total, StoredBytes: total}
+	}
+
+	var stored int64        // all checkpoints
+	var maxSeg int64        // largest segment's materialized activations
+	var extra time.Duration // one recomputed forward per segment body
+	for i, start := range p.Starts {
+		end := len(m.Layers)
+		if i+1 < len(p.Starts) {
+			end = p.Starts[i+1]
+		}
+		stored += m.Layers[start].Checkpoint
+		var seg int64
+		for _, l := range m.Layers[start:end] {
+			seg += l.Activation
+			extra += l.Forward
+		}
+		if seg > maxSeg {
+			maxSeg = seg
+		}
+	}
+	return Report{
+		PeakBytes:   stored + maxSeg,
+		StoredBytes: stored,
+		ExtraTime:   extra,
+		Segments:    len(p.Starts),
+	}
+}
+
+// PlanForBudget returns the plan with the fewest segments (hence the least
+// bookkeeping and the least pool churn) whose peak activation memory fits
+// budget. It prefers no recomputation when everything fits; it returns an
+// error when even per-layer checkpointing overflows the budget.
+//
+// Segmentation uses a greedy pack under a binary-searched per-segment cap,
+// which is optimal for the peak = checkpoints + max-segment objective on
+// contiguous partitions.
+func (m Model) PlanForBudget(budget int64) (Plan, error) {
+	if len(m.Layers) == 0 {
+		return Plan{}, fmt.Errorf("recompute: empty model")
+	}
+	if all := m.Evaluate(NoRecompute()); all.PeakBytes <= budget {
+		return NoRecompute(), nil
+	}
+
+	// Feasibility floor: one segment per layer.
+	finest, err := Uniform(len(m.Layers), 1)
+	if err != nil {
+		return Plan{}, err
+	}
+	if m.Evaluate(finest).PeakBytes > budget {
+		return Plan{}, fmt.Errorf("recompute: budget %d bytes infeasible even with per-layer checkpoints (need %d)",
+			budget, m.Evaluate(finest).PeakBytes)
+	}
+
+	// Binary search the largest per-segment activation cap that still
+	// meets the budget; larger caps mean fewer segments.
+	lo, hi := int64(0), int64(0)
+	for _, l := range m.Layers {
+		if l.Activation > lo {
+			lo = l.Activation // cap below the largest layer packs nothing
+		}
+		hi += l.Activation
+	}
+	best := finest
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		plan, ok := m.packWithCap(mid)
+		if ok && m.Evaluate(plan).PeakBytes <= budget {
+			best = plan
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best, nil
+}
+
+// packWithCap greedily packs layers into segments whose activation sum stays
+// at or below cap. ok is false when a single layer exceeds the cap.
+func (m Model) packWithCap(cap int64) (Plan, bool) {
+	var starts []int
+	var run int64
+	for i, l := range m.Layers {
+		if l.Activation > cap {
+			return Plan{}, false
+		}
+		if i == 0 || run+l.Activation > cap {
+			starts = append(starts, i)
+			run = 0
+		}
+		run += l.Activation
+	}
+	return Plan{Recompute: true, Starts: starts}, true
+}

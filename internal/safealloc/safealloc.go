@@ -1,0 +1,72 @@
+// Package safealloc makes any memalloc.Allocator safe for concurrent use.
+//
+// The real PyTorch caching allocator is called from arbitrary host threads
+// and serializes on a per-device mutex; GMLake inherits that locking. The
+// simulation's allocators are single-threaded by design (they share a
+// virtual clock), so this wrapper restores the thread-safety contract for
+// users embedding the library in concurrent programs, and its tests pin the
+// wrapper under -race.
+package safealloc
+
+import (
+	"sync"
+
+	"repro/internal/memalloc"
+)
+
+// Allocator serializes every operation of the wrapped allocator behind one
+// mutex, PyTorch's per-device locking discipline.
+type Allocator struct {
+	mu    sync.Mutex
+	inner memalloc.Allocator
+}
+
+// New wraps inner.
+func New(inner memalloc.Allocator) *Allocator { return &Allocator{inner: inner} }
+
+// Inner returns the wrapped allocator. Callers must not use it concurrently
+// with the wrapper.
+func (a *Allocator) Inner() memalloc.Allocator { return a.inner }
+
+// Name implements memalloc.Allocator.
+func (a *Allocator) Name() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inner.Name()
+}
+
+// Alloc implements memalloc.Allocator.
+func (a *Allocator) Alloc(size int64) (*memalloc.Buffer, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inner.Alloc(size)
+}
+
+// Free implements memalloc.Allocator.
+func (a *Allocator) Free(b *memalloc.Buffer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inner.Free(b)
+}
+
+// Stats implements memalloc.Allocator.
+func (a *Allocator) Stats() memalloc.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inner.Stats()
+}
+
+// EmptyCache implements memalloc.Allocator.
+func (a *Allocator) EmptyCache() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inner.EmptyCache()
+}
+
+// Do runs fn with the lock held, for multi-call sequences that must observe
+// a consistent allocator state (e.g. capture stats then free).
+func (a *Allocator) Do(fn func(inner memalloc.Allocator)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fn(a.inner)
+}

@@ -1,0 +1,142 @@
+package safealloc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/caching"
+	"repro/internal/core"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+func newInner(capacity int64, gmlake bool) memalloc.Allocator {
+	drv := cuda.NewDriver(gpu.NewDevice("t", capacity), sim.NewClock(), sim.DefaultCostModel())
+	if gmlake {
+		return core.NewDefault(drv)
+	}
+	return caching.New(drv)
+}
+
+func TestPassThrough(t *testing.T) {
+	a := New(newInner(sim.GiB, false))
+	if a.Name() != "caching" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	b, err := a.Alloc(4 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().Active; got != b.BlockSize {
+		t.Fatalf("active = %d", got)
+	}
+	a.Free(b)
+	a.EmptyCache()
+	if got := a.Stats().Reserved; got != 0 {
+		t.Fatalf("reserved = %d after EmptyCache", got)
+	}
+	if a.Inner() == nil {
+		t.Fatal("Inner is nil")
+	}
+}
+
+func TestDoHoldsConsistentState(t *testing.T) {
+	a := New(newInner(sim.GiB, false))
+	b, _ := a.Alloc(8 * sim.MiB)
+	var active int64
+	a.Do(func(inner memalloc.Allocator) {
+		active = inner.Stats().Active
+	})
+	if active != b.BlockSize {
+		t.Fatalf("Do observed %d", active)
+	}
+	a.Free(b)
+}
+
+// stress runs allocate/free churn across goroutines; under -race this pins
+// the wrapper's mutual exclusion.
+func stress(t *testing.T, a *Allocator) {
+	t.Helper()
+	const workers, rounds = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := sim.NewRNG(seed + 1)
+			live := make([]*memalloc.Buffer, 0, 16)
+			for i := 0; i < rounds; i++ {
+				if len(live) > 0 && rng.Intn(2) == 0 {
+					k := rng.Intn(len(live))
+					a.Free(live[k])
+					live = append(live[:k], live[k+1:]...)
+					continue
+				}
+				size := int64(rng.Intn(8)+1) * 2 * sim.MiB
+				b, err := a.Alloc(size)
+				if err != nil {
+					continue // transient pressure is fine
+				}
+				live = append(live, b)
+			}
+			for _, b := range live {
+				a.Free(b)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if got := a.Stats().Active; got != 0 {
+		t.Fatalf("leaked %d bytes after concurrent churn", got)
+	}
+}
+
+func TestConcurrentChurnCaching(t *testing.T) {
+	stress(t, New(newInner(4*sim.GiB, false)))
+}
+
+func TestConcurrentChurnGMLake(t *testing.T) {
+	a := New(newInner(4*sim.GiB, true))
+	stress(t, a)
+	var err error
+	a.Do(func(inner memalloc.Allocator) {
+		err = inner.(*core.Allocator).CheckInvariants()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStatsReaders(t *testing.T) {
+	a := New(newInner(2*sim.GiB, false))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := a.Stats()
+					if s.Active < 0 || s.Reserved < 0 {
+						t.Error("negative accounting observed")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		b, err := a.Alloc(2 * sim.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Free(b)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,119 @@
+// Package serve is an LLM inference-serving substrate: a deterministic
+// request generator, three KV-cache management policies, and a continuous-
+// batching server loop that measures how much GPU memory each policy wastes.
+//
+// The paper's related-work discussion (§6, Table 3) separates vLLM — which
+// defragments *inside* a tensor by paging the KV cache — from GMLake, which
+// defragments the memory pool *under* whatever tensors the application
+// allocates. This package makes that separation executable: the paged
+// manager reproduces vLLM's block table, the contiguous manager reproduces
+// the pad-to-max baseline vLLM replaced, and the chunked manager grows each
+// sequence through an ordinary allocator — so running it over the caching
+// allocator versus GMLake shows the pool-level fragmentation GMLake removes
+// on a workload vLLM's technique does not touch.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// KVBytesPerToken returns the bytes one token's key+value vectors occupy
+// across all layers of cfg.
+func KVBytesPerToken(cfg model.Config) int64 {
+	return 2 * int64(cfg.Layers) * int64(cfg.Hidden) * model.DTypeBytes
+}
+
+// Request is one serving request.
+type Request struct {
+	ID        int
+	PromptLen int // tokens in the prompt (prefill)
+	OutputLen int // tokens to generate (decode steps)
+}
+
+// TotalTokens returns the sequence length at completion.
+func (r Request) TotalTokens() int { return r.PromptLen + r.OutputLen }
+
+// GenConfig shapes the synthetic request mix.
+type GenConfig struct {
+	// Prompt lengths are uniform in [MinPrompt, MaxPrompt].
+	MinPrompt, MaxPrompt int
+	// Output lengths are uniform in [MinOutput, MaxOutput] — the
+	// unpredictable-length decode that makes pad-to-max so wasteful.
+	MinOutput, MaxOutput int
+}
+
+// DefaultGenConfig returns a chat-like mix: short-to-medium prompts with
+// highly variable outputs.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{MinPrompt: 16, MaxPrompt: 512, MinOutput: 8, MaxOutput: 512}
+}
+
+func (c GenConfig) validate() error {
+	if c.MinPrompt <= 0 || c.MaxPrompt < c.MinPrompt {
+		return fmt.Errorf("serve: prompt range [%d,%d]", c.MinPrompt, c.MaxPrompt)
+	}
+	if c.MinOutput <= 0 || c.MaxOutput < c.MinOutput {
+		return fmt.Errorf("serve: output range [%d,%d]", c.MinOutput, c.MaxOutput)
+	}
+	return nil
+}
+
+// GenRequests returns n deterministic requests drawn from cfg with the
+// given seed.
+func GenRequests(n int, cfg GenConfig, seed uint64) ([]Request, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: %d requests", n)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(seed)
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{
+			ID:        i,
+			PromptLen: cfg.MinPrompt + rng.Intn(cfg.MaxPrompt-cfg.MinPrompt+1),
+			OutputLen: cfg.MinOutput + rng.Intn(cfg.MaxOutput-cfg.MinOutput+1),
+		}
+	}
+	return out, nil
+}
+
+// SeqHandle identifies one admitted sequence inside a cache manager.
+type SeqHandle int
+
+// CacheManager is one KV-cache management policy.
+type CacheManager interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// Admit reserves KV storage for a request's prompt. It fails when the
+	// backing memory cannot hold the sequence; the server then retries
+	// after other sequences complete.
+	Admit(r Request) (SeqHandle, error)
+
+	// Append extends the sequence by one generated token.
+	Append(h SeqHandle) error
+
+	// Release frees the sequence's storage.
+	Release(h SeqHandle)
+
+	// UsedBytes is the memory currently taken from the device or
+	// allocator; LogicalBytes is the KV data actually stored. Their gap
+	// is the policy's waste.
+	UsedBytes() int64
+	LogicalBytes() int64
+}
+
+// WasteRatio returns 1 − logical/used for a manager snapshot; zero when
+// nothing is allocated.
+func WasteRatio(m CacheManager) float64 {
+	used := m.UsedBytes()
+	if used == 0 {
+		return 0
+	}
+	return 1 - float64(m.LogicalBytes())/float64(used)
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+)
+
+// ServerConfig tunes the continuous-batching loop.
+type ServerConfig struct {
+	// MaxBatch caps concurrently decoding sequences.
+	MaxBatch int
+}
+
+// Report summarizes one serving run.
+type Report struct {
+	Served        int     // requests completed
+	Steps         int     // decode steps executed
+	PeakUsed      int64   // peak bytes taken by the cache manager
+	PeakLogical   int64   // peak bytes of real KV data
+	MeanWaste     float64 // average per-step waste ratio
+	MeanBatch     float64 // average decoding batch size
+	AdmitFailures int64   // admissions deferred for lack of memory
+	Preemptions   int64   // sequences evicted mid-decode and requeued
+}
+
+// Utilization returns peak logical / peak used.
+func (r Report) Utilization() float64 {
+	if r.PeakUsed == 0 {
+		return 1
+	}
+	return float64(r.PeakLogical) / float64(r.PeakUsed)
+}
+
+// Serve runs the requests to completion under continuous batching: admit
+// while memory and the batch cap allow, append one token per active
+// sequence per step, release completions, and — when a mid-decode Append
+// hits the memory wall — preempt the youngest sequence and requeue it
+// (vLLM's recompute-preemption).
+func Serve(reqs []Request, mgr CacheManager, cfg ServerConfig) (Report, error) {
+	if cfg.MaxBatch <= 0 {
+		return Report{}, fmt.Errorf("serve: max batch %d", cfg.MaxBatch)
+	}
+	type active struct {
+		req       Request
+		handle    SeqHandle
+		remaining int
+	}
+
+	pending := append([]Request(nil), reqs...)
+	var running []*active
+	var rep Report
+	var batchSum, wasteSum float64
+
+	release := func(i int) {
+		mgr.Release(running[i].handle)
+		running = append(running[:i], running[i+1:]...)
+	}
+	// preemptYoungest evicts the most recently admitted sequence other
+	// than the one at index keep, requeuing its request in full.
+	preemptYoungest := func(keep int) bool {
+		for i := len(running) - 1; i >= 0; i-- {
+			if i == keep {
+				continue
+			}
+			rep.Preemptions++
+			pending = append(pending, running[i].req)
+			release(i)
+			return true
+		}
+		return false
+	}
+
+	for len(pending) > 0 || len(running) > 0 {
+		// Admission: fill the batch while memory lasts.
+		for len(running) < cfg.MaxBatch && len(pending) > 0 {
+			h, err := mgr.Admit(pending[0])
+			if err != nil {
+				rep.AdmitFailures++
+				if len(running) == 0 {
+					return rep, fmt.Errorf("serve: request %d does not fit even alone: %w", pending[0].ID, err)
+				}
+				break // head-of-line waits for capacity
+			}
+			running = append(running, &active{req: pending[0], handle: h, remaining: pending[0].OutputLen})
+			pending = pending[1:]
+		}
+
+		// One decode step across the batch.
+		rep.Steps++
+		batchSum += float64(len(running))
+		for i := 0; i < len(running); i++ {
+			a := running[i]
+			if a.remaining == 0 {
+				continue
+			}
+			err := mgr.Append(a.handle)
+			for err != nil {
+				if !preemptYoungest(i) {
+					return rep, fmt.Errorf("serve: request %d stuck mid-decode: %w", a.req.ID, err)
+				}
+				// Indexes shifted; find a again.
+				i = indexOf(running, a)
+				err = mgr.Append(a.handle)
+			}
+			a.remaining--
+		}
+
+		if u := mgr.UsedBytes(); u > rep.PeakUsed {
+			rep.PeakUsed = u
+		}
+		if l := mgr.LogicalBytes(); l > rep.PeakLogical {
+			rep.PeakLogical = l
+		}
+		wasteSum += WasteRatio(mgr)
+
+		// Retire completions.
+		for i := len(running) - 1; i >= 0; i-- {
+			if running[i].remaining == 0 {
+				rep.Served++
+				release(i)
+			}
+		}
+	}
+
+	if rep.Steps > 0 {
+		rep.MeanWaste = wasteSum / float64(rep.Steps)
+		rep.MeanBatch = batchSum / float64(rep.Steps)
+	}
+	return rep, nil
+}
+
+func indexOf[T comparable](s []T, v T) int {
+	for i, e := range s {
+		if e == v {
+			return i
+		}
+	}
+	return -1
+}

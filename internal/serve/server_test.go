@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestServeCompletesAllRequests(t *testing.T) {
+	reqs, err := GenRequests(40, GenConfig{MinPrompt: 8, MaxPrompt: 64, MinOutput: 4, MaxOutput: 64}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewChunkedKV(newServeAlloc(8*sim.GiB), model.OPT1_3B, 64)
+	rep, err := Serve(reqs, mgr, ServerConfig{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served != 40 {
+		t.Fatalf("served %d of 40", rep.Served)
+	}
+	if mgr.UsedBytes() != 0 {
+		t.Fatal("server left sequences allocated")
+	}
+	if rep.MeanBatch <= 1 || rep.MeanBatch > 8 {
+		t.Fatalf("mean batch %.2f implausible", rep.MeanBatch)
+	}
+	if rep.PeakLogical > rep.PeakUsed {
+		t.Fatal("logical exceeded used")
+	}
+}
+
+func TestServeValidatesConfig(t *testing.T) {
+	mgr := NewChunkedKV(newServeAlloc(sim.GiB), model.OPT1_3B, 64)
+	if _, err := Serve(nil, mgr, ServerConfig{}); err == nil {
+		t.Fatal("accepted zero max batch")
+	}
+}
+
+func TestServeErrorsWhenSingleRequestCannotFit(t *testing.T) {
+	reqs := []Request{{ID: 0, PromptLen: 4096, OutputLen: 1}}
+	mgr := NewChunkedKV(newServeAlloc(32*sim.MiB), model.OPT13B, 64)
+	if _, err := Serve(reqs, mgr, ServerConfig{MaxBatch: 4}); err == nil {
+		t.Fatal("impossible request served")
+	}
+}
+
+func TestServeDefersAdmissionUnderPressure(t *testing.T) {
+	// A tiny paged pool forces head-of-line waiting but everything
+	// eventually completes.
+	reqs, _ := GenRequests(12, GenConfig{MinPrompt: 16, MaxPrompt: 32, MinOutput: 8, MaxOutput: 16}, 3)
+	alloc := newServeAlloc(sim.GiB)
+	mgr, err := NewPagedKV(alloc, model.OPT1_3B, 16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	rep, err := Serve(reqs, mgr, ServerConfig{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served != 12 {
+		t.Fatalf("served %d of 12", rep.Served)
+	}
+	if rep.AdmitFailures == 0 {
+		t.Fatal("expected admission pressure on a 12-block pool")
+	}
+}
+
+func TestServePreemptsInsteadOfFailing(t *testing.T) {
+	// Pool sized so concurrent decodes eventually exhaust blocks
+	// mid-flight: preemption must kick in and all requests still finish.
+	reqs := []Request{
+		{ID: 0, PromptLen: 16, OutputLen: 64},
+		{ID: 1, PromptLen: 16, OutputLen: 64},
+		{ID: 2, PromptLen: 16, OutputLen: 64},
+	}
+	mgr, err := NewPagedKV(newServeAlloc(sim.GiB), model.OPT1_3B, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	rep, err := Serve(reqs, mgr, ServerConfig{MaxBatch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served != 3 {
+		t.Fatalf("served %d of 3", rep.Served)
+	}
+	if rep.Preemptions == 0 {
+		t.Fatal("expected at least one preemption on a 7-block pool")
+	}
+}
+
+func TestServeWasteContrastPagedVsContiguous(t *testing.T) {
+	reqs, _ := GenRequests(30, GenConfig{MinPrompt: 16, MaxPrompt: 128, MinOutput: 8, MaxOutput: 256}, 11)
+
+	contig := NewContiguousKV(newServeAlloc(16*sim.GiB), model.OPT1_3B, 512)
+	repC, err := Serve(reqs, contig, ServerConfig{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err := NewPagedKV(newServeAlloc(16*sim.GiB), model.OPT1_3B, 16, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	repP, err := Serve(reqs, paged, ServerConfig{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repC.MeanWaste < 2*repP.MeanWaste {
+		t.Fatalf("contiguous waste %.3f not far above paged %.3f (vLLM's headline effect)",
+			repC.MeanWaste, repP.MeanWaste)
+	}
+	if repP.Utilization() < 0.8 {
+		t.Fatalf("paged utilization %.2f too low", repP.Utilization())
+	}
+}
+
+func TestReportUtilizationEmptyRun(t *testing.T) {
+	if (Report{}).Utilization() != 1 {
+		t.Fatal("empty report utilization should be 1")
+	}
+}
+
+// TestServeRandomMixesProperty serves random request mixes on all three
+// policies; every run must complete all requests and leave the manager
+// empty.
+func TestServeRandomMixesProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		mix := GenConfig{
+			MinPrompt: 4 + int(seed), MaxPrompt: 64 + 8*int(seed),
+			MinOutput: 2, MaxOutput: 48,
+		}
+		reqs, err := GenRequests(25, mix, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs := []CacheManager{
+			NewContiguousKV(newServeAlloc(8*sim.GiB), model.OPT1_3B, 512),
+			NewChunkedKV(newServeAlloc(8*sim.GiB), model.OPT1_3B, 32),
+		}
+		if paged, err := NewPagedKV(newServeAlloc(8*sim.GiB), model.OPT1_3B, 16, 1024); err == nil {
+			mgrs = append(mgrs, paged)
+		} else {
+			t.Fatal(err)
+		}
+		for _, mgr := range mgrs {
+			rep, err := Serve(reqs, mgr, ServerConfig{MaxBatch: 6})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, mgr.Name(), err)
+			}
+			if rep.Served != len(reqs) {
+				t.Fatalf("seed %d %s: served %d/%d", seed, mgr.Name(), rep.Served, len(reqs))
+			}
+			if mgr.UsedBytes() != 0 || mgr.LogicalBytes() != 0 {
+				t.Fatalf("seed %d %s: manager not drained", seed, mgr.Name())
+			}
+			if rep.MeanWaste < 0 || rep.MeanWaste > 1 {
+				t.Fatalf("seed %d %s: waste %v", seed, mgr.Name(), rep.MeanWaste)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "fmt"
+
+// Byte size constants. The 2 MiB granularity of CUDA VMM physical chunks is
+// the most important size in the system; see ChunkSize in package cuda.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+)
+
+// FormatBytes renders n as a human-readable byte count ("2.0 MB", "80 GB").
+// It follows the paper's convention of binary units with SI-style suffixes.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= GiB:
+		return trimZero(float64(n)/float64(GiB), "GB")
+	case n >= MiB:
+		return trimZero(float64(n)/float64(MiB), "MB")
+	case n >= KiB:
+		return trimZero(float64(n)/float64(KiB), "KB")
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func trimZero(v float64, unit string) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d%s", int64(v), unit)
+	}
+	return fmt.Sprintf("%.1f%s", v, unit)
+}
+
+// RoundUp rounds n up to the next multiple of granularity. It panics when
+// granularity is not positive.
+func RoundUp(n, granularity int64) int64 {
+	if granularity <= 0 {
+		panic(fmt.Sprintf("sim: RoundUp granularity %d", granularity))
+	}
+	rem := n % granularity
+	if rem == 0 {
+		return n
+	}
+	return n + granularity - rem
+}
+
+// RoundDown rounds n down to the previous multiple of granularity.
+func RoundDown(n, granularity int64) int64 {
+	if granularity <= 0 {
+		panic(fmt.Sprintf("sim: RoundDown granularity %d", granularity))
+	}
+	return n - n%granularity
+}

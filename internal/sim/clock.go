@@ -1,0 +1,64 @@
+// Package sim provides the deterministic simulation substrate used by the
+// whole repository: a virtual clock, a latency cost model calibrated to the
+// GMLake paper's driver-API measurements (Table 1 and Figure 6), and a
+// seedable random number generator.
+//
+// Nothing in this package reads wall-clock time; every experiment is fully
+// deterministic and reproducible.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. Components charge simulated latency to the clock
+// with Advance; experiment harnesses read it with Now to compute allocation
+// latencies, iteration times and throughput.
+//
+// The zero value is a clock at time zero, ready to use.
+type Clock struct {
+	now time.Duration
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time since the clock's epoch.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. It panics if d is negative: simulated
+// time never runs backwards, and a negative charge always indicates a cost
+// model bug.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future; a no-op
+// otherwise. Multi-rank simulations use it as a barrier: every rank's clock
+// jumps to the slowest rank's time.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to time zero.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Stopwatch measures elapsed virtual time on a Clock.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// StartStopwatch begins measuring elapsed virtual time on c.
+func StartStopwatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed reports the virtual time elapsed since the stopwatch was started.
+func (s Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.start }

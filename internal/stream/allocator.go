@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"repro/internal/memalloc"
+)
+
+// Allocator wraps any memalloc.Allocator with PyTorch's stream-aware
+// semantics:
+//
+//   - every buffer belongs to the stream it was allocated on;
+//   - RecordStream marks a buffer as also used by another stream;
+//   - Free defers the actual free until every recording stream has passed
+//     the point of the free, tracked with events — exactly the caching
+//     allocator's cudaEventQuery-driven pending list.
+//
+// Deferred buffers still occupy their blocks, so a workload that shares
+// tensors across busy streams holds memory longer than its logical
+// lifetimes suggest. ProcessEvents (called on every Alloc, like PyTorch)
+// retires the pending list as events complete.
+type Allocator struct {
+	inner memalloc.Allocator
+	sched *Scheduler
+
+	pending  []pendingFree
+	deferred int64 // frees that had to wait on at least one event
+}
+
+type pendingFree struct {
+	buf    *memalloc.Buffer
+	events []Event
+}
+
+// streamState is the per-buffer state: the owning stream and every other
+// stream recorded against the buffer.
+type streamState struct {
+	owner    ID
+	recorded []ID
+	wrapped  any // inner allocator's private state
+}
+
+// NewAllocator wraps inner with stream-aware freeing driven by sched.
+func NewAllocator(inner memalloc.Allocator, sched *Scheduler) *Allocator {
+	return &Allocator{inner: inner, sched: sched}
+}
+
+// Name implements memalloc.Allocator.
+func (a *Allocator) Name() string { return a.inner.Name() + "+streams" }
+
+// Inner returns the wrapped allocator.
+func (a *Allocator) Inner() memalloc.Allocator { return a.inner }
+
+// Alloc allocates on the default stream.
+func (a *Allocator) Alloc(size int64) (*memalloc.Buffer, error) {
+	return a.AllocOn(size, DefaultStream)
+}
+
+// AllocOn allocates a buffer owned by stream id. Pending deferred frees are
+// processed first, so completed cross-stream work returns its blocks before
+// new memory is taken — the same ordering the caching allocator uses.
+func (a *Allocator) AllocOn(size int64, id ID) (*memalloc.Buffer, error) {
+	a.ProcessEvents()
+	b, err := a.inner.Alloc(size)
+	if err != nil {
+		// Last resort: drain everything in flight, retry once.
+		a.SynchronizeAndFree()
+		b, err = a.inner.Alloc(size)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b.SetImpl(&streamState{owner: id, wrapped: b.Impl()})
+	return b, nil
+}
+
+// RecordStream marks buffer b as used by stream id, so a later Free waits
+// for id's in-flight work (torch.Tensor.record_stream).
+func (a *Allocator) RecordStream(b *memalloc.Buffer, id ID) {
+	st := b.Impl().(*streamState)
+	if id == st.owner {
+		return
+	}
+	for _, r := range st.recorded {
+		if r == id {
+			return
+		}
+	}
+	st.recorded = append(st.recorded, id)
+}
+
+// Free returns the buffer. If any recording stream still has unfinished
+// work, the free is deferred behind per-stream events; otherwise the buffer
+// is released immediately.
+func (a *Allocator) Free(b *memalloc.Buffer) {
+	st := b.Impl().(*streamState)
+	b.SetImpl(st.wrapped)
+
+	var events []Event
+	for _, id := range st.recorded {
+		if a.sched.Busy(id) {
+			events = append(events, a.sched.Record(id))
+		}
+	}
+	if len(events) == 0 {
+		a.inner.Free(b)
+		return
+	}
+	a.deferred++
+	a.pending = append(a.pending, pendingFree{buf: b, events: events})
+}
+
+// ProcessEvents frees every pending buffer whose events have all completed.
+func (a *Allocator) ProcessEvents() {
+	kept := a.pending[:0]
+	for _, p := range a.pending {
+		if allDone(p.events, a) {
+			a.inner.Free(p.buf)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	a.pending = kept
+}
+
+func allDone(events []Event, a *Allocator) bool {
+	for _, e := range events {
+		if !e.Done(a.sched.clock) {
+			return false
+		}
+	}
+	return true
+}
+
+// SynchronizeAndFree blocks until all pending events complete and frees the
+// backlog; the allocator's OOM fallback.
+func (a *Allocator) SynchronizeAndFree() {
+	for _, p := range a.pending {
+		for _, e := range p.events {
+			e.Sync(a.sched.clock)
+		}
+		a.inner.Free(p.buf)
+	}
+	a.pending = a.pending[:0]
+}
+
+// PendingFrees returns how many frees are currently deferred.
+func (a *Allocator) PendingFrees() int { return len(a.pending) }
+
+// DeferredTotal returns how many frees were ever deferred behind events.
+func (a *Allocator) DeferredTotal() int64 { return a.deferred }
+
+// Stats implements memalloc.Allocator. Deferred buffers still count as
+// active in the inner allocator, which is exactly the memory-pressure
+// effect stream sharing has on the real caching allocator.
+func (a *Allocator) Stats() memalloc.Stats { return a.inner.Stats() }
+
+// EmptyCache drains pending frees, then empties the inner cache.
+func (a *Allocator) EmptyCache() {
+	a.SynchronizeAndFree()
+	a.inner.EmptyCache()
+}

@@ -1,0 +1,256 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/caching"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/memalloc"
+	"repro/internal/sim"
+)
+
+func newTestAllocator(t *testing.T, capacity int64) (*Allocator, *Scheduler, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	dev := gpu.NewDevice("t", capacity)
+	drv := cuda.NewDriver(dev, clock, sim.DefaultCostModel())
+	sched := NewScheduler(clock)
+	return NewAllocator(caching.New(drv), sched), sched, clock
+}
+
+func TestNameSuffix(t *testing.T) {
+	a, _, _ := newTestAllocator(t, sim.GiB)
+	if a.Name() != "caching+streams" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	if a.Inner().Name() != "caching" {
+		t.Fatalf("Inner().Name = %q", a.Inner().Name())
+	}
+}
+
+func TestFreeWithoutRecordedStreamsIsImmediate(t *testing.T) {
+	a, _, _ := newTestAllocator(t, sim.GiB)
+	b, err := a.Alloc(4 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(b)
+	if a.PendingFrees() != 0 {
+		t.Fatalf("pending = %d, want 0", a.PendingFrees())
+	}
+	if got := a.Stats().Active; got != 0 {
+		t.Fatalf("active = %d after free", got)
+	}
+}
+
+func TestFreeOnIdleRecordedStreamIsImmediate(t *testing.T) {
+	a, sched, _ := newTestAllocator(t, sim.GiB)
+	side := sched.NewStream()
+	b, _ := a.Alloc(4 * sim.MiB)
+	a.RecordStream(b, side) // side stream is idle
+	a.Free(b)
+	if a.PendingFrees() != 0 {
+		t.Fatal("free deferred although recorded stream was idle")
+	}
+}
+
+func TestFreeDeferredBehindBusyStream(t *testing.T) {
+	a, sched, clock := newTestAllocator(t, sim.GiB)
+	side := sched.NewStream()
+
+	b, _ := a.Alloc(4 * sim.MiB)
+	a.RecordStream(b, side)
+	sched.Launch(side, 50*time.Millisecond) // kernel reading b in flight
+	a.Free(b)
+
+	if a.PendingFrees() != 1 {
+		t.Fatalf("pending = %d, want 1", a.PendingFrees())
+	}
+	if got := a.Stats().Active; got == 0 {
+		t.Fatal("deferred buffer no longer counted active")
+	}
+
+	clock.Advance(60 * time.Millisecond) // kernel finishes
+	a.ProcessEvents()
+	if a.PendingFrees() != 0 {
+		t.Fatal("event completed but free still pending")
+	}
+	if got := a.Stats().Active; got != 0 {
+		t.Fatalf("active = %d after deferred free retired", got)
+	}
+	if a.DeferredTotal() != 1 {
+		t.Fatalf("DeferredTotal = %d, want 1", a.DeferredTotal())
+	}
+}
+
+func TestRecordStreamDeduplicates(t *testing.T) {
+	a, sched, _ := newTestAllocator(t, sim.GiB)
+	side := sched.NewStream()
+	b, _ := a.Alloc(2 * sim.MiB)
+	a.RecordStream(b, side)
+	a.RecordStream(b, side)
+	a.RecordStream(b, DefaultStream) // owner: ignored
+	st := b.Impl().(*streamState)
+	if len(st.recorded) != 1 {
+		t.Fatalf("recorded %d streams, want 1", len(st.recorded))
+	}
+	sched.Launch(side, time.Millisecond)
+	a.Free(b)
+	if a.PendingFrees() != 1 {
+		t.Fatal("dedup broke deferral")
+	}
+	a.SynchronizeAndFree()
+}
+
+func TestAllocProcessesPendingFirst(t *testing.T) {
+	// Size the device so the second allocation only fits after the first
+	// deferred free retires.
+	a, sched, clock := newTestAllocator(t, 64*sim.MiB)
+	side := sched.NewStream()
+
+	b, err := a.Alloc(40 * sim.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RecordStream(b, side)
+	sched.Launch(side, time.Millisecond)
+	a.Free(b)
+
+	clock.Advance(2 * time.Millisecond) // event now complete
+	if _, err := a.Alloc(40 * sim.MiB); err != nil {
+		t.Fatalf("Alloc did not retire completed pending frees: %v", err)
+	}
+}
+
+func TestAllocSynchronizesOnOOM(t *testing.T) {
+	a, sched, clock := newTestAllocator(t, 64*sim.MiB)
+	side := sched.NewStream()
+
+	b, _ := a.Alloc(40 * sim.MiB)
+	a.RecordStream(b, side)
+	sched.Launch(side, time.Hour) // still running at alloc time
+	a.Free(b)
+
+	start := clock.Now()
+	if _, err := a.Alloc(40 * sim.MiB); err != nil {
+		t.Fatalf("OOM despite synchronize fallback: %v", err)
+	}
+	if clock.Now()-start < time.Hour {
+		t.Fatal("fallback did not wait for the blocking event")
+	}
+}
+
+func TestOwnerStreamFreeNeedsNoEvent(t *testing.T) {
+	// Work on the owning stream does not defer the free: PyTorch only
+	// tracks *other* streams, because frees are ordered with the owning
+	// stream's work by the allocator itself.
+	a, sched, _ := newTestAllocator(t, sim.GiB)
+	b, _ := a.AllocOn(2*sim.MiB, DefaultStream)
+	sched.Launch(DefaultStream, time.Hour)
+	a.Free(b)
+	if a.PendingFrees() != 0 {
+		t.Fatal("owner-stream work deferred the free")
+	}
+}
+
+func TestEmptyCacheDrainsPending(t *testing.T) {
+	a, sched, _ := newTestAllocator(t, sim.GiB)
+	side := sched.NewStream()
+	b, _ := a.Alloc(8 * sim.MiB)
+	a.RecordStream(b, side)
+	sched.Launch(side, time.Minute)
+	a.Free(b)
+
+	a.EmptyCache()
+	if a.PendingFrees() != 0 {
+		t.Fatal("EmptyCache left pending frees")
+	}
+	if got := a.Stats().Reserved; got != 0 {
+		t.Fatalf("reserved = %d after EmptyCache", got)
+	}
+}
+
+func TestImplRestoredForInnerAllocator(t *testing.T) {
+	// The wrapper must hand the inner allocator its own private state back,
+	// or the inner Free corrupts its pools.
+	a, sched, clock := newTestAllocator(t, sim.GiB)
+	side := sched.NewStream()
+	var bufs []*memalloc.Buffer
+	for i := 0; i < 8; i++ {
+		b, err := a.Alloc(4 * sim.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.RecordStream(b, side)
+		sched.Launch(side, time.Millisecond)
+		bufs = append(bufs, b)
+	}
+	for _, b := range bufs {
+		a.Free(b)
+	}
+	clock.Advance(time.Minute)
+	a.ProcessEvents()
+	// Reuse must work (inner free trees intact).
+	for i := 0; i < 8; i++ {
+		if _, err := a.Alloc(4 * sim.MiB); err != nil {
+			t.Fatalf("realloc %d: %v", i, err)
+		}
+	}
+}
+
+// TestRandomOpsProperty drives the wrapper with a random interleaving of
+// allocs, cross-stream records, frees, kernel launches and clock advances;
+// accounting must always cover live+pending buffers and drain to zero.
+func TestRandomOpsProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a, sched, clock := newTestAllocator(t, 4*sim.GiB)
+		streams := []ID{DefaultStream, sched.NewStream(), sched.NewStream()}
+		rng := sim.NewRNG(seed)
+
+		type liveBuf struct{ b *memalloc.Buffer }
+		var live []liveBuf
+		var liveBytes int64
+
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(5) {
+			case 0, 1: // alloc
+				size := int64(rng.Intn(8)+1) * 2 * sim.MiB
+				b, err := a.AllocOn(size, streams[rng.Intn(len(streams))])
+				if err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+				live = append(live, liveBuf{b})
+				liveBytes += b.BlockSize
+			case 2: // record + free
+				if len(live) == 0 {
+					continue
+				}
+				k := rng.Intn(len(live))
+				if rng.Intn(2) == 0 {
+					a.RecordStream(live[k].b, streams[rng.Intn(len(streams))])
+				}
+				liveBytes -= live[k].b.BlockSize
+				a.Free(live[k].b)
+				live = append(live[:k], live[k+1:]...)
+			case 3: // kernel on a random stream
+				sched.Launch(streams[rng.Intn(len(streams))], time.Duration(rng.Intn(5))*time.Millisecond)
+			case 4: // time passes, events retire
+				clock.Advance(time.Duration(rng.Intn(10)) * time.Millisecond)
+				a.ProcessEvents()
+			}
+			// Active covers live buffers plus deferred (pending) frees.
+			if got := a.Stats().Active; got < liveBytes {
+				t.Fatalf("seed %d op %d: active %d below live %d", seed, op, got, liveBytes)
+			}
+		}
+		for _, l := range live {
+			a.Free(l.b)
+		}
+		a.SynchronizeAndFree()
+		if got := a.Stats().Active; got != 0 {
+			t.Fatalf("seed %d: %d bytes leaked", seed, got)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"time"
+)
+
+// Hardware profile for the throughput model: an A100-class device. The
+// absolute numbers only scale the virtual-time axis; the figures' shapes
+// come from the ratios.
+const (
+	// effectiveFLOPS is the sustained matmul throughput (A100 fp16 peak
+	// ~312 TFLOPS at ~40% utilization).
+	effectiveFLOPS = 125e12
+	// nvlinkBW is the effective all-gather/reduce-scatter bandwidth.
+	nvlinkBW = 150e9
+	// pcieBW is the effective host transfer bandwidth for offloading,
+	// after ZeRO-Offload's compute/transfer overlap.
+	pcieBW = 24e9
+)
+
+// computeModel prices the non-allocator time of a training step.
+type computeModel struct {
+	spec Spec
+}
+
+// layerForward returns the forward compute time for one transformer block.
+func (c computeModel) layerForward(seq int) time.Duration {
+	flops := 2 * float64(c.spec.Batch) * float64(seq) * float64(c.spec.Model.LayerParams())
+	return durationSec(flops / effectiveFLOPS)
+}
+
+// layerBackward returns the backward compute time for one block: 2x forward,
+// plus a recomputed forward when checkpointing is on, minus the weight-grad
+// matmuls when the base model is frozen by LoRA.
+func (c computeModel) layerBackward(seq int) time.Duration {
+	mult := 2.0
+	if c.spec.Strategy.Recompute {
+		mult++
+	}
+	if c.spec.Strategy.LoRA {
+		mult -= 0.8 // no weight gradients for frozen base parameters
+	}
+	return time.Duration(float64(c.layerForward(seq)) * mult)
+}
+
+// gatherTime returns the all-gather time for bytes of parameters across the
+// world (ring all-gather moves bytes*(W-1)/W per GPU).
+func (c computeModel) gatherTime(bytes int64) time.Duration {
+	w := float64(c.spec.World)
+	if w <= 1 {
+		return 0
+	}
+	return durationSec(float64(bytes) * (w - 1) / w / nvlinkBW)
+}
+
+// reduceTime prices a reduce-scatter of gradient bytes, same volume as a
+// gather.
+func (c computeModel) reduceTime(bytes int64) time.Duration { return c.gatherTime(bytes) }
+
+// offloadTime returns the host-transfer time for moving bytes over PCIe.
+func (c computeModel) offloadTime(bytes int64) time.Duration {
+	return durationSec(float64(bytes) / pcieBW)
+}
+
+// headTime prices the LM head and loss.
+func (c computeModel) headTime(seq int) time.Duration {
+	m := c.spec.Model
+	flops := 2 * float64(c.spec.Batch) * float64(seq) * float64(m.Hidden) * float64(m.Vocab)
+	return durationSec(flops / effectiveFLOPS)
+}
+
+// optimizerTime prices the parameter update for a shard of params.
+func (c computeModel) optimizerTime(params int64) time.Duration {
+	// ~10 flops per parameter for Adam, memory-bound; price at 1/10 of
+	// effective matmul throughput.
+	return durationSec(float64(params) * 10 / (effectiveFLOPS / 10))
+}
+
+func durationSec(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// stepComputeLowerBound estimates the pure-compute step time, used by tests
+// to confirm allocator overhead stays a small fraction.
+func (c computeModel) stepComputeLowerBound(seq int) time.Duration {
+	perLayer := c.layerForward(seq) + c.layerBackward(seq)
+	return time.Duration(int64(perLayer)*int64(c.spec.Model.Layers)) + c.headTime(seq)
+}
