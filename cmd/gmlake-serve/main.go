@@ -1,0 +1,156 @@
+// Command gmlake-serve runs one heterogeneous multi-tenant serving mix
+// under continuous batching and prints the per-SLO-class report: TTFT and
+// end-to-end latency percentiles, preemptions and KV-cache occupancy for
+// every client class.
+//
+// Usage:
+//
+//	gmlake-serve -list
+//	gmlake-serve -mix chat-heavy -policy paged
+//	gmlake-serve -conf "backend:gmlake,serve_mix:chat+batch,burst_cv:6" -policy chunked
+//	gmlake-serve -n 500 -seed 42 -capacity-gb 2 -policy all
+//
+// The workload keys (serve_mix, serve_rate, burst_cv) ride in the same
+// PYTORCH_CUDA_ALLOC_CONF-style string that selects the pool allocator; the
+// -mix/-rate/-burst-cv flags are shorthands for the same knobs. Runs are
+// deterministic: one seed, one request stream, whatever the policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/cuda"
+	"repro/internal/gpu"
+	"repro/internal/memalloc"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/servegen"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list mix names and exit")
+		confStr  = flag.String("conf", "", "allocator+workload configuration string, e.g. backend:gmlake,serve_mix:chat+batch")
+		mixName  = flag.String("mix", "", "mix name (overrides serve_mix in -conf; default mixed-bursty)")
+		rate     = flag.Float64("rate", 0, "aggregate request rate per second (0 = mix default)")
+		burstCV  = flag.Float64("burst-cv", 0, "interarrival CV for bursty classes (0 = mix default)")
+		n        = flag.Int("n", 200, "number of requests")
+		seed     = flag.Uint64("seed", 7, "workload generator seed")
+		policy   = flag.String("policy", "all", "KV policy: contiguous, paged, chunked or all")
+		batch    = flag.Int("batch", 24, "max concurrent decoding sequences")
+		capacity = flag.Float64("capacity-gb", 1.5, "device memory in GiB")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(servegen.MixNames(), "\n"))
+		return
+	}
+
+	cfg, err := conf.Parse(*confStr)
+	if err != nil {
+		fatal(err)
+	}
+	if *mixName != "" {
+		cfg.ServeMix = *mixName
+	}
+	if *rate > 0 {
+		cfg.ServeRate = *rate
+	}
+	if *burstCV > 0 {
+		cfg.BurstCV = *burstCV
+	}
+	mix, err := cfg.ServeWorkload()
+	if err != nil {
+		fatal(err)
+	}
+	reqs, err := mix.Generate(*n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	modelCfg := model.OPT1_3B
+	capBytes := int64(*capacity * float64(sim.GiB))
+	newAlloc := func() memalloc.Allocator {
+		driver := cuda.NewDriver(gpu.NewDevice("serve", capBytes), sim.NewClock(), sim.DefaultCostModel())
+		alloc, err := cfg.Build(driver)
+		if err != nil {
+			fatal(err)
+		}
+		return alloc
+	}
+
+	fmt.Printf("mix %s: %d requests from %d classes, %.1f req/s aggregate, seed %d\n",
+		mix.Name, len(reqs), len(mix.Classes), mix.Rate, *seed)
+	fmt.Printf("pool %s, %.1f GiB device, max batch %d\n\n", cfg.Backend, *capacity, *batch)
+
+	policies := []string{"contiguous", "paged", "chunked"}
+	if *policy != "all" {
+		policies = []string{*policy}
+	}
+	srvCfg := serve.ServerConfig{MaxBatch: *batch}
+	for _, p := range policies {
+		alloc := newAlloc()
+		var mgr serve.CacheManager
+		switch p {
+		case "contiguous":
+			mgr = serve.NewContiguousKV(alloc, modelCfg, 1024)
+		case "paged":
+			// Size the slab to ~85% of the device so the block pool, not
+			// the pool allocator, is the binding constraint.
+			perToken := serve.KVBytesPerToken(modelCfg)
+			blocks := int(capBytes * 85 / 100 / (16 * perToken))
+			m, err := serve.NewPagedKV(alloc, modelCfg, 16, blocks)
+			if err != nil {
+				fatal(err)
+			}
+			defer m.Close()
+			mgr = m
+		case "chunked":
+			mgr = serve.NewChunkedKV(alloc, modelCfg, 64)
+		default:
+			fatal(fmt.Errorf("unknown policy %q (contiguous, paged, chunked, all)", p))
+		}
+		rep, err := serve.Serve(reqs, mgr, srvCfg)
+		if err != nil {
+			fmt.Printf("== %s: OOM: %v\n\n", p, err)
+			continue
+		}
+		printReport(p, rep, alloc.Stats())
+	}
+}
+
+func printReport(policy string, rep serve.Report, st memalloc.Stats) {
+	fmt.Printf("== %s: served %d in %s virtual, mean batch %.1f, %d preemptions, pool util %.1f%%\n",
+		policy, rep.Served, rep.Duration.Round(time.Millisecond), rep.MeanBatch,
+		rep.Preemptions, 100*st.Utilization())
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "class\tSLO\tserved\tTTFT p50\tp95\tp99\te2e p50\tp99\tpreempt\tKV share")
+	row := func(class, slo string, served int, ttft, e2e serve.LatencySummary, preempt int64, share float64) {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%s\t%s\t%s\t%d\t%.1f%%\n",
+			class, slo, served, msRound(ttft.P50), msRound(ttft.P95), msRound(ttft.P99),
+			msRound(e2e.P50), msRound(e2e.P99), preempt, 100*share)
+	}
+	for _, c := range rep.Classes {
+		row(c.Class, c.SLO, c.Served, c.TTFT, c.E2E, c.Preemptions, c.KVShare)
+	}
+	row("ALL", "-", rep.Served, rep.TTFT, rep.E2E, rep.Preemptions, 1)
+	w.Flush()
+	fmt.Println()
+}
+
+func msRound(d time.Duration) string {
+	return fmt.Sprintf("%dms", d.Milliseconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gmlake-serve:", err)
+	os.Exit(1)
+}

@@ -12,7 +12,31 @@
 //   - the GMLake allocator itself: primitive and stitched memory pools,
 //     the BestFit algorithm and the multi-state defragmentation strategy;
 //   - LLM fine-tuning workload generators and the experiment harness that
-//     regenerates every table and figure of the paper's evaluation.
+//     regenerates every table and figure of the paper's evaluation;
+//   - an inference-serving substrate: three KV-cache policies under
+//     continuous batching, plus a ServeGen-style multi-tenant workload
+//     generator with per-SLO-class reporting.
+//
+// # Serving workload mixes
+//
+// Multi-tenant serving traffic is described by a WorkloadMix: client
+// classes with individual arrival processes (Poisson, bursty Gamma,
+// on-off), rate shares, prompt/output length distributions (deterministic,
+// uniform, lognormal) and SLO class tags. The same seed always yields a
+// byte-identical request stream. Canonical mixes are ChatHeavyMix,
+// BatchHeavyMix and MixedBurstyMix; configuration strings select and tune
+// them with the serving keys parsed alongside the allocator knobs:
+//
+//	serve_mix:<name>    named mix (chat-heavy, batch-heavy, mixed-bursty,
+//	                    chat+batch, …)
+//	serve_rate:<r>      aggregate request rate override, requests/second
+//	burst_cv:<cv>       interarrival CV override for bursty classes
+//
+// ServeRequests runs a stream under continuous batching with SLO-aware
+// admission and preemption, and its ServeReport breaks TTFT and end-to-end
+// latency percentiles, preemptions and KV-cache occupancy down per client
+// class (ServeClassReport) — the per-SLO-class view a multi-tenant
+// operator actually monitors.
 //
 // # Quick start
 //
@@ -44,6 +68,7 @@ import (
 	"repro/internal/recompute"
 	"repro/internal/safealloc"
 	"repro/internal/serve"
+	"repro/internal/servegen"
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/workload"
@@ -227,6 +252,21 @@ type (
 	KVCacheManager = serve.CacheManager
 	// ServeReport summarizes a continuous-batching run.
 	ServeReport = serve.Report
+	// ServeClassReport is the per-client-class (per-SLO-class) slice of a
+	// serving run: latency percentiles, preemptions, KV occupancy.
+	ServeClassReport = serve.ClassReport
+	// LatencySummary holds p50/p95/p99 of a latency sample.
+	LatencySummary = serve.LatencySummary
+
+	// WorkloadMix is a multi-tenant serving workload: an aggregate request
+	// rate decomposed over heterogeneous client classes.
+	WorkloadMix = servegen.Mix
+	// ClientClass is one tenant population in a WorkloadMix.
+	ClientClass = servegen.ClientClass
+	// ArrivalProcess describes when a client class submits requests.
+	ArrivalProcess = servegen.ArrivalProcess
+	// LengthDist is a prompt or output token-length distribution.
+	LengthDist = servegen.LengthDist
 
 	// FragSnapshot holds an allocator's free blocks for fragmentation
 	// indices (FMFI-style).
@@ -283,6 +323,24 @@ func GenServeRequests(n int, cfg ServeMix, seed uint64) ([]ServeRequest, error) 
 // DefaultServeMix returns the chat-like request mix.
 func DefaultServeMix() ServeMix { return serve.DefaultGenConfig() }
 
+// ChatHeavyMix returns the interactive-dominated multi-tenant mix.
+func ChatHeavyMix() WorkloadMix { return servegen.ChatHeavy() }
+
+// BatchHeavyMix returns the throughput-oriented multi-tenant mix.
+func BatchHeavyMix() WorkloadMix { return servegen.BatchHeavy() }
+
+// MixedBurstyMix returns the bursty heterogeneous stress mix.
+func MixedBurstyMix() WorkloadMix { return servegen.MixedBursty() }
+
+// ServeMixByName resolves a serve_mix configuration name.
+func ServeMixByName(name string) (WorkloadMix, error) { return servegen.MixByName(name) }
+
+// GenMixRequests returns the first n requests of the mix's merged
+// multi-tenant stream; the same seed yields a byte-identical stream.
+func GenMixRequests(m WorkloadMix, n int, seed uint64) ([]ServeRequest, error) {
+	return m.Generate(n, seed)
+}
+
 // NewContiguousKV returns the pad-to-max KV-cache baseline.
 func NewContiguousKV(alloc MemoryAllocator, cfg ModelConfig, maxTokens int) *serve.ContiguousKV {
 	return serve.NewContiguousKV(alloc, cfg, maxTokens)
@@ -314,5 +372,7 @@ func NewSafe(inner MemoryAllocator) *SafeAllocator { return safealloc.New(inner)
 // NewFromConf builds an allocator from a PYTORCH_CUDA_ALLOC_CONF-style
 // configuration string, e.g. "backend:gmlake,frag_limit_mb:256" or
 // "backend:caching,max_split_size_mb:128,garbage_collection_threshold:0.8".
-// The empty string is the default caching allocator.
+// The empty string is the default caching allocator. Serving-workload keys
+// (serve_mix, serve_rate, burst_cv) are accepted in the same string; see
+// the package comment and internal/conf.
 func NewFromConf(s string, driver *Driver) (MemoryAllocator, error) { return conf.New(s, driver) }

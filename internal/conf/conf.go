@@ -10,10 +10,22 @@
 // Keys are comma-separated key:value pairs, unknown keys are errors (typos
 // in environment variables should never be silent), and every knob maps to
 // a field of the corresponding allocator's Config.
+//
+// Beyond allocator knobs, the same string configures the serving-workload
+// generator (consumed by cmd/gmlake-serve and the harness, not by Build):
+//
+//	backend:gmlake,serve_mix:chat+batch,burst_cv:4,serve_rate:6
+//
+//	serve_mix:<name>    named multi-tenant client mix (chat-heavy,
+//	                    batch-heavy, mixed-bursty, chat+batch, …)
+//	serve_rate:<r>      aggregate request rate override, requests/second
+//	burst_cv:<cv>       interarrival CV override for the mix's bursty
+//	                    (Gamma-arrival) classes
 package conf
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -23,6 +35,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/expandable"
 	"repro/internal/memalloc"
+	"repro/internal/servegen"
 	"repro/internal/sim"
 )
 
@@ -40,6 +53,36 @@ type Config struct {
 	FragLimitMB int64 // 0 = paper default
 	MaxSBlocks  int   // 0 = default
 	RebindSplit *bool // nil = default (on)
+
+	// Serving-workload knobs (see the package comment; applied by
+	// ServeWorkload, ignored by Build).
+	ServeMix  string  // named client mix ("" = none configured)
+	ServeRate float64 // aggregate requests/second override (0 = mix default)
+	BurstCV   float64 // bursty-class interarrival CV override (0 = mix default)
+}
+
+// HasServeMix reports whether the string configured a serving workload.
+func (c Config) HasServeMix() bool { return c.ServeMix != "" }
+
+// ServeWorkload resolves the configured client mix with the rate and
+// burstiness overrides applied. When no serve_mix key was given, name
+// defaults to the mixed bursty workload.
+func (c Config) ServeWorkload() (servegen.Mix, error) {
+	name := c.ServeMix
+	if name == "" {
+		name = "mixed-bursty"
+	}
+	m, err := servegen.MixByName(name)
+	if err != nil {
+		return servegen.Mix{}, err
+	}
+	if c.ServeRate > 0 {
+		m = m.WithRate(c.ServeRate)
+	}
+	if c.BurstCV > 0 {
+		m = m.WithBurstCV(c.BurstCV)
+	}
+	return m, nil
 }
 
 // Parse parses a configuration string. The empty string is the default
@@ -97,6 +140,23 @@ func Parse(s string) (Config, error) {
 				return cfg, fmt.Errorf("conf: %s must be a bool, got %q", key, val)
 			}
 			cfg.RebindSplit = &b
+		case "serve_mix":
+			if _, err := servegen.MixByName(val); err != nil {
+				return cfg, fmt.Errorf("conf: %w", err)
+			}
+			cfg.ServeMix = val
+		case "serve_rate":
+			f, err := parsePositiveFloat(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.ServeRate = f
+		case "burst_cv":
+			f, err := parsePositiveFloat(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.BurstCV = f
 		default:
 			return cfg, fmt.Errorf("conf: unknown key %q", key)
 		}
@@ -110,6 +170,15 @@ func parsePositive(key, val string) (int64, error) {
 		return 0, fmt.Errorf("conf: %s must be a positive integer, got %q", key, val)
 	}
 	return n, nil
+}
+
+func parsePositiveFloat(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	// !(f > 0) also rejects NaN, which compares false to everything.
+	if err != nil || !(f > 0) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("conf: %s must be a positive finite number, got %q", key, val)
+	}
+	return f, nil
 }
 
 // Build constructs the configured allocator over driver.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cuda"
 	"repro/internal/gpu"
+	"repro/internal/servegen"
 	"repro/internal/sim"
 )
 
@@ -108,5 +109,73 @@ func TestBuildRejectsUnknownBackendStruct(t *testing.T) {
 	cfg := Config{Backend: "bogus"}
 	if _, err := cfg.Build(newDriver()); err == nil {
 		t.Fatal("unknown backend built")
+	}
+}
+
+func TestParseServeKeys(t *testing.T) {
+	cfg, err := Parse("backend:gmlake,serve_mix:chat+batch,serve_rate:6.5,burst_cv:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ServeMix != "chat+batch" || cfg.ServeRate != 6.5 || cfg.BurstCV != 4 {
+		t.Fatalf("%+v", cfg)
+	}
+	if !cfg.HasServeMix() {
+		t.Fatal("HasServeMix false after serve_mix key")
+	}
+	mix, err := cfg.ServeWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Name != "mixed-bursty" {
+		t.Fatalf("chat+batch resolved to %q", mix.Name)
+	}
+	if mix.Rate != 6.5 {
+		t.Fatalf("serve_rate not applied: %g", mix.Rate)
+	}
+	for _, c := range mix.Classes {
+		if c.Arrival.Kind == servegen.ArrivalGamma && c.Arrival.CV != 4 {
+			t.Fatalf("burst_cv not applied to class %s: %g", c.Name, c.Arrival.CV)
+		}
+	}
+	// The allocator half of the string still builds.
+	if _, err := cfg.Build(newDriver()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeWorkloadDefaults(t *testing.T) {
+	cfg, err := Parse("backend:caching")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HasServeMix() {
+		t.Fatal("HasServeMix true without serve_mix key")
+	}
+	mix, err := cfg.ServeWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Name != "mixed-bursty" {
+		t.Fatalf("default mix %q", mix.Name)
+	}
+	if mix.Rate != servegen.MixedBursty().Rate {
+		t.Fatalf("default mix rate overridden: %g", mix.Rate)
+	}
+}
+
+func TestParseServeKeyErrors(t *testing.T) {
+	for _, s := range []string{
+		"serve_mix:nope",  // unknown mix
+		"serve_rate:0",    // must be positive
+		"serve_rate:fast", // not a number
+		"serve_rate:NaN",  // NaN compares false to everything
+		"serve_rate:+Inf", // infinite rate
+		"burst_cv:-2",     // negative
+		"burst_cv:-Inf",   // negative infinity
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
 	}
 }

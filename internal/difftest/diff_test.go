@@ -132,19 +132,21 @@ func TestDifferentialRandomStreams(t *testing.T) {
 				t.Fatalf("gmlake reserved %d exceeds caching %d by >5%%", g, c)
 			}
 
-			// Invariant checks on the structured allocators.
+			// Structural invariant checks on every allocator that exposes
+			// them (all four do): no overlapping blocks, tiling intact,
+			// free-index state consistent after the full stream.
 			fresh := allAllocators(capacity)
-			if err := trace.Replay(stream, fresh["gmlake"]); err != nil {
-				t.Fatal(err)
-			}
-			if err := fresh["gmlake"].(*core.Allocator).CheckInvariants(); err != nil {
-				t.Fatalf("gmlake invariants: %v", err)
-			}
-			if err := trace.Replay(stream, fresh["caching"]); err != nil {
-				t.Fatal(err)
-			}
-			if err := fresh["caching"].(*caching.Allocator).CheckInvariants(); err != nil {
-				t.Fatalf("caching invariants: %v", err)
+			for name, alloc := range fresh {
+				chk, ok := alloc.(interface{ CheckInvariants() error })
+				if !ok {
+					t.Fatalf("%s does not expose CheckInvariants", name)
+				}
+				if err := trace.Replay(stream, alloc); err != nil {
+					t.Fatalf("%s: replay for invariant check: %v", name, err)
+				}
+				if err := chk.CheckInvariants(); err != nil {
+					t.Fatalf("%s invariants: %v", name, err)
+				}
 			}
 		})
 	}

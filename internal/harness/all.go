@@ -8,7 +8,7 @@ var Experiments = []string{
 	"figure10", "figure11", "figure12", "figure13", "figure14",
 	"headline", "extended", "ablations", "cluster",
 	"zero", "topology", "recompute", "offload", "streams",
-	"serving", "fragindex", "pipefrag",
+	"serving", "servemix", "fragindex", "pipefrag",
 }
 
 // RunExperiment executes one experiment by id and returns its tables.
@@ -55,6 +55,8 @@ func (e *Env) RunExperiment(id string) []*Table {
 		return []*Table{e.StreamsExperiment()}
 	case "serving":
 		return []*Table{e.ServingExperiment()}
+	case "servemix":
+		return []*Table{e.ServeMixExperiment()}
 	case "fragindex":
 		return []*Table{e.FragIndexExperiment()}
 	case "pipefrag":

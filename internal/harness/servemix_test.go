@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/servegen"
+)
+
+// TestServeMixExperimentDeterministic is the acceptance criterion: with a
+// fixed seed, two independent runs of the serving-mix experiment produce
+// identical request streams and identical per-SLO-class latency tables.
+func TestServeMixExperimentDeterministic(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		NewEnv().ServeMixExperiment().Render(&sb)
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("two runs with the same seed rendered different tables:\n%s\n---\n%s", a, b)
+	}
+	reqs1, err := servegen.MixedBursty().Generate(serveMixRequests, NewEnv().Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs2, err := servegen.MixedBursty().Generate(serveMixRequests, NewEnv().Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs1 {
+		if reqs1[i] != reqs2[i] {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+	}
+}
+
+// TestServeMixExperimentShape: per-class rows must appear for all three KV
+// policies under all three mixes, with no OOM rows and the mixes' class
+// rosters complete.
+func TestServeMixExperimentShape(t *testing.T) {
+	tbl := NewEnv().ServeMixExperiment()
+
+	type key struct{ mix, policy, pool string }
+	classes := map[key]map[string]bool{}
+	for _, row := range tbl.Rows {
+		if row[5] == "OOM" {
+			t.Fatalf("OOM row: %v", row)
+		}
+		k := key{row[0], row[1], row[2]}
+		if classes[k] == nil {
+			classes[k] = map[string]bool{}
+		}
+		classes[k][row[3]] = true
+	}
+
+	policies := []key{} // expected (policy, pool) combinations per mix
+	for _, p := range (&Env{}).serveMixPolicies() {
+		policies = append(policies, key{policy: p.policy, pool: p.pool})
+	}
+	for _, mix := range servegen.Mixes() {
+		for _, p := range policies {
+			k := key{mix.Name, p.policy, p.pool}
+			got := classes[k]
+			if len(got) != len(mix.Classes) {
+				t.Errorf("%v: %d class rows, mix has %d classes", k, len(got), len(mix.Classes))
+				continue
+			}
+			for _, c := range mix.Classes {
+				if !got[c.Name] {
+					t.Errorf("%v: class %s missing", k, c.Name)
+				}
+			}
+		}
+	}
+}

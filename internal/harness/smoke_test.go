@@ -5,21 +5,36 @@ import (
 	"testing"
 )
 
+// heavyExperiments take multiple seconds even at the minimum step budget
+// (they sweep many workload × allocator cells); -short trades their
+// coverage for a fast suite, the full run keeps the paper tables honest.
+var heavyExperiments = map[string]bool{
+	"figure10": true,
+	"figure11": true,
+	"figure13": true,
+	"headline": true,
+}
+
 // TestAllExperimentsSmoke runs every registered experiment with a tiny step
 // budget, exercising all runner code paths and validating table structure.
-// The full-budget numbers live in results_full.txt / EXPERIMENTS.md.
+// In -short mode the shapes scale down further and the heavyweight sweeps
+// are skipped; the full-budget numbers live in results_full.txt /
+// EXPERIMENTS.md.
 func TestAllExperimentsSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs every experiment; minutes of work")
-	}
 	e := NewEnv()
 	e.TotalSteps = 3
 	e.MaxSteps = 6
 	e.MeasureSteps = 2
+	if testing.Short() {
+		e.TotalSteps, e.MaxSteps, e.MeasureSteps = 1, 2, 1
+	}
 
 	for _, id := range Experiments {
 		id := id
 		t.Run(id, func(t *testing.T) {
+			if testing.Short() && heavyExperiments[id] {
+				t.Skip("heavyweight sweep; full run only")
+			}
 			tables := e.RunExperiment(id)
 			if len(tables) == 0 {
 				t.Fatalf("experiment %q produced no tables", id)
@@ -52,10 +67,11 @@ func TestAllExperimentsSmoke(t *testing.T) {
 }
 
 // TestRunAllWritesEverything checks the batch entry point used by
-// cmd/gmlake-bench.
+// cmd/gmlake-bench. It duplicates TestAllExperimentsSmoke's execution cost
+// without a way to scale the heavy sweeps out, so -short skips it.
 func TestRunAllWritesEverything(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs every experiment")
+		t.Skip("runs every experiment, heavy sweeps included")
 	}
 	e := NewEnv()
 	e.TotalSteps = 2

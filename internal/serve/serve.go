@@ -15,6 +15,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -26,9 +27,25 @@ func KVBytesPerToken(cfg model.Config) int64 {
 	return 2 * int64(cfg.Layers) * int64(cfg.Hidden) * model.DTypeBytes
 }
 
-// Request is one serving request.
+// Request is one serving request. The zero values of the multi-tenant
+// fields (empty class and SLO, priority 0, arrival 0) reproduce the original
+// homogeneous behaviour: every request belongs to one anonymous class and is
+// available at time zero.
 type Request struct {
-	ID        int
+	ID int
+
+	// Class names the client class the request belongs to (servegen's
+	// tenant decomposition); empty means the default class.
+	Class string
+	// SLO is the request's service-level class tag, reported per class.
+	SLO string
+	// Priority orders admission and protects against preemption: higher
+	// priorities are admitted first and evicted last.
+	Priority int
+	// ArrivalAt is when the request enters the system on the server's
+	// virtual clock; the server never admits a request early.
+	ArrivalAt time.Duration
+
 	PromptLen int // tokens in the prompt (prefill)
 	OutputLen int // tokens to generate (decode steps)
 }

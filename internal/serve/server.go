@@ -2,12 +2,78 @@ package serve
 
 import (
 	"fmt"
+	"sort"
+	"time"
+)
+
+// Default step costs. Latency is simulated, not measured: one decode step
+// across the batch costs StepTime, and every prompt token prefilled in a
+// step adds PrefillTokenTime — A100-class magnitudes, enough to turn
+// queueing and preemption into TTFT/E2E differences.
+const (
+	DefaultStepTime         = 30 * time.Millisecond
+	DefaultPrefillTokenTime = 100 * time.Microsecond
 )
 
 // ServerConfig tunes the continuous-batching loop.
 type ServerConfig struct {
 	// MaxBatch caps concurrently decoding sequences.
 	MaxBatch int
+
+	// StepTime is the simulated duration of one decode step across the
+	// batch (0 = DefaultStepTime).
+	StepTime time.Duration
+
+	// PrefillTokenTime is the simulated cost per prompt token prefilled
+	// during a step (0 = DefaultPrefillTokenTime).
+	PrefillTokenTime time.Duration
+}
+
+// LatencySummary holds nearest-rank percentiles of a latency sample.
+type LatencySummary struct {
+	P50, P95, P99 time.Duration
+}
+
+// summarize computes the nearest-rank percentiles of samples (sorted in
+// place).
+func summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(q float64) time.Duration {
+		idx := int(q*float64(len(samples))+0.9999999) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		return samples[idx]
+	}
+	return LatencySummary{P50: at(0.50), P95: at(0.95), P99: at(0.99)}
+}
+
+// ClassReport is the per-client-class (per-SLO-class) slice of a serving
+// run: the latency distribution each tenant actually experienced, plus how
+// often it was evicted and how much KV cache it held.
+type ClassReport struct {
+	Class string // client class name ("default" when requests carry none)
+	SLO   string // SLO tag carried by the class's requests
+
+	Served      int   // requests completed
+	Preemptions int64 // evictions of this class's sequences
+
+	// TTFT is time from arrival to the end of the step that prefilled the
+	// request (its first output token); E2E is time from arrival to the
+	// last generated token.
+	TTFT, E2E LatencySummary
+
+	// MeanKVTokens is the class's mean resident KV tokens per decode step;
+	// KVShare is its fraction of the run's total token·steps — the
+	// KV-cache occupancy attributable to the tenant.
+	MeanKVTokens float64
+	KVShare      float64
 }
 
 // Report summarizes one serving run.
@@ -20,6 +86,13 @@ type Report struct {
 	MeanBatch     float64 // average decoding batch size
 	AdmitFailures int64   // admissions deferred for lack of memory
 	Preemptions   int64   // sequences evicted mid-decode and requeued
+
+	// Duration is the virtual makespan of the run.
+	Duration time.Duration
+	// TTFT and E2E aggregate latency over all classes.
+	TTFT, E2E LatencySummary
+	// Classes is the per-client-class breakdown, sorted by class name.
+	Classes []ClassReport
 }
 
 // Utilization returns peak logical / peak used.
@@ -30,58 +103,173 @@ func (r Report) Utilization() float64 {
 	return float64(r.PeakLogical) / float64(r.PeakUsed)
 }
 
+// Class returns the report of the named class, or nil.
+func (r Report) Class(name string) *ClassReport {
+	for i := range r.Classes {
+		if r.Classes[i].Class == name {
+			return &r.Classes[i]
+		}
+	}
+	return nil
+}
+
+// track is the lifetime record of one input request across preemptions.
+type track struct {
+	req        Request
+	firstToken time.Duration
+	hasFirst   bool
+	done       time.Duration
+}
+
+func (t *track) class() string {
+	if t.req.Class == "" {
+		return "default"
+	}
+	return t.req.Class
+}
+
 // Serve runs the requests to completion under continuous batching: admit
-// while memory and the batch cap allow, append one token per active
-// sequence per step, release completions, and — when a mid-decode Append
-// hits the memory wall — preempt the youngest sequence and requeue it
-// (vLLM's recompute-preemption).
+// arrived requests while memory and the batch cap allow (highest priority
+// first), append one token per active sequence per step, release
+// completions, and — when a mid-decode Append hits the memory wall —
+// preempt the lowest-priority, most recently admitted other sequence and
+// requeue it in full (vLLM's recompute-preemption, made SLO-aware).
+//
+// Time is simulated on an internal virtual clock (see ServerConfig's step
+// costs); per-request arrival, first-token and completion times feed the
+// per-class TTFT/E2E percentiles in the report.
 func Serve(reqs []Request, mgr CacheManager, cfg ServerConfig) (Report, error) {
 	if cfg.MaxBatch <= 0 {
 		return Report{}, fmt.Errorf("serve: max batch %d", cfg.MaxBatch)
 	}
-	type active struct {
-		req       Request
-		handle    SeqHandle
-		remaining int
+	stepTime := cfg.StepTime
+	if stepTime == 0 {
+		stepTime = DefaultStepTime
+	}
+	prefillTok := cfg.PrefillTokenTime
+	if prefillTok == 0 {
+		prefillTok = DefaultPrefillTokenTime
 	}
 
-	pending := append([]Request(nil), reqs...)
+	type active struct {
+		rec        *track
+		handle     SeqHandle
+		remaining  int
+		admitOrder int64
+	}
+
+	recs := make([]*track, len(reqs))
+	pending := make([]*track, len(reqs))
+	for i, r := range reqs {
+		recs[i] = &track{req: r}
+		pending[i] = recs[i]
+	}
+
 	var running []*active
 	var rep Report
+	var now time.Duration
 	var batchSum, wasteSum float64
+	var admitSeq int64
+	classPreempt := map[string]int64{}
+	classTokenSteps := map[string]float64{}
+	var totalTokenSteps float64
 
 	release := func(i int) {
 		mgr.Release(running[i].handle)
 		running = append(running[:i], running[i+1:]...)
 	}
-	// preemptYoungest evicts the most recently admitted sequence other
-	// than the one at index keep, requeuing its request in full.
-	preemptYoungest := func(keep int) bool {
-		for i := len(running) - 1; i >= 0; i-- {
+	// evict requeues the sequence at index i in full (vLLM's
+	// recompute-preemption).
+	evict := func(i int) {
+		rep.Preemptions++
+		classPreempt[running[i].rec.class()]++
+		pending = append(pending, running[i].rec)
+		release(i)
+	}
+	// preemptFor evicts a victim so the sequence at index keep can grow. A
+	// victim must be strictly lower priority, or the same priority but
+	// admitted later; among the eligible, lowest priority first, then the
+	// most recently admitted. Higher-priority sequences are never evicted
+	// (the SLO guarantee), and same-priority older ones are off limits so
+	// the oldest sequence of the top class always makes monotonic progress
+	// — without that rule two sequences that cannot coexist in memory
+	// preempt each other forever, each eviction resetting the other's
+	// decode.
+	preemptFor := func(keep int) bool {
+		req := running[keep]
+		victim := -1
+		for i, v := range running {
 			if i == keep {
 				continue
 			}
-			rep.Preemptions++
-			pending = append(pending, running[i].req)
-			release(i)
-			return true
+			if v.rec.req.Priority > req.rec.req.Priority ||
+				(v.rec.req.Priority == req.rec.req.Priority && v.admitOrder < req.admitOrder) {
+				continue
+			}
+			if victim == -1 ||
+				v.rec.req.Priority < running[victim].rec.req.Priority ||
+				(v.rec.req.Priority == running[victim].rec.req.Priority &&
+					v.admitOrder > running[victim].admitOrder) {
+				victim = i
+			}
 		}
-		return false
+		if victim == -1 {
+			return false
+		}
+		evict(victim)
+		return true
+	}
+	// nextArrived picks the admission candidate: the highest-priority
+	// already-arrived pending request, FIFO within a priority.
+	nextArrived := func() int {
+		best := -1
+		for i, p := range pending {
+			if p.req.ArrivalAt > now {
+				continue
+			}
+			if best == -1 || p.req.Priority > pending[best].req.Priority {
+				best = i
+			}
+		}
+		return best
 	}
 
 	for len(pending) > 0 || len(running) > 0 {
-		// Admission: fill the batch while memory lasts.
-		for len(running) < cfg.MaxBatch && len(pending) > 0 {
-			h, err := mgr.Admit(pending[0])
+		// Admission: fill the batch with arrived requests while memory
+		// lasts.
+		var prefillTokens int64
+		for len(running) < cfg.MaxBatch {
+			i := nextArrived()
+			if i == -1 {
+				break
+			}
+			rec := pending[i]
+			h, err := mgr.Admit(rec.req)
 			if err != nil {
 				rep.AdmitFailures++
 				if len(running) == 0 {
-					return rep, fmt.Errorf("serve: request %d does not fit even alone: %w", pending[0].ID, err)
+					return rep, fmt.Errorf("serve: request %d does not fit even alone: %w", rec.req.ID, err)
 				}
 				break // head-of-line waits for capacity
 			}
-			running = append(running, &active{req: pending[0], handle: h, remaining: pending[0].OutputLen})
-			pending = pending[1:]
+			admitSeq++
+			running = append(running, &active{rec: rec, handle: h, remaining: rec.req.OutputLen, admitOrder: admitSeq})
+			prefillTokens += int64(rec.req.PromptLen)
+			pending = append(pending[:i], pending[i+1:]...)
+		}
+
+		// Idle server: jump to the next arrival.
+		if len(running) == 0 {
+			next := pending[0].req.ArrivalAt
+			for _, p := range pending[1:] {
+				if p.req.ArrivalAt < next {
+					next = p.req.ArrivalAt
+				}
+			}
+			if next > now {
+				now = next
+			}
+			continue
 		}
 
 		// One decode step across the batch.
@@ -92,17 +280,32 @@ func Serve(reqs []Request, mgr CacheManager, cfg ServerConfig) (Report, error) {
 			if a.remaining == 0 {
 				continue
 			}
+			evictedSelf := false
 			err := mgr.Append(a.handle)
 			for err != nil {
-				if !preemptYoungest(i) {
-					return rep, fmt.Errorf("serve: request %d stuck mid-decode: %w", a.req.ID, err)
+				if preemptFor(indexOf(running, a)) {
+					// Indexes shifted; find a again.
+					i = indexOf(running, a)
+					err = mgr.Append(a.handle)
+					continue
 				}
-				// Indexes shifted; find a again.
+				if len(running) == 1 {
+					return rep, fmt.Errorf("serve: request %d stuck mid-decode: %w", a.rec.req.ID, err)
+				}
+				// No eligible victim (everything else is older or higher
+				// priority): yield this slot and wait for capacity.
 				i = indexOf(running, a)
-				err = mgr.Append(a.handle)
+				evict(i)
+				evictedSelf = true
+				break
+			}
+			if evictedSelf {
+				i-- // the slot at i now holds the next sequence
+				continue
 			}
 			a.remaining--
 		}
+		now += stepTime + time.Duration(prefillTokens)*prefillTok
 
 		if u := mgr.UsedBytes(); u > rep.PeakUsed {
 			rep.PeakUsed = u
@@ -112,10 +315,19 @@ func Serve(reqs []Request, mgr CacheManager, cfg ServerConfig) (Report, error) {
 		}
 		wasteSum += WasteRatio(mgr)
 
-		// Retire completions.
+		// End-of-step bookkeeping: first tokens, occupancy, completions.
 		for i := len(running) - 1; i >= 0; i-- {
-			if running[i].remaining == 0 {
+			a := running[i]
+			if !a.rec.hasFirst {
+				a.rec.hasFirst = true
+				a.rec.firstToken = now
+			}
+			tokens := a.rec.req.PromptLen + (a.rec.req.OutputLen - a.remaining)
+			classTokenSteps[a.rec.class()] += float64(tokens)
+			totalTokenSteps += float64(tokens)
+			if a.remaining == 0 {
 				rep.Served++
+				a.rec.done = now
 				release(i)
 			}
 		}
@@ -125,7 +337,63 @@ func Serve(reqs []Request, mgr CacheManager, cfg ServerConfig) (Report, error) {
 		rep.MeanWaste = wasteSum / float64(rep.Steps)
 		rep.MeanBatch = batchSum / float64(rep.Steps)
 	}
+	rep.Duration = now
+	rep.Classes = classReports(recs, rep.Steps, classPreempt, classTokenSteps, totalTokenSteps)
+	var allTTFT, allE2E []time.Duration
+	for _, rec := range recs {
+		allTTFT = append(allTTFT, rec.firstToken-rec.req.ArrivalAt)
+		allE2E = append(allE2E, rec.done-rec.req.ArrivalAt)
+	}
+	rep.TTFT = summarize(allTTFT)
+	rep.E2E = summarize(allE2E)
 	return rep, nil
+}
+
+// classReports aggregates per-request records into sorted per-class rows.
+func classReports(recs []*track, steps int, preempt map[string]int64, tokenSteps map[string]float64, totalTokenSteps float64) []ClassReport {
+	type agg struct {
+		slo    string
+		served int
+		ttft   []time.Duration
+		e2e    []time.Duration
+	}
+	byClass := map[string]*agg{}
+	for _, rec := range recs {
+		c := rec.class()
+		a := byClass[c]
+		if a == nil {
+			a = &agg{slo: rec.req.SLO}
+			byClass[c] = a
+		}
+		a.served++
+		a.ttft = append(a.ttft, rec.firstToken-rec.req.ArrivalAt)
+		a.e2e = append(a.e2e, rec.done-rec.req.ArrivalAt)
+	}
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]ClassReport, 0, len(names))
+	for _, name := range names {
+		a := byClass[name]
+		cr := ClassReport{
+			Class:       name,
+			SLO:         a.slo,
+			Served:      a.served,
+			Preemptions: preempt[name],
+			TTFT:        summarize(a.ttft),
+			E2E:         summarize(a.e2e),
+		}
+		if steps > 0 {
+			cr.MeanKVTokens = tokenSteps[name] / float64(steps)
+		}
+		if totalTokenSteps > 0 {
+			cr.KVShare = tokenSteps[name] / totalTokenSteps
+		}
+		out = append(out, cr)
+	}
+	return out
 }
 
 func indexOf[T comparable](s []T, v T) int {

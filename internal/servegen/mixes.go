@@ -1,0 +1,139 @@
+package servegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The predefined mixes keep prompt+output below 896 tokens so every request
+// fits the serving substrate's 1024-token pad-to-max baseline; the contrast
+// between policies then comes from traffic shape, not from unservable
+// requests.
+
+// ChatHeavy returns a mix dominated by interactive chat: lognormal
+// long-tailed lengths on a steady Poisson base, with a small API tenant and
+// a trickle of batch summarization.
+func ChatHeavy() Mix {
+	return Mix{
+		Name: "chat-heavy",
+		Rate: 5,
+		Classes: []ClientClass{
+			{
+				Name: "chat", SLO: SLOInteractive, Share: 0.70,
+				Arrival: Poisson(),
+				Prompt:  Lognormal(120, 1.0, 8, 512),
+				Output:  Lognormal(120, 0.8, 4, 384),
+			},
+			{
+				Name: "assistant-api", SLO: SLOStandard, Share: 0.20,
+				Arrival: Bursty(2.5),
+				Prompt:  Uniform(32, 256),
+				Output:  Uniform(16, 192),
+			},
+			{
+				Name: "batch-summarize", SLO: SLOBatch, Share: 0.10,
+				Arrival: OnOff(0.25, 20*time.Second),
+				Prompt:  Uniform(256, 512),
+				Output:  Deterministic(64),
+			},
+		},
+	}
+}
+
+// BatchHeavy returns a throughput-oriented mix: long deterministic-ish
+// offline jobs arriving in waves, with a minority interactive tenant riding
+// on top.
+func BatchHeavy() Mix {
+	return Mix{
+		Name: "batch-heavy",
+		Rate: 3,
+		Classes: []ClientClass{
+			{
+				Name: "batch-eval", SLO: SLOBatch, Share: 0.60,
+				Arrival: OnOff(0.3, 30*time.Second),
+				Prompt:  Uniform(320, 512),
+				Output:  Deterministic(96),
+			},
+			{
+				Name: "batch-embed", SLO: SLOBatch, Share: 0.25,
+				Arrival: Poisson(),
+				Prompt:  Deterministic(384),
+				Output:  Deterministic(8),
+			},
+			{
+				Name: "chat", SLO: SLOInteractive, Share: 0.15,
+				Arrival: Poisson(),
+				Prompt:  Lognormal(96, 1.0, 8, 384),
+				Output:  Lognormal(96, 0.8, 4, 256),
+			},
+		},
+	}
+}
+
+// MixedBursty returns the stress mix: steady chat, a strongly bursty agent
+// tenant (Gamma interarrivals, CV 4) and on-off batch backfill — the
+// heterogeneous traffic that exposes per-SLO latency differences between
+// KV-cache policies.
+func MixedBursty() Mix {
+	return Mix{
+		Name: "mixed-bursty",
+		Rate: 4,
+		Classes: []ClientClass{
+			{
+				Name: "chat", SLO: SLOInteractive, Share: 0.45,
+				Arrival: Poisson(),
+				Prompt:  Lognormal(120, 1.0, 8, 512),
+				Output:  Lognormal(100, 0.8, 4, 320),
+			},
+			{
+				Name: "agent", SLO: SLOInteractive, Share: 0.25,
+				Arrival: Bursty(4),
+				Prompt:  Lognormal(200, 1.2, 16, 512),
+				Output:  Lognormal(80, 1.0, 4, 256),
+			},
+			{
+				Name: "batch-backfill", SLO: SLOBatch, Share: 0.30,
+				Arrival: OnOff(0.2, 15*time.Second),
+				Prompt:  Uniform(128, 512),
+				Output:  Uniform(32, 128),
+			},
+		},
+	}
+}
+
+// mixAliases maps configuration-string names (serve_mix:<name>) to
+// constructors. "chat+batch" is the ServeGen-style shorthand for the mixed
+// bursty workload.
+var mixAliases = map[string]func() Mix{
+	"chat":         ChatHeavy,
+	"chat-heavy":   ChatHeavy,
+	"batch":        BatchHeavy,
+	"batch-heavy":  BatchHeavy,
+	"mixed":        MixedBursty,
+	"mixed-bursty": MixedBursty,
+	"chat+batch":   MixedBursty,
+}
+
+// MixNames returns the accepted serve_mix names, sorted.
+func MixNames() []string {
+	names := make([]string, 0, len(mixAliases))
+	for name := range mixAliases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MixByName resolves a configuration-string mix name.
+func MixByName(name string) (Mix, error) {
+	if mk, ok := mixAliases[strings.TrimSpace(name)]; ok {
+		return mk(), nil
+	}
+	return Mix{}, fmt.Errorf("servegen: unknown mix %q (have %s)",
+		name, strings.Join(MixNames(), ", "))
+}
+
+// Mixes returns the three canonical mixes the harness compares.
+func Mixes() []Mix { return []Mix{ChatHeavy(), BatchHeavy(), MixedBursty()} }

@@ -1,0 +1,358 @@
+package servegen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestGenerateDeterministic: the same (mix, n, seed) must yield a
+// byte-identical request stream; different seeds must diverge.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, mix := range Mixes() {
+		a, err := mix.Generate(300, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", mix.Name, err)
+		}
+		b, err := mix.Generate(300, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != 300 || len(b) != 300 {
+			t.Fatalf("%s: lengths %d/%d", mix.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: request %d differs across identical seeds:\n%+v\n%+v",
+					mix.Name, i, a[i], b[i])
+			}
+		}
+		c, err := mix.Generate(300, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical streams", mix.Name)
+		}
+	}
+}
+
+// TestGenerateWellFormed: IDs are 0..n-1 in arrival order, arrivals
+// non-decreasing, lengths positive, class/SLO tags populated with the
+// right priorities.
+func TestGenerateWellFormed(t *testing.T) {
+	for _, mix := range Mixes() {
+		reqs, err := mix.Generate(400, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes := map[string]bool{}
+		var prev time.Duration
+		for i, r := range reqs {
+			if r.ID != i {
+				t.Fatalf("%s: request %d has ID %d", mix.Name, i, r.ID)
+			}
+			if r.ArrivalAt < prev {
+				t.Fatalf("%s: arrivals not sorted at %d", mix.Name, i)
+			}
+			prev = r.ArrivalAt
+			if r.PromptLen <= 0 || r.OutputLen <= 0 {
+				t.Fatalf("%s: request %d lengths %d/%d", mix.Name, i, r.PromptLen, r.OutputLen)
+			}
+			if r.Class == "" || r.SLO == "" {
+				t.Fatalf("%s: request %d missing class/SLO", mix.Name, i)
+			}
+			if r.Priority != SLOPriority(r.SLO) {
+				t.Fatalf("%s: request %d priority %d for SLO %s", mix.Name, i, r.Priority, r.SLO)
+			}
+			classes[r.Class] = true
+		}
+		if len(classes) != len(mix.Classes) {
+			t.Fatalf("%s: %d classes in stream, mix has %d", mix.Name, len(classes), len(mix.Classes))
+		}
+	}
+}
+
+// TestRateShares: empirical per-class counts track the configured rate
+// shares within sampling tolerance.
+func TestRateShares(t *testing.T) {
+	mix := ChatHeavy()
+	const n = 4000
+	reqs, err := mix.Generate(n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range reqs {
+		counts[r.Class]++
+	}
+	var total float64
+	for _, c := range mix.Classes {
+		total += c.Share
+	}
+	for _, c := range mix.Classes {
+		want := c.Share / total
+		got := float64(counts[c.Name]) / n
+		if math.Abs(got-want)/want > 0.25 {
+			t.Errorf("class %s: empirical share %.3f, spec %.3f", c.Name, got, want)
+		}
+	}
+}
+
+// TestLengthDistributionMeans: empirical means of the three families track
+// their specs (wide clamps so the lognormal's truncation bias is
+// negligible).
+func TestLengthDistributionMeans(t *testing.T) {
+	cases := []struct {
+		name string
+		dist LengthDist
+		tol  float64 // relative tolerance on the mean
+	}{
+		{"deterministic", Deterministic(128), 0},
+		{"uniform", Uniform(64, 192), 0.05},
+		{"lognormal", Lognormal(100, 0.8, 1, 100000), 0.08},
+	}
+	for _, tc := range cases {
+		mix := Mix{
+			Name: "single",
+			Rate: 10,
+			Classes: []ClientClass{{
+				Name: "only", SLO: SLOStandard, Share: 1,
+				Arrival: Poisson(), Prompt: tc.dist, Output: Deterministic(1),
+			}},
+		}
+		reqs, err := mix.Generate(4000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, r := range reqs {
+			sum += float64(r.PromptLen)
+		}
+		got := sum / float64(len(reqs))
+		want := tc.dist.MeanTokens()
+		if tc.tol == 0 {
+			if got != want {
+				t.Errorf("%s: mean %.2f, want exactly %.2f", tc.name, got, want)
+			}
+		} else if math.Abs(got-want)/want > tc.tol {
+			t.Errorf("%s: mean %.2f, spec %.2f (tol %.0f%%)", tc.name, got, want, 100*tc.tol)
+		}
+	}
+}
+
+// interarrivalCV estimates the interarrival coefficient of variation of a
+// single-class stream.
+func interarrivalCV(t *testing.T, arrival ArrivalProcess, n int, seed uint64) float64 {
+	t.Helper()
+	mix := Mix{
+		Name: "single",
+		Rate: 5,
+		Classes: []ClientClass{{
+			Name: "only", SLO: SLOStandard, Share: 1,
+			Arrival: arrival, Prompt: Deterministic(16), Output: Deterministic(4),
+		}},
+	}
+	reqs, err := mix.Generate(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gaps []float64
+	for i := 1; i < len(reqs); i++ {
+		gaps = append(gaps, (reqs[i].ArrivalAt - reqs[i-1].ArrivalAt).Seconds())
+	}
+	var mean float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	return math.Sqrt(varsum/float64(len(gaps))) / mean
+}
+
+// TestArrivalBurstiness: Poisson interarrivals sit near CV 1, Gamma CV 4
+// well above — the burstiness knob is real.
+func TestArrivalBurstiness(t *testing.T) {
+	if cv := interarrivalCV(t, Poisson(), 4000, 9); cv < 0.8 || cv > 1.25 {
+		t.Errorf("poisson interarrival CV %.2f, want ≈ 1", cv)
+	}
+	if cv := interarrivalCV(t, Bursty(4), 4000, 9); cv < 2 {
+		t.Errorf("gamma(cv=4) interarrival CV %.2f, want clearly bursty (> 2)", cv)
+	}
+}
+
+// TestOnOffConfinesArrivals: every on-off arrival lands inside the
+// on-window of its cycle.
+func TestOnOffConfinesArrivals(t *testing.T) {
+	const onFraction = 0.25
+	cycle := 10 * time.Second
+	mix := Mix{
+		Name: "single",
+		Rate: 5,
+		Classes: []ClientClass{{
+			Name: "only", SLO: SLOBatch, Share: 1,
+			Arrival: OnOff(onFraction, cycle),
+			Prompt:  Deterministic(16), Output: Deterministic(4),
+		}},
+	}
+	reqs, err := mix.Generate(2000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onLen := time.Duration(onFraction * float64(cycle))
+	for _, r := range reqs {
+		if phase := r.ArrivalAt % cycle; phase > onLen {
+			t.Fatalf("arrival %v lands in the off-window (phase %v, on-window %v)",
+				r.ArrivalAt, phase, onLen)
+		}
+	}
+}
+
+// TestMixByName: aliases resolve, unknown names error, every canonical mix
+// validates.
+func TestMixByName(t *testing.T) {
+	for _, name := range MixNames() {
+		m, err := MixByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if m, err := MixByName("chat+batch"); err != nil || m.Name != "mixed-bursty" {
+		t.Fatalf("chat+batch resolved to %q, %v", m.Name, err)
+	}
+	if _, err := MixByName("nope"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+// TestOverrides: WithRate scales arrival density, WithBurstCV rewrites only
+// Gamma classes.
+func TestOverrides(t *testing.T) {
+	base := MixedBursty()
+	fast := base.WithRate(base.Rate * 4)
+	a, err := base.Generate(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fast.Generate(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span, fastSpan := a[len(a)-1].ArrivalAt, b[len(b)-1].ArrivalAt; fastSpan >= span {
+		t.Fatalf("4x rate did not compress the stream: %v vs %v", fastSpan, span)
+	}
+
+	cv := base.WithBurstCV(8)
+	var sawGamma bool
+	for i, c := range cv.Classes {
+		if c.Arrival.Kind == ArrivalGamma {
+			sawGamma = true
+			if c.Arrival.CV != 8 {
+				t.Fatalf("gamma class %s CV %.1f after override", c.Name, c.Arrival.CV)
+			}
+		} else if c.Arrival != base.Classes[i].Arrival {
+			t.Fatalf("non-gamma class %s mutated by WithBurstCV", c.Name)
+		}
+	}
+	if !sawGamma {
+		t.Fatal("mixed-bursty has no gamma class to override")
+	}
+	if base.Classes[1].Arrival.CV == 8 {
+		t.Fatal("WithBurstCV mutated the receiver")
+	}
+}
+
+// TestValidateRejectsMalformed covers the validation paths.
+func TestValidateRejectsMalformed(t *testing.T) {
+	good := ClientClass{
+		Name: "c", SLO: SLOStandard, Share: 1,
+		Arrival: Poisson(), Prompt: Deterministic(8), Output: Deterministic(8),
+	}
+	cases := []Mix{
+		{Name: "no-rate", Rate: 0, Classes: []ClientClass{good}},
+		{Name: "no-classes", Rate: 1},
+		{Name: "bad-share", Rate: 1, Classes: []ClientClass{{Name: "c", Share: 0, Arrival: Poisson(), Prompt: Deterministic(8), Output: Deterministic(8)}}},
+		{Name: "dup", Rate: 1, Classes: []ClientClass{good, good}},
+		{Name: "bad-prompt", Rate: 1, Classes: []ClientClass{{Name: "c", Share: 1, Arrival: Poisson(), Prompt: Uniform(10, 5), Output: Deterministic(8)}}},
+		{Name: "bad-arrival", Rate: 1, Classes: []ClientClass{{Name: "c", Share: 1, Arrival: Bursty(0), Prompt: Deterministic(8), Output: Deterministic(8)}}},
+		{Name: "bad-onoff", Rate: 1, Classes: []ClientClass{{Name: "c", Share: 1, Arrival: OnOff(1.5, time.Second), Prompt: Deterministic(8), Output: Deterministic(8)}}},
+	}
+	for _, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("mix %q validated", m.Name)
+		}
+		if _, err := m.Generate(10, 1); err == nil {
+			t.Errorf("mix %q generated", m.Name)
+		}
+	}
+	if _, err := ChatHeavy().Generate(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestSeedIndependencePerClass: per-class sub-streams are independently
+// seeded, so a class keeps its draws when another class is appended.
+func TestSeedIndependencePerClass(t *testing.T) {
+	one := Mix{
+		Name: "one",
+		Rate: 2,
+		Classes: []ClientClass{{
+			Name: "a", SLO: SLOStandard, Share: 1,
+			Arrival: Poisson(), Prompt: Uniform(8, 64), Output: Uniform(8, 64),
+		}},
+	}
+	two := one
+	two.Classes = append([]ClientClass{}, one.Classes...)
+	two.Classes = append(two.Classes, ClientClass{
+		Name: "b", SLO: SLOBatch, Share: 0.001,
+		Arrival: Poisson(), Prompt: Deterministic(8), Output: Deterministic(8),
+	})
+	// Scale the aggregate so class a's share-normalized rate stays at its
+	// solo value.
+	two.Rate = one.Rate * 1.001
+
+	ra, err := one.Generate(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := two.Generate(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class a's first draws (lengths, not merged order) must be unchanged.
+	var la, lb []int
+	for _, r := range ra {
+		if r.Class == "a" {
+			la = append(la, r.PromptLen, r.OutputLen)
+		}
+	}
+	for _, r := range rb {
+		if r.Class == "a" {
+			lb = append(lb, r.PromptLen, r.OutputLen)
+		}
+	}
+	if len(lb) == 0 {
+		t.Fatal("class a vanished")
+	}
+	for i := range lb {
+		if i >= len(la) {
+			break
+		}
+		if la[i] != lb[i] {
+			t.Fatalf("class a draw %d changed when class b was appended", i)
+		}
+	}
+}
