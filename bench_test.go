@@ -19,6 +19,7 @@ import (
 	"repro/internal/memalloc"
 	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/internal/servegen"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -431,6 +432,59 @@ func BenchmarkServeDecodeStep(b *testing.B) {
 		})
 	}
 }
+
+// --- Serving-loop and harness-engine trajectory benchmarks ---
+
+// BenchmarkServeStream prices the continuous-batching loop itself on a long
+// mixed-bursty multi-tenant stream. The arrival rate is cranked an order of
+// magnitude above the server's service rate so thousands of requests are
+// pending at once — the regime where admission, idle-jump and victim
+// selection dominate the loop. Reports ns per served request.
+func BenchmarkServeStream(b *testing.B) {
+	const requests = 4000
+	mix := servegen.MixedBursty()
+	reqs, err := mix.WithRate(mix.Rate*10).Generate(requests, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drv := newBenchDriver(4 * sim.GiB)
+		mgr := serve.NewChunkedKV(caching.New(drv), model.OPT1_3B, 64)
+		rep, err := serve.Serve(reqs, mgr, serve.ServerConfig{MaxBatch: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Served != requests {
+			b.Fatalf("served %d of %d", rep.Served, requests)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
+}
+
+// harnessBenchSlice is the experiment list the engine benchmarks sweep: a
+// mix of cheap micro tables and the cell-heavy extended comparison, enough
+// work for the worker pool to matter without the full-suite runtime.
+var harnessBenchSlice = []string{"table1", "figure3", "figure4", "figure12", "extended"}
+
+func benchmarkHarness(b *testing.B, parallelism int) {
+	e := benchEnv()
+	e.Parallelism = parallelism
+	for i := 0; i < b.N; i++ {
+		for _, id := range harnessBenchSlice {
+			renderAll(b, e.RunExperiment(id))
+		}
+	}
+}
+
+// BenchmarkHarnessSequential pins the single-worker wall-clock of the
+// experiment slice; BenchmarkHarnessParallel runs the identical cells on
+// the GOMAXPROCS-bounded pool. Their ratio is the engine's speedup on this
+// host (scripts/bench.sh records it in BENCH_*.json).
+func BenchmarkHarnessSequential(b *testing.B) { benchmarkHarness(b, 1) }
+
+// BenchmarkHarnessParallel is the same slice at Parallelism = GOMAXPROCS.
+func BenchmarkHarnessParallel(b *testing.B) { benchmarkHarness(b, 0) }
 
 // BenchmarkPipeFrag regenerates the pipeline-schedule fragmentation table
 // (extension).

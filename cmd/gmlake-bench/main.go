@@ -6,10 +6,13 @@
 //	gmlake-bench -list
 //	gmlake-bench -experiment figure10
 //	gmlake-bench -experiment all -out results.txt
+//	gmlake-bench -experiment headline -parallel 8
 //
 // Each experiment prints the same rows or series the paper reports, with the
 // paper's expected values in the notes. Runs are deterministic: the same
-// seed replays identical allocation streams.
+// seed replays identical allocation streams, and because experiment cells
+// share nothing and join by index, -parallel changes only wall-clock time —
+// the rendered tables are byte-identical at any worker count.
 package main
 
 import (
@@ -33,8 +36,14 @@ func main() {
 		capacity = flag.Int64("capacity-gb", 80, "per-GPU memory in GiB")
 		minSteps = flag.Int("min-steps", 40, "minimum training steps per run")
 		maxSteps = flag.Int("max-steps", 200, "maximum training steps per run")
+		par      = flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
+
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "gmlake-bench: -parallel must be >= 0, got %d\n", *par)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range harness.Experiments {
@@ -48,6 +57,7 @@ func main() {
 	env.Capacity = *capacity * sim.GiB
 	env.TotalSteps = *minSteps
 	env.MaxSteps = *maxSteps
+	env.Parallelism = *par
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

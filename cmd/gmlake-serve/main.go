@@ -8,12 +8,14 @@
 //	gmlake-serve -list
 //	gmlake-serve -mix chat-heavy -policy paged
 //	gmlake-serve -conf "backend:gmlake,serve_mix:chat+batch,burst_cv:6" -policy chunked
-//	gmlake-serve -n 500 -seed 42 -capacity-gb 2 -policy all
+//	gmlake-serve -n 500 -seed 42 -capacity-gb 2 -policy all -parallel 3
 //
-// The workload keys (serve_mix, serve_rate, burst_cv) ride in the same
-// PYTORCH_CUDA_ALLOC_CONF-style string that selects the pool allocator; the
-// -mix/-rate/-burst-cv flags are shorthands for the same knobs. Runs are
-// deterministic: one seed, one request stream, whatever the policy.
+// The workload keys (serve_mix, serve_rate, burst_cv, parallel) ride in the
+// same PYTORCH_CUDA_ALLOC_CONF-style string that selects the pool
+// allocator; the -mix/-rate/-burst-cv/-parallel flags are shorthands for
+// the same knobs. Runs are deterministic: one seed, one request stream,
+// whatever the policy — and because each policy runs on its own device and
+// pool, -parallel sweeps them concurrently without changing any report.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/memalloc"
 	"repro/internal/model"
+	"repro/internal/runner"
 	"repro/internal/serve"
 	"repro/internal/servegen"
 	"repro/internal/sim"
@@ -46,8 +49,13 @@ func main() {
 		policy   = flag.String("policy", "all", "KV policy: contiguous, paged, chunked or all")
 		batch    = flag.Int("batch", 24, "max concurrent decoding sequences")
 		capacity = flag.Float64("capacity-gb", 1.5, "device memory in GiB")
+		par      = flag.Int("parallel", 0, "policy-run workers (0 = conf's parallel key or GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *par < 0 {
+		fatal(fmt.Errorf("-parallel must be >= 0, got %d", *par))
+	}
 
 	if *list {
 		fmt.Println(strings.Join(servegen.MixNames(), "\n"))
@@ -95,11 +103,32 @@ func main() {
 	if *policy != "all" {
 		policies = []string{*policy}
 	}
-	srvCfg := serve.ServerConfig{MaxBatch: *batch}
 	for _, p := range policies {
+		switch p {
+		case "contiguous", "paged", "chunked":
+		default:
+			fatal(fmt.Errorf("unknown policy %q (contiguous, paged, chunked, all)", p))
+		}
+	}
+	srvCfg := serve.ServerConfig{MaxBatch: *batch}
+
+	// Policy runs are independent (each builds its own device, pool and
+	// manager over the identical request stream), so they sweep on the
+	// worker pool; reports print in policy order regardless of which
+	// finished first. -parallel overrides the conf string's parallel key.
+	workers := cfg.Parallelism
+	if *par > 0 {
+		workers = *par
+	}
+	type outcome struct {
+		rep   serve.Report
+		stats memalloc.Stats
+		err   error
+	}
+	results, err := runner.Collect(workers, len(policies), func(i int) outcome {
 		alloc := newAlloc()
 		var mgr serve.CacheManager
-		switch p {
+		switch policies[i] {
 		case "contiguous":
 			mgr = serve.NewContiguousKV(alloc, modelCfg, 1024)
 		case "paged":
@@ -109,21 +138,25 @@ func main() {
 			blocks := int(capBytes * 85 / 100 / (16 * perToken))
 			m, err := serve.NewPagedKV(alloc, modelCfg, 16, blocks)
 			if err != nil {
-				fatal(err)
+				return outcome{err: err}
 			}
 			defer m.Close()
 			mgr = m
 		case "chunked":
 			mgr = serve.NewChunkedKV(alloc, modelCfg, 64)
-		default:
-			fatal(fmt.Errorf("unknown policy %q (contiguous, paged, chunked, all)", p))
 		}
 		rep, err := serve.Serve(reqs, mgr, srvCfg)
-		if err != nil {
-			fmt.Printf("== %s: OOM: %v\n\n", p, err)
+		return outcome{rep: rep, stats: alloc.Stats(), err: err}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i, res := range results {
+		if res.err != nil {
+			fmt.Printf("== %s: OOM: %v\n\n", policies[i], res.err)
 			continue
 		}
-		printReport(p, rep, alloc.Stats())
+		printReport(policies[i], res.rep, res.stats)
 	}
 }
 

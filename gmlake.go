@@ -14,8 +14,24 @@
 //   - LLM fine-tuning workload generators and the experiment harness that
 //     regenerates every table and figure of the paper's evaluation;
 //   - an inference-serving substrate: three KV-cache policies under
-//     continuous batching, plus a ServeGen-style multi-tenant workload
-//     generator with per-SLO-class reporting.
+//     continuous batching — with tree-indexed admission, idle-jump and
+//     preemption-victim queues, so the serving loop stays O(log n) on long
+//     backlogged streams — plus a ServeGen-style multi-tenant workload
+//     generator with per-SLO-class reporting;
+//   - a deterministic parallel experiment engine (internal/runner): every
+//     harness experiment declares its cells (independent workload ×
+//     allocator executions, each on a private simulated rig) and a bounded
+//     worker pool sweeps them, joining results by cell index, so rendered
+//     tables are byte-identical at any parallelism.
+//
+// # Parallel experiment engine
+//
+// Experiment sweeps saturate the host instead of running one cell at a
+// time. The worker count comes from the `parallel:<n>` configuration key
+// (0 = GOMAXPROCS) or the -parallel flag of cmd/gmlake-bench and
+// cmd/gmlake-serve; determinism is preserved because cells share no state
+// and results join in declaration order. A panicking cell never wedges the
+// pool: every other cell completes and the lowest-index panic is re-raised.
 //
 // # Serving workload mixes
 //
@@ -31,6 +47,8 @@
 //	                    chat+batch, …)
 //	serve_rate:<r>      aggregate request rate override, requests/second
 //	burst_cv:<cv>       interarrival CV override for bursty classes
+//	parallel:<n>        worker-pool bound for experiment/policy sweeps
+//	                    (0 = GOMAXPROCS)
 //
 // ServeRequests runs a stream under continuous batching with SLO-aware
 // admission and preemption, and its ServeReport breaks TTFT and end-to-end

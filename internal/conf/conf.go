@@ -21,6 +21,8 @@
 //	serve_rate:<r>      aggregate request rate override, requests/second
 //	burst_cv:<cv>       interarrival CV override for the mix's bursty
 //	                    (Gamma-arrival) classes
+//	parallel:<n>        worker-pool bound for the parallel experiment
+//	                    engine and policy sweeps (0 = GOMAXPROCS)
 package conf
 
 import (
@@ -59,6 +61,12 @@ type Config struct {
 	ServeMix  string  // named client mix ("" = none configured)
 	ServeRate float64 // aggregate requests/second override (0 = mix default)
 	BurstCV   float64 // bursty-class interarrival CV override (0 = mix default)
+
+	// Parallelism bounds the worker pool of consumers that sweep
+	// independent cells (the experiment engine, policy comparisons).
+	// 0 — the default — means GOMAXPROCS; negative values are rejected
+	// at parse time.
+	Parallelism int
 }
 
 // HasServeMix reports whether the string configured a serving workload.
@@ -157,6 +165,14 @@ func Parse(s string) (Config, error) {
 				return cfg, err
 			}
 			cfg.BurstCV = f
+		case "parallel":
+			// Parsed as an integer, so "NaN", floats and junk are rejected
+			// outright; 0 is legal and means GOMAXPROCS.
+			n, err := strconv.ParseInt(val, 10, 32)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("conf: %s must be a non-negative integer, got %q", key, val)
+			}
+			cfg.Parallelism = int(n)
 		default:
 			return cfg, fmt.Errorf("conf: unknown key %q", key)
 		}

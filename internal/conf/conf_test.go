@@ -164,6 +164,39 @@ func TestServeWorkloadDefaults(t *testing.T) {
 	}
 }
 
+// TestParseParallel is table-driven over the parallel:<n> engine knob:
+// 0 (= GOMAXPROCS) and positive worker counts parse; negatives, floats,
+// NaN and junk are rejected.
+func TestParseParallel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"parallel:0", 0, true},
+		{"parallel:1", 1, true},
+		{"parallel:8", 8, true},
+		{"backend:gmlake,parallel:4", 4, true},
+		{"parallel:-1", 0, false},
+		{"parallel:-8", 0, false},
+		{"parallel:NaN", 0, false},
+		{"parallel:+Inf", 0, false},
+		{"parallel:2.5", 0, false},
+		{"parallel:many", 0, false},
+		{"parallel:", 0, false},
+	}
+	for _, c := range cases {
+		cfg, err := Parse(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("Parse(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && cfg.Parallelism != c.want {
+			t.Errorf("Parse(%q).Parallelism = %d, want %d", c.in, cfg.Parallelism, c.want)
+		}
+	}
+}
+
 func TestParseServeKeyErrors(t *testing.T) {
 	for _, s := range []string{
 		"serve_mix:nope",  // unknown mix

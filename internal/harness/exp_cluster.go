@@ -22,17 +22,27 @@ func (e *Env) ClusterExperiment() *Table {
 		Header: []string{"Allocator", "Shapes", "Mean RM(GB)", "Worst RM(GB)",
 			"Rank skew", "Min util"},
 	}
+	type cell struct {
+		alloc  string
+		shared bool
+	}
+	var cells []cell
 	for _, alloc := range []string{AllocCaching, AllocGMLake} {
 		for _, shared := range []bool{true, false} {
-			label := "per-rank"
-			if shared {
-				label = "shared"
-			}
-			s := e.runCluster(alloc, shared)
-			t.AddRow(alloc, label,
-				gb(s.MeanPeakReserved), gb(s.MaxPeakReserved),
-				fmt.Sprintf("%.3f", s.RankSkew()), pct(s.MinUtilization))
+			cells = append(cells, cell{alloc: alloc, shared: shared})
 		}
+	}
+	summaries := runCells(e, cells, func(c cell) cluster.Summary {
+		return e.runCluster(c.alloc, c.shared)
+	})
+	for i, s := range summaries {
+		label := "per-rank"
+		if cells[i].shared {
+			label = "shared"
+		}
+		t.AddRow(cells[i].alloc, label,
+			gb(s.MeanPeakReserved), gb(s.MaxPeakReserved),
+			fmt.Sprintf("%.3f", s.RankSkew()), pct(s.MinUtilization))
 	}
 	t.AddNote("beyond the paper: a job OOMs when ANY rank does, so worst-rank reserved is the operative number")
 	return t

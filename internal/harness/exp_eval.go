@@ -23,9 +23,30 @@ var figure10Models = []struct {
 	{model.GPTNeoX20B, 8, 6},
 }
 
+// comparePair is one cell result: the same spec on both allocators.
+type comparePair struct{ base, gml RunResult }
+
+// compareCells runs e.Compare over every spec as parallel cells, joined in
+// spec order.
+func (e *Env) compareCells(specs []workload.Spec) []comparePair {
+	return runCells(e, specs, func(spec workload.Spec) comparePair {
+		base, gml := e.Compare(spec, RunOptions{})
+		return comparePair{base, gml}
+	})
+}
+
 // Figure10 reproduces the strategy-scalability comparison: reserved memory
 // and utilization for N/R/LR/RO/LRO with and without GMLake, per model.
 func (e *Env) Figure10() []*Table {
+	// Cells: model × strategy, flattened so all panels sweep concurrently.
+	var specs []workload.Spec
+	for _, mc := range figure10Models {
+		for _, s := range figureStrategies {
+			specs = append(specs, workload.Spec{Model: mc.model, Strategy: s.strategy, World: mc.world, Batch: mc.batch})
+		}
+	}
+	pairs := e.compareCells(specs)
+
 	var tables []*Table
 	for i, mc := range figure10Models {
 		t := &Table{
@@ -36,13 +57,12 @@ func (e *Env) Figure10() []*Table {
 				"RM w/o GML(GB)", "RM w/ GML(GB)",
 				"UR w/o GML", "UR w/ GML", "Saved(GB)"},
 		}
-		for _, s := range figureStrategies {
-			spec := workload.Spec{Model: mc.model, Strategy: s.strategy, World: mc.world, Batch: mc.batch}
-			base, gml := e.Compare(spec, RunOptions{})
+		for j, s := range figureStrategies {
+			p := pairs[i*len(figureStrategies)+j]
 			t.AddRow(s.label,
-				gbOrOOM(base), gbOrOOM(gml),
-				pctOrOOM(base), pctOrOOM(gml),
-				savedGB(base, gml))
+				gbOrOOM(p.base), gbOrOOM(p.gml),
+				pctOrOOM(p.base), pctOrOOM(p.gml),
+				savedGB(p.base, p.gml))
 		}
 		t.AddNote("paper: GMLake lifts utilization by ~5-24%% and cuts reserved memory by ~10GB (up to 17GB)")
 		tables = append(tables, t)
@@ -63,6 +83,16 @@ var figure11Models = []struct {
 // Figure11 reproduces GPU scale-out: utilization/reserved memory (panels
 // a-c) and throughput (panels d-f) for 1..16 GPUs under LR.
 func (e *Env) Figure11() []*Table {
+	// Cells: model × world, flattened.
+	worlds := []int{1, 2, 4, 8, 16}
+	var specs []workload.Spec
+	for _, mc := range figure11Models {
+		for _, w := range worlds {
+			specs = append(specs, workload.Spec{Model: mc.model, Strategy: workload.StrategyLR, World: w, Batch: mc.batch})
+		}
+	}
+	pairs := e.compareCells(specs)
+
 	var tables []*Table
 	for i, mc := range figure11Models {
 		mem := &Table{
@@ -77,13 +107,12 @@ func (e *Env) Figure11() []*Table {
 			Title:  fmt.Sprintf("Scale-out throughput: %s, LR (samples/s)", mc.model.Name),
 			Header: []string{"GPUs", "Thru w/o GML", "Thru w/ GML"},
 		}
-		for _, w := range []int{1, 2, 4, 8, 16} {
-			spec := workload.Spec{Model: mc.model, Strategy: workload.StrategyLR, World: w, Batch: mc.batch}
-			base, gml := e.Compare(spec, RunOptions{})
+		for j, w := range worlds {
+			p := pairs[i*len(worlds)+j]
 			mem.AddRow(fmt.Sprintf("%d", w),
-				gbOrOOM(base), gbOrOOM(gml), pctOrOOM(base), pctOrOOM(gml))
+				gbOrOOM(p.base), gbOrOOM(p.gml), pctOrOOM(p.base), pctOrOOM(p.gml))
 			thr.AddRow(fmt.Sprintf("%d", w),
-				thrOrOOM(base), thrOrOOM(gml))
+				thrOrOOM(p.base), thrOrOOM(p.gml))
 		}
 		mem.AddNote("paper: baseline utilization decays with scale-out; GMLake holds ~90%%+")
 		thr.AddNote("paper: GMLake sustains throughput comparable to the baseline at every scale")
@@ -112,12 +141,14 @@ func (e *Env) Figure12() *Table {
 		{"DS-OPT-13B", workload.DeepSpeed, model.OPT13B, 24},
 		{"CAI-GPT-2", workload.ColossalAI, model.GPT2, 48},
 	}
+	var specs []workload.Spec
 	for _, c := range cases {
-		spec := workload.Spec{Model: c.model, Strategy: workload.StrategyLR,
-			Platform: c.platform, World: 4, Batch: c.batch}
-		base, gml := e.Compare(spec, RunOptions{})
-		t.AddRow(c.label, gbOrOOM(base), gbOrOOM(gml),
-			pctOrOOM(base), pctOrOOM(gml), savedGB(base, gml))
+		specs = append(specs, workload.Spec{Model: c.model, Strategy: workload.StrategyLR,
+			Platform: c.platform, World: 4, Batch: c.batch})
+	}
+	for i, p := range e.compareCells(specs) {
+		t.AddRow(cases[i].label, gbOrOOM(p.base), gbOrOOM(p.gml),
+			pctOrOOM(p.base), pctOrOOM(p.gml), savedGB(p.base, p.gml))
 	}
 	t.AddNote("paper: reductions of ~9-33%% in fragmentation and 7-25GB reserved memory across platforms")
 	return t
@@ -137,7 +168,18 @@ var figure13Sweeps = []struct {
 // throughput (panels d-f), including the OOM frontier where the baseline
 // dies but GMLake still runs.
 func (e *Env) Figure13() []*Table {
+	// Cells: every (model, batch) point of every sweep, flattened; the OOM
+	// frontier points run concurrently with the surviving ones.
+	var specs []workload.Spec
+	for _, sw := range figure13Sweeps {
+		for _, b := range sw.batches {
+			specs = append(specs, workload.Spec{Model: sw.model, Strategy: workload.StrategyLR, World: 4, Batch: b})
+		}
+	}
+	pairs := e.compareCells(specs)
+
 	var tables []*Table
+	next := 0
 	for i, sw := range figure13Sweeps {
 		mem := &Table{
 			ID:    fmt.Sprintf("figure13%c", 'a'+i),
@@ -152,11 +194,11 @@ func (e *Env) Figure13() []*Table {
 			Header: []string{"Batch", "Thru w/o GML", "Thru w/ GML"},
 		}
 		for _, b := range sw.batches {
-			spec := workload.Spec{Model: sw.model, Strategy: workload.StrategyLR, World: 4, Batch: b}
-			base, gml := e.Compare(spec, RunOptions{})
+			p := pairs[next]
+			next++
 			mem.AddRow(fmt.Sprintf("%d", b),
-				gbOrOOM(base), gbOrOOM(gml), pctOrOOM(base), pctOrOOM(gml))
-			thr.AddRow(fmt.Sprintf("%d", b), thrOrOOM(base), thrOrOOM(gml))
+				gbOrOOM(p.base), gbOrOOM(p.gml), pctOrOOM(p.base), pctOrOOM(p.gml))
+			thr.AddRow(fmt.Sprintf("%d", b), thrOrOOM(p.base), thrOrOOM(p.gml))
 		}
 		mem.AddNote("paper: baseline hits OOM at the largest batches while GMLake keeps running with >95%% utilization")
 		tables = append(tables, mem, thr)
@@ -170,8 +212,10 @@ func (e *Env) Figure13() []*Table {
 // plus the convergence observation.
 func (e *Env) Figure14() (*Table, map[string]*metrics.Timeline) {
 	spec := workload.Spec{Model: model.GPTNeoX20B, Strategy: workload.StrategyLR, World: 4, Batch: 84}
-	base := e.RunWorkload(spec, AllocCaching, RunOptions{Timeline: true})
-	gml := e.RunWorkload(spec, AllocGMLake, RunOptions{Timeline: true})
+	runs := runCells(e, []string{AllocCaching, AllocGMLake}, func(name string) RunResult {
+		return e.RunWorkload(spec, name, RunOptions{Timeline: true})
+	})
+	base, gml := runs[0], runs[1]
 
 	t := &Table{
 		ID:     "figure14",
@@ -239,8 +283,11 @@ func (e *Env) Headline() *Table {
 		completed    int
 		baselineOOMs int
 	)
-	for _, spec := range specs {
-		base, gml := e.Compare(spec, RunOptions{})
+	// The 76 workload cells sweep concurrently; the aggregation below folds
+	// their results in spec order, so the summary numbers are independent
+	// of scheduling.
+	for _, p := range e.compareCells(specs) {
+		base, gml := p.base, p.gml
 		bases = append(bases, base.Run)
 		gmls = append(gmls, gml.Run)
 		if base.OOM && !gml.OOM {

@@ -65,14 +65,24 @@ func (e *Env) Extended() *Table {
 			"Reserved(GB)", "Utilization", "Thru(samples/s)"},
 	}
 	allocators := []string{AllocCaching, AllocCachingTuned, AllocGMLake, AllocExpandable, AllocCompact}
+	type cell struct {
+		strategy workload.Strategy
+		alloc    string
+	}
+	var cells []cell
 	for _, s := range []workload.Strategy{
 		workload.StrategyR, workload.StrategyLR, workload.StrategyRO, workload.StrategyLRO,
 	} {
-		spec := workload.Spec{Model: model.OPT13B, Strategy: s, World: 4, Batch: 24}
 		for _, name := range allocators {
-			res := e.RunWorkload(spec, name, RunOptions{})
-			t.AddRow(s.Label(), name, gbOrOOM(res), pctOrOOM(res), thrOrOOM(res))
+			cells = append(cells, cell{strategy: s, alloc: name})
 		}
+	}
+	results := runCells(e, cells, func(c cell) RunResult {
+		spec := workload.Spec{Model: model.OPT13B, Strategy: c.strategy, World: 4, Batch: 24}
+		return e.RunWorkload(spec, c.alloc, RunOptions{})
+	})
+	for i, res := range results {
+		t.AddRow(cells[i].strategy.Label(), cells[i].alloc, gbOrOOM(res), pctOrOOM(res), thrOrOOM(res))
 	}
 	t.AddNote("beyond the paper: expandable segments is the VMM technique PyTorch later adopted; compaction is the §6 copy-based alternative")
 	return t
@@ -96,9 +106,8 @@ func (e *Env) Ablations() *Table {
 		{name: "frag-limit-512MB", mutate: func(c *coreConfig) { c.FragLimit = 512 << 20 }},
 		{name: "spool-cap-64", mutate: func(c *coreConfig) { c.MaxSBlocks = 64 }},
 	}
-	for _, v := range variants {
-		res := e.runGMLakeVariant(v)
-		t.AddRow(v.name, gbOrOOM(res.RunResult), pctOrOOM(res.RunResult),
+	for i, res := range runCells(e, variants, e.runGMLakeVariant) {
+		t.AddRow(variants[i].name, gbOrOOM(res.RunResult), pctOrOOM(res.RunResult),
 			thrOrOOM(res.RunResult),
 			fmt.Sprintf("%d", res.stitches), fmt.Sprintf("%d", res.stitchFrees))
 	}

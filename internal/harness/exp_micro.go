@@ -20,9 +20,12 @@ func (e *Env) Table1() *Table {
 		Header: []string{"Chunk Size", "cuMemReserve", "cuMemCreate", "cuMemMap", "cuMemSetAccess", "Total"},
 	}
 	const block = 2 * sim.GiB
-	for _, chunk := range []int64{2 * sim.MiB, 128 * sim.MiB, 1024 * sim.MiB} {
-		b := e.vmmBreakdown(block, chunk)
-		t.AddRow(sim.FormatBytes(chunk),
+	chunks := []int64{2 * sim.MiB, 128 * sim.MiB, 1024 * sim.MiB}
+	breakdowns := runCells(e, chunks, func(chunk int64) vmmBreakdown {
+		return e.vmmBreakdown(block, chunk)
+	})
+	for i, b := range breakdowns {
+		t.AddRow(sim.FormatBytes(chunks[i]),
 			fmt.Sprintf("%.3f", b.reserve), fmt.Sprintf("%.2f", b.create),
 			fmt.Sprintf("%.2f", b.mapped), fmt.Sprintf("%.2f", b.access),
 			fmt.Sprintf("%.1f", b.total()))
@@ -101,28 +104,37 @@ func (e *Env) Figure6() *Table {
 	}
 	blocks := []int64{512 * sim.MiB, 1 * sim.GiB, 2 * sim.GiB}
 
-	nat := make([]string, 0, len(blocks))
-	for _, blk := range blocks {
-		r := e.newRig(AllocNative)
-		sw := sim.StartStopwatch(r.clock)
-		ptr, err := r.driver.Malloc(blk)
-		if err != nil {
-			panic(err.Error())
-		}
-		nat = append(nat, fmt.Sprintf("%.2f", sw.Elapsed().Seconds()*1e3))
-		_ = r.driver.Free(ptr)
-	}
-	t.AddRow(append([]string{"Native"}, nat...)...)
-
-	for chunk := 2 * sim.MiB; chunk <= sim.GiB; chunk *= 2 {
-		row := []string{sim.FormatBytes(chunk)}
+	// Cells: the native row plus one row per chunk size; every row builds
+	// its rigs privately.
+	jobs := []func() []string{func() []string {
+		nat := make([]string, 0, len(blocks))
 		for _, blk := range blocks {
-			if chunk > blk {
-				row = append(row, "-")
-				continue
+			r := e.newRig(AllocNative)
+			sw := sim.StartStopwatch(r.clock)
+			ptr, err := r.driver.Malloc(blk)
+			if err != nil {
+				panic(err.Error())
 			}
-			row = append(row, fmt.Sprintf("%.2f", e.vmmAllocLatency(blk, chunk).Seconds()*1e3))
+			nat = append(nat, fmt.Sprintf("%.2f", sw.Elapsed().Seconds()*1e3))
+			_ = r.driver.Free(ptr)
 		}
+		return append([]string{"Native"}, nat...)
+	}}
+	for chunk := 2 * sim.MiB; chunk <= sim.GiB; chunk *= 2 {
+		chunk := chunk
+		jobs = append(jobs, func() []string {
+			row := []string{sim.FormatBytes(chunk)}
+			for _, blk := range blocks {
+				if chunk > blk {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.2f", e.vmmAllocLatency(blk, chunk).Seconds()*1e3))
+			}
+			return row
+		})
+	}
+	for _, row := range e.tableRows(jobs) {
 		t.AddRow(row...)
 	}
 	t.AddNote("paper: 2MB-chunked VMM is ~115x slower than native; latency falls monotonically with chunk size")
@@ -180,7 +192,8 @@ func (e *Env) NativeSlowdownEndToEnd() float64 {
 		}
 		return sw.Elapsed()
 	}
-	return float64(stepTime(AllocNative)) / float64(stepTime(AllocCaching))
+	times := runCells(e, []string{AllocNative, AllocCaching}, stepTime)
+	return float64(times[0]) / float64(times[1])
 }
 
 // NativeVsCachingSpeedup quantifies §2.2's "caching allocator is ~10x faster

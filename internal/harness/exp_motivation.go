@@ -18,19 +18,25 @@ func (e *Env) Figure3() *Table {
 		Title:  "Memory utilization by strategy combination (OPT-1.3B, 4 GPUs, caching allocator)",
 		Header: []string{"Strategy", "Utilization", "PeakActive(GB)", "PeakReserved(GB)"},
 	}
-	for _, s := range figureStrategies {
+	results := runCells(e, figureStrategies, func(s figureStrategy) RunResult {
 		spec := workload.Spec{Model: model.OPT1_3B, Strategy: s.strategy, World: 4, Batch: 48}
-		res := e.RunWorkload(spec, AllocCaching, RunOptions{})
+		return e.RunWorkload(spec, AllocCaching, RunOptions{})
+	})
+	for i, res := range results {
+		s := figureStrategies[i]
 		t.AddRow("P"+sIf(s.label != "N", s.label, ""), pct(res.Utilization()), gb(res.PeakActive), gb(res.PeakReserved))
 	}
 	t.AddNote("paper: P 97%%, PR 80%%, PLR 76%%, PRO 70%%, PLRO 73%% — utilization falls as strategies compound")
 	return t
 }
 
-var figureStrategies = []struct {
+// figureStrategy labels one strategy combination of Figures 3 and 10.
+type figureStrategy struct {
 	label    string
 	strategy workload.Strategy
-}{
+}
+
+var figureStrategies = []figureStrategy{
 	{"N", workload.StrategyN},
 	{"R", workload.StrategyR},
 	{"LR", workload.StrategyLR},
@@ -53,10 +59,13 @@ func (e *Env) Figure4() *Table {
 		Title:  "Memory utilization vs GPU count (OPT-13B, LR, caching allocator)",
 		Header: []string{"GPUs", "Utilization", "PeakActive(GB)", "PeakReserved(GB)"},
 	}
-	for _, w := range []int{1, 2, 4, 8, 16} {
+	worlds := []int{1, 2, 4, 8, 16}
+	results := runCells(e, worlds, func(w int) RunResult {
 		spec := workload.Spec{Model: model.OPT13B, Strategy: workload.StrategyLR, World: w, Batch: 24}
-		res := e.RunWorkload(spec, AllocCaching, RunOptions{})
-		t.AddRow(fmt.Sprintf("%d", w), pct(res.Utilization()), gb(res.PeakActive), gb(res.PeakReserved))
+		return e.RunWorkload(spec, AllocCaching, RunOptions{})
+	})
+	for i, res := range results {
+		t.AddRow(fmt.Sprintf("%d", worlds[i]), pct(res.Utilization()), gb(res.PeakActive), gb(res.PeakReserved))
 	}
 	t.AddNote("paper: utilization declines from ~91%% at 1 GPU to ~76%% at 16 GPUs")
 	return t
@@ -72,28 +81,39 @@ func (e *Env) Figure5() *Table {
 		Title:  "Request-stream statistics (GPT-NeoX-20B, caching allocator)",
 		Header: []string{"Config", "Allocs", "MeanSize(MB)", "Allocs/step", "Utilization"},
 	}
-	for _, cfg := range []struct {
+	cfgs := []struct {
 		label    string
 		strategy workload.Strategy
 		batch    int
 	}{
 		{"Original", workload.StrategyN, 4},
 		{"+LR", workload.StrategyLR, 4},
-	} {
-		spec := workload.Spec{Model: model.GPTNeoX20B, Strategy: cfg.strategy, World: 8, Batch: cfg.batch}
-		res := e.RunWorkload(spec, AllocCaching, RunOptions{})
-		steps := res.Steps
-		if steps == 0 {
-			steps = 1
-		}
-		t.AddRow(cfg.label,
-			fmt.Sprintf("%d", res.AllocCount),
-			fmt.Sprintf("%.0f", e.meanAllocMB(spec)),
-			fmt.Sprintf("%d", res.AllocCount/int64(steps)),
-			pct(res.Utilization()))
+	}
+	rows := e.tableRows([]func() []string{
+		func() []string { return e.figure5Row(cfgs[0].label, cfgs[0].strategy, cfgs[0].batch) },
+		func() []string { return e.figure5Row(cfgs[1].label, cfgs[1].strategy, cfgs[1].batch) },
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: plain run ~46k allocations averaging ~93MB; +LR run ~76k averaging ~85MB (more, smaller, more irregular)")
 	return t
+}
+
+// figure5Row measures one Figure 5 configuration (a run plus a traced
+// re-run for the mean request size) and renders its row.
+func (e *Env) figure5Row(label string, strategy workload.Strategy, batch int) []string {
+	spec := workload.Spec{Model: model.GPTNeoX20B, Strategy: strategy, World: 8, Batch: batch}
+	res := e.RunWorkload(spec, AllocCaching, RunOptions{})
+	steps := res.Steps
+	if steps == 0 {
+		steps = 1
+	}
+	return []string{label,
+		fmt.Sprintf("%d", res.AllocCount),
+		fmt.Sprintf("%.0f", e.meanAllocMB(spec)),
+		fmt.Sprintf("%d", res.AllocCount/int64(steps)),
+		pct(res.Utilization())}
 }
 
 // meanAllocMB computes the mean requested allocation size over a short
@@ -110,9 +130,12 @@ func (e *Env) meanAllocMB(spec workload.Spec) float64 {
 // Figure5Timelines returns the memory-footprint timelines behind Figure 5's
 // two panels, for CSV export by cmd/gmlake-trace.
 func (e *Env) Figure5Timelines() (plain, lr *metrics.Timeline) {
-	specN := workload.Spec{Model: model.GPTNeoX20B, Strategy: workload.StrategyN, World: 8, Batch: 4}
-	specLR := workload.Spec{Model: model.GPTNeoX20B, Strategy: workload.StrategyLR, World: 8, Batch: 4}
-	rn := e.RunWorkload(specN, AllocCaching, RunOptions{Timeline: true, Steps: 12})
-	rl := e.RunWorkload(specLR, AllocCaching, RunOptions{Timeline: true, Steps: 12})
-	return rn.Timeline, rl.Timeline
+	specs := []workload.Spec{
+		{Model: model.GPTNeoX20B, Strategy: workload.StrategyN, World: 8, Batch: 4},
+		{Model: model.GPTNeoX20B, Strategy: workload.StrategyLR, World: 8, Batch: 4},
+	}
+	runs := runCells(e, specs, func(spec workload.Spec) RunResult {
+		return e.RunWorkload(spec, AllocCaching, RunOptions{Timeline: true, Steps: 12})
+	})
+	return runs[0].Timeline, runs[1].Timeline
 }

@@ -24,18 +24,19 @@ const (
 	serveMixChunkTokens = 64
 )
 
+// serveMixPolicy is one compared KV-cache policy: a manager constructor
+// over a fresh rig plus the pool allocator it runs on.
+type serveMixPolicy struct {
+	policy, pool string
+	make         func(r rig) serve.CacheManager
+}
+
 // serveMixPolicies builds the compared KV-cache managers over a fresh rig
 // each; the chunked policy runs once per pool allocator to expose the
 // pool-level fragmentation GMLake removes.
-func (e *Env) serveMixPolicies() []struct {
-	policy, pool string
-	make         func(r rig) serve.CacheManager
-} {
+func (e *Env) serveMixPolicies() []serveMixPolicy {
 	cfg := model.OPT1_3B
-	return []struct {
-		policy, pool string
-		make         func(r rig) serve.CacheManager
-	}{
+	return []serveMixPolicy{
 		{"contiguous", AllocCaching, func(r rig) serve.CacheManager {
 			return serve.NewContiguousKV(r.alloc, cfg, serveMixMaxTokens)
 		}},
@@ -70,26 +71,47 @@ func (e *Env) ServeMixExperiment() *Table {
 			"served", "TTFT p50", "TTFT p95", "TTFT p99", "e2e p50", "e2e p99", "preempt", "KV share"},
 	}
 	srvCfg := serve.ServerConfig{MaxBatch: serveMixMaxBatch}
+
+	// Cells: one continuous-batching run per mix × policy. The request
+	// streams are generated up front (once per mix, shared read-only) so
+	// every cell replays the identical stream; each cell builds its own
+	// rig and cache manager.
+	type cell struct {
+		mix    servegen.Mix
+		reqs   []serve.Request
+		policy serveMixPolicy
+	}
+	var cells []cell
 	for _, mix := range servegen.Mixes() {
 		reqs, err := mix.Generate(serveMixRequests, e.Seed)
 		if err != nil {
 			panic("harness: " + err.Error())
 		}
 		for _, p := range e.serveMixPolicies() {
-			r := e.newServeRig(p.pool)
-			mgr := p.make(r)
-			rep, err := serve.Serve(reqs, mgr, srvCfg)
-			if err != nil {
-				t.AddRow(mix.Name, p.policy, p.pool, "ALL", "-", "OOM", "-", "-", "-", "-", "-", "-", "-")
-				continue
-			}
-			for _, cr := range rep.Classes {
-				t.AddRow(mix.Name, p.policy, p.pool, cr.Class, cr.SLO,
-					fmt.Sprint(cr.Served),
-					ms(cr.TTFT.P50), ms(cr.TTFT.P95), ms(cr.TTFT.P99),
-					ms(cr.E2E.P50), ms(cr.E2E.P99),
-					fmt.Sprint(cr.Preemptions), pct(cr.KVShare))
-			}
+			cells = append(cells, cell{mix: mix, reqs: reqs, policy: p})
+		}
+	}
+	reports := runCells(e, cells, func(c cell) [][]string {
+		r := e.newServeRig(c.policy.pool)
+		mgr := c.policy.make(r)
+		rep, err := serve.Serve(c.reqs, mgr, srvCfg)
+		if err != nil {
+			return [][]string{{c.mix.Name, c.policy.policy, c.policy.pool,
+				"ALL", "-", "OOM", "-", "-", "-", "-", "-", "-", "-"}}
+		}
+		var rows [][]string
+		for _, cr := range rep.Classes {
+			rows = append(rows, []string{c.mix.Name, c.policy.policy, c.policy.pool,
+				cr.Class, cr.SLO, fmt.Sprint(cr.Served),
+				ms(cr.TTFT.P50), ms(cr.TTFT.P95), ms(cr.TTFT.P99),
+				ms(cr.E2E.P50), ms(cr.E2E.P99),
+				fmt.Sprint(cr.Preemptions), pct(cr.KVShare)})
+		}
+		return rows
+	})
+	for _, rows := range reports {
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 	}
 	t.AddNote("same seed => identical request streams for every policy; TTFT/e2e are virtual-clock ms.")
@@ -98,13 +120,12 @@ func (e *Env) ServeMixExperiment() *Table {
 	return t
 }
 
-// newServeRig is newRig on the serving testbed's smaller device.
+// newServeRig is newRig on the serving testbed's smaller device. It takes
+// the capacity as an argument rather than temporarily mutating e.Capacity:
+// rigs are built inside parallel experiment cells, so Env must stay
+// read-only while cells run.
 func (e *Env) newServeRig(name string) rig {
-	saved := e.Capacity
-	e.Capacity = serveMixCapacity
-	r := e.newRig(name)
-	e.Capacity = saved
-	return r
+	return e.newRigCap(name, serveMixCapacity)
 }
 
 // ms renders a duration as whole milliseconds.

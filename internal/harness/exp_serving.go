@@ -28,40 +28,42 @@ func (e *Env) ServingExperiment() *Table {
 	cfg := model.OPT1_3B
 	srvCfg := serve.ServerConfig{MaxBatch: 12}
 
-	run := func(policy, pool string, mgr serve.CacheManager, stats func() (int64, float64)) {
+	// Cells: one serving run per policy × pool; each cell owns its rig and
+	// manager and renders its row.
+	row := func(policy, pool string, mgr serve.CacheManager, r rig) []string {
 		rep, err := serve.Serve(reqs, mgr, srvCfg)
 		if err != nil {
-			t.AddRow(policy, pool, "OOM", "-", "-", "-", "-", "-")
-			return
+			return []string{policy, pool, "OOM", "-", "-", "-", "-", "-"}
 		}
-		reserved, util := stats()
-		t.AddRow(policy, pool,
+		st := r.alloc.Stats()
+		return []string{policy, pool,
 			fmt.Sprint(rep.Served), fmt.Sprintf("%.1f", rep.MeanBatch),
-			pct(rep.MeanWaste), gb(reserved), pct(util), fmt.Sprint(rep.Preemptions))
+			pct(rep.MeanWaste), gb(st.PeakReserved), pct(st.Utilization()), fmt.Sprint(rep.Preemptions)}
 	}
-	allocStats := func(r rig) func() (int64, float64) {
-		return func() (int64, float64) {
-			st := r.alloc.Stats()
-			return st.PeakReserved, st.Utilization()
-		}
-	}
-
-	{
-		r := e.newRig(AllocCaching)
-		run("contiguous", AllocCaching, serve.NewContiguousKV(r.alloc, cfg, 1024), allocStats(r))
-	}
-	{
-		r := e.newRig(AllocCaching)
-		mgr, err := serve.NewPagedKV(r.alloc, cfg, 16, 4096)
-		if err != nil {
-			panic("harness: " + err.Error())
-		}
-		run("paged (vLLM)", AllocCaching, mgr, allocStats(r))
-		mgr.Close()
+	jobs := []func() []string{
+		func() []string {
+			r := e.newRig(AllocCaching)
+			return row("contiguous", AllocCaching, serve.NewContiguousKV(r.alloc, cfg, 1024), r)
+		},
+		func() []string {
+			r := e.newRig(AllocCaching)
+			mgr, err := serve.NewPagedKV(r.alloc, cfg, 16, 4096)
+			if err != nil {
+				panic("harness: " + err.Error())
+			}
+			defer mgr.Close()
+			return row("paged (vLLM)", AllocCaching, mgr, r)
+		},
 	}
 	for _, pool := range []string{AllocCaching, AllocGMLake} {
-		r := e.newRig(pool)
-		run("chunked", pool, serve.NewChunkedKV(r.alloc, cfg, 64), allocStats(r))
+		pool := pool
+		jobs = append(jobs, func() []string {
+			r := e.newRig(pool)
+			return row("chunked", pool, serve.NewChunkedKV(r.alloc, cfg, 64), r)
+		})
+	}
+	for _, cells := range e.tableRows(jobs) {
+		t.AddRow(cells...)
 	}
 	t.AddNote("paged removes in-tensor padding waste but needed a pre-reserved slab; chunked pushes the")
 	t.AddNote("problem down to the pool, where variable prompt sizes fragment the caching allocator and")
@@ -87,9 +89,10 @@ func (e *Env) FragIndexExperiment() *Table {
 		World:    4,
 		Batch:    16,
 	}
-	for _, allocName := range []string{AllocCaching, AllocGMLake} {
+	spec.Seed = e.Seed
+	allocNames := []string{AllocCaching, AllocGMLake}
+	snaps := runCells(e, allocNames, func(allocName string) fragstat.Snapshot {
 		r := e.newRig(allocName)
-		spec.Seed = e.Seed
 		tr, err := workload.NewTrainer(spec, r.alloc, r.clock)
 		if err != nil {
 			panic("harness: " + err.Error())
@@ -108,11 +111,14 @@ func (e *Env) FragIndexExperiment() *Table {
 		if !ok {
 			panic("harness: allocator does not expose free blocks")
 		}
-		t.AddRow(allocName,
+		tr.Teardown()
+		return snap
+	})
+	for i, snap := range snaps {
+		t.AddRow(allocNames[i],
 			fmt.Sprint(len(snap.Free)), gb(snap.FreeBytes()), gb(snap.LargestFree()),
 			pct(snap.ExternalFragmentation()),
 			pct(snap.UnusableIndex(512*sim.MiB)), pct(snap.UnusableIndex(sim.GiB)))
-		tr.Teardown()
 	}
 	t.AddNote("for GMLake the indices overstate waste: inactive pBlocks counted 'unusable' at a size are")
 	t.AddNote("still stitchable into that size, which is precisely the mechanism the paper introduces.")

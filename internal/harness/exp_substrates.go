@@ -26,16 +26,26 @@ func (e *Env) ZeROExperiment() *Table {
 		Header: []string{"stage", "world", "params(GB)", "grads(GB)", "optim(GB)", "total(GB)", "comm/step(GB)"},
 	}
 	params := model.OPT13B.Params()
+	type cell struct {
+		stage parallel.ZeROStage
+		world int
+	}
+	var cells []cell
 	for _, stage := range []parallel.ZeROStage{parallel.Stage0, parallel.Stage1, parallel.Stage2, parallel.Stage3} {
 		for _, world := range []int{1, 4, 16} {
-			b, err := parallel.ZeROState(params, world, stage)
-			if err != nil {
-				panic("harness: " + err.Error())
-			}
-			comm := parallel.ZeROStepCommBytes(params, world, stage)
-			t.AddRow(stage.String(), fmt.Sprint(world),
-				gb(b.Params), gb(b.Grads), gb(b.Optimizer), gb(b.Total()), gb(comm))
+			cells = append(cells, cell{stage: stage, world: world})
 		}
+	}
+	for _, row := range runCells(e, cells, func(c cell) []string {
+		b, err := parallel.ZeROState(params, c.world, c.stage)
+		if err != nil {
+			panic("harness: " + err.Error())
+		}
+		comm := parallel.ZeROStepCommBytes(params, c.world, c.stage)
+		return []string{c.stage.String(), fmt.Sprint(c.world),
+			gb(b.Params), gb(b.Grads), gb(b.Optimizer), gb(b.Total()), gb(comm)}
+	}) {
+		t.AddRow(row...)
 	}
 	t.AddNote("ZeRO-3 cuts a 16-rank job's per-rank state 8x vs ZeRO-0 but pays 2 extra parameter gathers per step;")
 	t.AddNote("each gather materializes transient full layers — the alloc/free churn behind Figure 4's utilization drop.")
@@ -63,7 +73,10 @@ func (e *Env) TopologyExperiment() *Table {
 		{parallel.Topology{DP: 2, TP: 2, PP: 2}, parallel.Stage1},
 		{parallel.Topology{DP: 4, TP: 2, PP: 2}, parallel.Stage3},
 	}
-	for _, c := range cases {
+	for _, row := range runCells(e, cases, func(c struct {
+		topo parallel.Topology
+		zero parallel.ZeROStage
+	}) []string {
 		plan, err := parallel.PlanMemory(cfg, c.topo, c.zero, parallel.OneFOneB, 4, 0)
 		if err != nil {
 			panic("harness: " + err.Error())
@@ -74,9 +87,11 @@ func (e *Env) TopologyExperiment() *Table {
 				worst = d
 			}
 		}
-		t.AddRow(c.topo.String(), fmt.Sprint(c.topo.World()), c.zero.String(),
+		return []string{c.topo.String(), fmt.Sprint(c.topo.World()), c.zero.String(),
 			gb(plan.MaxRankBytes()), gb(worst.State.Total()), gb(worst.Activations),
-			fmt.Sprint(plan.Fits(80*sim.GiB, 0.1)))
+			fmt.Sprint(plan.Fits(80*sim.GiB, 0.1))}
+	}) {
+		t.AddRow(row...)
 	}
 	t.AddNote("20B parameters at 16 bytes/param need 325 GB of state: no single 80 GB device fits without sharding.")
 	return t
@@ -94,27 +109,36 @@ func (e *Env) RecomputeExperiment() *Table {
 	m := recompute.ForModel(model.GPTNeoX20B, 16, 0, 0)
 	full := m.Evaluate(recompute.NoRecompute())
 
-	addPlan := func(name string, p recompute.Plan) {
+	// Cells: one plan evaluation per row; m is shared read-only (value
+	// receiver, pure evaluation).
+	planRow := func(name string, p recompute.Plan) []string {
 		r := m.Evaluate(p)
-		t.AddRow(name, fmt.Sprint(r.Segments), gb(r.PeakBytes), gb(r.StoredBytes),
+		return []string{name, fmt.Sprint(r.Segments), gb(r.PeakBytes), gb(r.StoredBytes),
 			r.ExtraTime.Round(time.Millisecond).String(),
-			pct(float64(r.PeakBytes)/float64(full.PeakBytes)))
+			pct(float64(r.PeakBytes) / float64(full.PeakBytes))}
 	}
-	addPlan("store-all", recompute.NoRecompute())
+	jobs := []func() []string{
+		func() []string { return planRow("store-all", recompute.NoRecompute()) },
+	}
 	if p, err := recompute.SqrtN(len(m.Layers)); err == nil {
-		addPlan("sqrt(N)", p)
+		jobs = append(jobs, func() []string { return planRow("sqrt(N)", p) })
 	}
 	if p, err := recompute.Uniform(len(m.Layers), 1); err == nil {
-		addPlan("per-layer", p)
+		jobs = append(jobs, func() []string { return planRow("per-layer", p) })
 	}
 	for _, frac := range []float64{0.5, 0.25, 0.1} {
-		budget := int64(float64(full.PeakBytes) * frac)
-		p, err := m.PlanForBudget(budget)
-		if err != nil {
-			t.AddRow(fmt.Sprintf("budget %.0f%%", frac*100), "-", "infeasible", "-", "-", "-")
-			continue
-		}
-		addPlan(fmt.Sprintf("budget %.0f%%", frac*100), p)
+		frac := frac
+		jobs = append(jobs, func() []string {
+			budget := int64(float64(full.PeakBytes) * frac)
+			p, err := m.PlanForBudget(budget)
+			if err != nil {
+				return []string{fmt.Sprintf("budget %.0f%%", frac*100), "-", "infeasible", "-", "-", "-"}
+			}
+			return planRow(fmt.Sprintf("budget %.0f%%", frac*100), p)
+		})
+	}
+	for _, row := range e.tableRows(jobs) {
+		t.AddRow(row...)
 	}
 	t.AddNote("checkpointing converts a big resident activation set into per-segment recompute bursts of")
 	t.AddNote("short-lived tensors — the small-and-frequent request pattern of Figure 5's right panel.")
@@ -134,37 +158,50 @@ func (e *Env) OffloadExperiment() *Table {
 	shard := model.ShardBytes(model.OPT13B.Params()*model.DTypeBytes, 4)
 	links := []struct {
 		name string
-		link *offload.Link
+		link func() *offload.Link
 		pin  bool
 	}{
-		{"pcie-pinned", offload.DefaultPCIe(), true},
-		{"pcie-pageable", offload.DefaultPCIe(), false},
-		{"nvlink-c2c", offload.NVLinkC2C(), true},
+		{"pcie-pinned", offload.DefaultPCIe, true},
+		{"pcie-pageable", offload.DefaultPCIe, false},
+		{"nvlink-c2c", offload.NVLinkC2C, true},
 	}
-	for _, l := range links {
+	// One cell per link × bucket; the link constructors run inside the cell
+	// so concurrent cells never share a Link value.
+	type cell struct {
+		linkIdx int
+		bucket  int64
+	}
+	var cells []cell
+	for i := range links {
 		for _, bucket := range []int64{16 * sim.MiB, 64 * sim.MiB, 256 * sim.MiB} {
-			r := e.newRig(AllocCaching)
-			sched := stream.NewScheduler(r.clock)
-			engine := offload.NewEngine(l.link, sched)
-			opt, err := offload.NewOptimizer(offload.OptimizerConfig{
-				Bucket:     bucket,
-				Pinned:     l.pin,
-				StageOnGPU: true,
-			}, engine, r.alloc, shard)
-			if err != nil {
-				panic("harness: " + err.Error())
-			}
-			elapsed, err := opt.Step(shard)
-			if err != nil {
-				panic("harness: " + err.Error())
-			}
-			serial := opt.SerialStepEstimate(shard)
-			t.AddRow(l.name, sim.FormatBytes(bucket),
-				elapsed.Round(time.Millisecond).String(),
-				serial.Round(time.Millisecond).String(),
-				fmt.Sprintf("%.2fx", float64(serial)/float64(elapsed)),
-				fmt.Sprint(r.alloc.Stats().AllocCount))
+			cells = append(cells, cell{linkIdx: i, bucket: bucket})
 		}
+	}
+	for _, row := range runCells(e, cells, func(c cell) []string {
+		l := links[c.linkIdx]
+		r := e.newRig(AllocCaching)
+		sched := stream.NewScheduler(r.clock)
+		engine := offload.NewEngine(l.link(), sched)
+		opt, err := offload.NewOptimizer(offload.OptimizerConfig{
+			Bucket:     c.bucket,
+			Pinned:     l.pin,
+			StageOnGPU: true,
+		}, engine, r.alloc, shard)
+		if err != nil {
+			panic("harness: " + err.Error())
+		}
+		elapsed, err := opt.Step(shard)
+		if err != nil {
+			panic("harness: " + err.Error())
+		}
+		serial := opt.SerialStepEstimate(shard)
+		return []string{l.name, sim.FormatBytes(c.bucket),
+			elapsed.Round(time.Millisecond).String(),
+			serial.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", float64(serial)/float64(elapsed)),
+			fmt.Sprint(r.alloc.Stats().AllocCount)}
+	}) {
+		t.AddRow(row...)
 	}
 	t.AddNote("the bucketed D2H → CPU-Adam → H2D pipeline hides most transfer time behind CPU compute;")
 	t.AddNote("every bucket is one staging alloc+free on the GPU — offload's contribution to Observation 1.")
@@ -186,30 +223,40 @@ func (e *Env) StreamsExperiment() *Table {
 		bufSize = 256 * sim.MiB
 		kernel  = 5 * time.Millisecond
 	)
+	type cell struct {
+		alloc string
+		share bool
+	}
+	var cells []cell
 	for _, allocName := range []string{AllocCaching, AllocGMLake} {
 		for _, share := range []bool{false, true} {
-			r := e.newRig(allocName)
-			sched := stream.NewScheduler(r.clock)
-			side := sched.NewStream()
-			sa := stream.NewAllocator(r.alloc, sched)
-
-			for i := 0; i < rounds; i++ {
-				b, err := sa.Alloc(bufSize)
-				if err != nil {
-					panic("harness: streams experiment OOM")
-				}
-				if share {
-					// A kernel on the side stream reads the buffer.
-					sched.Launch(side, kernel)
-					sa.RecordStream(b, side)
-				}
-				sa.Free(b)
-			}
-			sa.SynchronizeAndFree()
-			st := sa.Stats()
-			t.AddRow(allocName, fmt.Sprint(share), gb(st.PeakReserved),
-				fmt.Sprint(sa.DeferredTotal()), fmt.Sprint(sched.EventsRecorded()))
+			cells = append(cells, cell{alloc: allocName, share: share})
 		}
+	}
+	for _, row := range runCells(e, cells, func(c cell) []string {
+		r := e.newRig(c.alloc)
+		sched := stream.NewScheduler(r.clock)
+		side := sched.NewStream()
+		sa := stream.NewAllocator(r.alloc, sched)
+
+		for i := 0; i < rounds; i++ {
+			b, err := sa.Alloc(bufSize)
+			if err != nil {
+				panic("harness: streams experiment OOM")
+			}
+			if c.share {
+				// A kernel on the side stream reads the buffer.
+				sched.Launch(side, kernel)
+				sa.RecordStream(b, side)
+			}
+			sa.Free(b)
+		}
+		sa.SynchronizeAndFree()
+		st := sa.Stats()
+		return []string{c.alloc, fmt.Sprint(c.share), gb(st.PeakReserved),
+			fmt.Sprint(sa.DeferredTotal()), fmt.Sprint(sched.EventsRecorded())}
+	}) {
+		t.AddRow(row...)
 	}
 	t.AddNote("without sharing each free is immediate and one block is reused for all rounds;")
 	t.AddNote("with a busy consumer stream the free defers behind an event, forcing fresh reservations.")
@@ -226,36 +273,46 @@ func (e *Env) PipelineExperiment() *Table {
 		Title:  "Pipeline schedules vs allocators, OPT-13B, 4 stages, 20% seq jitter",
 		Header: []string{"schedule", "allocator", "worst reserved (GB)", "worst util", "OOM stages"},
 	}
+	type cell struct {
+		sched parallel.Schedule
+		alloc string
+	}
+	var cells []cell
 	for _, sched := range []parallel.Schedule{parallel.GPipe, parallel.OneFOneB} {
 		for _, allocName := range []string{AllocCaching, AllocGMLake} {
-			cfg := pipesim.Config{
-				Model: model.OPT13B,
-				Pipe: parallel.PipelineConfig{
-					Stages:       4,
-					MicroBatches: 16,
-					Schedule:     sched,
-				},
-				MicroBatch: 2,
-				SeqJitter:  0.2,
-				Steps:      max(2, e.TotalSteps/5),
-				Seed:       e.Seed,
-			}
-			results, err := pipesim.Run(cfg, func(int) memalloc.Allocator {
-				return e.newRig(allocName).alloc
-			})
-			if err != nil {
-				panic("harness: " + err.Error())
-			}
-			ooms := 0
-			for _, r := range results {
-				if r.OOM {
-					ooms++
-				}
-			}
-			worst := pipesim.WorstStage(results)
-			t.AddRow(sched.String(), allocName,
-				gb(worst.Stats.PeakReserved), pct(worst.Stats.Utilization()), fmt.Sprint(ooms))
+			cells = append(cells, cell{sched: sched, alloc: allocName})
 		}
+	}
+	for _, row := range runCells(e, cells, func(c cell) []string {
+		cfg := pipesim.Config{
+			Model: model.OPT13B,
+			Pipe: parallel.PipelineConfig{
+				Stages:       4,
+				MicroBatches: 16,
+				Schedule:     c.sched,
+			},
+			MicroBatch: 2,
+			SeqJitter:  0.2,
+			Steps:      max(2, e.TotalSteps/5),
+			Seed:       e.Seed,
+		}
+		results, err := pipesim.Run(cfg, func(int) memalloc.Allocator {
+			return e.newRig(c.alloc).alloc
+		})
+		if err != nil {
+			panic("harness: " + err.Error())
+		}
+		ooms := 0
+		for _, r := range results {
+			if r.OOM {
+				ooms++
+			}
+		}
+		worst := pipesim.WorstStage(results)
+		return []string{c.sched.String(), c.alloc,
+			gb(worst.Stats.PeakReserved), pct(worst.Stats.Utilization()), fmt.Sprint(ooms)}
+	}) {
+		t.AddRow(row...)
 	}
 	t.AddNote("GPipe buffers all 16 microbatches at the flush; 1F1B holds at most the stage depth but")
 	t.AddNote("recycles jittered sizes through the pool every slot — the churn GMLake absorbs.")

@@ -59,6 +59,13 @@ type Env struct {
 
 	// Seed drives the workload generators.
 	Seed uint64
+
+	// Parallelism bounds the experiment engine's worker pool: experiment
+	// cells (independent workload × allocator executions, each on its own
+	// rig) run on up to this many goroutines, and their results are joined
+	// by cell index so rendered tables are byte-identical to a sequential
+	// run. 0 means GOMAXPROCS; 1 forces sequential execution.
+	Parallelism int
 }
 
 // NewEnv returns the default environment.
@@ -80,8 +87,13 @@ type rig struct {
 	alloc  memalloc.Allocator
 }
 
-func (e *Env) newRig(name string) rig {
-	dev := gpu.NewDevice("sim-a100", e.Capacity)
+func (e *Env) newRig(name string) rig { return e.newRigCap(name, e.Capacity) }
+
+// newRigCap assembles a rig on a device of an explicit capacity. It must
+// not read mutable Env state beyond its arguments: rigs are built inside
+// parallel experiment cells.
+func (e *Env) newRigCap(name string, capacity int64) rig {
+	dev := gpu.NewDevice("sim-a100", capacity)
 	clock := sim.NewClock()
 	driver := cuda.NewDriver(dev, clock, sim.DefaultCostModel())
 	var alloc memalloc.Allocator

@@ -1,0 +1,113 @@
+// Package runner is a deterministic parallel job engine: jobs are indexed
+// closures, a bounded worker pool executes them, and results are joined by
+// index so the assembled output never depends on goroutine scheduling.
+//
+// The harness uses it to run experiment cells — each cell builds its own
+// fully isolated rig (device, virtual clock, driver, allocator), so cells
+// are embarrassingly parallel and the only discipline required is the one
+// this package enforces: fixed-order join, bounded workers, and per-job
+// panic capture so one bad cell can never wedge the pool.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError reports a panic inside one job, identified by its index. When
+// several jobs panic, Do returns the lowest-index one, so the surfaced
+// failure is deterministic regardless of scheduling.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.Index, e.Value)
+}
+
+// Workers resolves a parallelism setting: n > 0 is taken as-is, anything
+// else means GOMAXPROCS (use every processor the runtime may schedule on).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(0) … fn(n-1) on at most Workers(workers) goroutines and waits
+// for all of them. Every job runs exactly once even when other jobs panic:
+// a panic is captured with its stack, the worker moves on, and after the
+// join the lowest-index capture is returned as a *PanicError. The caller's
+// goroutine executes jobs too when workers == 1, keeping the sequential
+// path allocation-free and easy to step through.
+func Do(workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		mu    sync.Mutex
+		first *PanicError
+	)
+	record := func(i int) {
+		if v := recover(); v != nil {
+			pe := &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			mu.Lock()
+			if first == nil || pe.Index < first.Index {
+				first = pe
+			}
+			mu.Unlock()
+		}
+	}
+	job := func(i int) {
+		defer record(i)
+		fn(i)
+	}
+
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					job(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	if first != nil {
+		return first
+	}
+	return nil
+}
+
+// Collect runs fn for every index on the pool and returns the results
+// joined by index: out[i] is fn(i)'s return value, whatever order the jobs
+// actually ran in. On a panic the partial results are returned alongside
+// the *PanicError (the panicked indexes hold zero values).
+func Collect[R any](workers, n int, fn func(i int) R) ([]R, error) {
+	out := make([]R, n)
+	err := Do(workers, n, func(i int) { out[i] = fn(i) })
+	return out, err
+}

@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCollectJoinsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		out, err := Collect(workers, 100, func(i int) int { return i * i })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestDoRunsEveryJobExactlyOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int64
+	if err := Do(8, n, func(i int) { counts[i].Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestPanicSurfacesWithoutWedgingPool: a panicking job must not deadlock or
+// starve the pool — every other job still runs, and the panic comes back as
+// a typed error naming the job.
+func TestPanicSurfacesWithoutWedgingPool(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := Do(workers, n, func(i int) {
+			if i == 17 {
+				panic("cell exploded")
+			}
+			ran.Add(1)
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 17 {
+			t.Fatalf("workers=%d: panic index %d, want 17", workers, pe.Index)
+		}
+		if pe.Value != "cell exploded" {
+			t.Fatalf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "job 17") {
+			t.Fatalf("workers=%d: capture incomplete: %v", workers, pe)
+		}
+		if got := ran.Load(); got != n-1 {
+			t.Fatalf("workers=%d: %d of %d healthy jobs ran", workers, got, n-1)
+		}
+	}
+}
+
+// TestLowestIndexPanicWins: with several panicking jobs the reported one is
+// the lowest index, so failures are deterministic under any scheduling.
+func TestLowestIndexPanicWins(t *testing.T) {
+	err := Do(8, 32, func(i int) {
+		if i%2 == 1 {
+			panic(i)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Index != 1 {
+		t.Fatalf("reported index %d, want 1", pe.Index)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	if err := Do(4, 0, func(int) { t.Fatal("job ran") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectReturnsPartialResultsOnPanic: healthy jobs' results survive a
+// sibling's panic.
+func TestCollectReturnsPartialResultsOnPanic(t *testing.T) {
+	out, err := Collect(4, 8, func(i int) int {
+		if i == 3 {
+			panic("boom")
+		}
+		return i + 1
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	for i, v := range out {
+		if i == 3 {
+			if v != 0 {
+				t.Fatalf("panicked slot holds %d", v)
+			}
+			continue
+		}
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/container"
 )
 
 // Default step costs. Latency is simulated, not measured: one decode step
@@ -128,6 +130,337 @@ func (t *track) class() string {
 	return t.req.Class
 }
 
+// active is one sequence currently in the decoding batch.
+type active struct {
+	rec        *track
+	handle     SeqHandle
+	remaining  int
+	admitOrder int64
+	// node is the sequence's handle in the victim-ordered running index;
+	// nil once the sequence has left the batch.
+	node *container.Node[*active]
+	// evicted marks a sequence preempted during the current decode step so
+	// the step loop never touches it again.
+	evicted bool
+}
+
+// waiting is one request in the pending set: a track plus the FIFO ticket
+// that orders it against same-priority peers. Requeued (preempted)
+// sequences draw a fresh ticket, putting them behind everything already
+// waiting — exactly the position an append to a pending slice would give
+// them.
+type waiting struct {
+	rec *track
+	seq int64
+}
+
+// server is the continuous-batching loop with its indexed queues. The
+// pending set is split by arrival: `future` orders not-yet-arrived requests
+// by (ArrivalAt, ticket) so promotion and the idle-jump are O(log n), and
+// `ready` orders arrived-unadmitted requests by (priority desc, ticket asc)
+// so the admission candidate is its minimum. The running batch keeps a
+// slice for deterministic step order plus `victims`, a tree ordered by
+// (priority asc, admitOrder desc) whose minimum is the preemption victim.
+// All three replace the linear rescans of the slice-based loop; the
+// selection rules are unchanged, so reports are identical.
+type server struct {
+	mgr        CacheManager
+	maxBatch   int
+	stepTime   time.Duration
+	prefillTok time.Duration
+
+	now  time.Duration
+	rep  Report
+	recs []*track
+
+	future  *container.Tree[waiting]
+	ready   *container.Tree[waiting]
+	nextTkt int64
+
+	running  []*active
+	victims  *container.Tree[*active]
+	admitSeq int64
+
+	batchSum, wasteSum float64
+	classPreempt       map[string]int64
+	classTokenSteps    map[string]float64
+	totalTokenSteps    float64
+}
+
+// victimLess is the preemption order: lower priority first, then most
+// recently admitted. It doubles as the eligibility rule — v may be evicted
+// in favour of keep iff victimLess(v, keep) — so the tree minimum is both
+// the candidate and the proof: if even the minimum is not below keep,
+// nothing in the batch is evictable for it. Higher-priority sequences are
+// never evicted (the SLO guarantee), and same-priority older ones are off
+// limits so the oldest sequence of the top class always makes monotonic
+// progress — without that rule two sequences that cannot coexist in memory
+// preempt each other forever, each eviction resetting the other's decode.
+func victimLess(a, b *active) bool {
+	if a.rec.req.Priority != b.rec.req.Priority {
+		return a.rec.req.Priority < b.rec.req.Priority
+	}
+	return a.admitOrder > b.admitOrder
+}
+
+func newServer(reqs []Request, mgr CacheManager, cfg ServerConfig) (*server, error) {
+	if cfg.MaxBatch <= 0 {
+		return nil, fmt.Errorf("serve: max batch %d", cfg.MaxBatch)
+	}
+	s := &server{
+		mgr:        mgr,
+		maxBatch:   cfg.MaxBatch,
+		stepTime:   cfg.StepTime,
+		prefillTok: cfg.PrefillTokenTime,
+		future: container.NewTree[waiting](func(a, b waiting) bool {
+			if a.rec.req.ArrivalAt != b.rec.req.ArrivalAt {
+				return a.rec.req.ArrivalAt < b.rec.req.ArrivalAt
+			}
+			return a.seq < b.seq
+		}),
+		ready: container.NewTree[waiting](func(a, b waiting) bool {
+			if a.rec.req.Priority != b.rec.req.Priority {
+				return a.rec.req.Priority > b.rec.req.Priority
+			}
+			return a.seq < b.seq
+		}),
+		victims:         container.NewTree[*active](victimLess),
+		classPreempt:    map[string]int64{},
+		classTokenSteps: map[string]float64{},
+	}
+	if s.stepTime == 0 {
+		s.stepTime = DefaultStepTime
+	}
+	if s.prefillTok == 0 {
+		s.prefillTok = DefaultPrefillTokenTime
+	}
+	s.recs = make([]*track, len(reqs))
+	for i, r := range reqs {
+		s.recs[i] = &track{req: r}
+		s.enqueue(s.recs[i])
+	}
+	return s, nil
+}
+
+// enqueue adds rec to the pending set with a fresh FIFO ticket, routing it
+// by arrival time.
+func (s *server) enqueue(rec *track) {
+	w := waiting{rec: rec, seq: s.nextTkt}
+	s.nextTkt++
+	if rec.req.ArrivalAt > s.now {
+		s.future.Insert(w)
+	} else {
+		s.ready.Insert(w)
+	}
+}
+
+// promoteArrivals moves every request whose arrival time has passed from
+// the future index into the ready index, keeping its ticket.
+func (s *server) promoteArrivals() {
+	for n := s.future.Min(); n != nil && n.Value.rec.req.ArrivalAt <= s.now; n = s.future.Min() {
+		w := n.Value
+		s.future.Delete(n)
+		s.ready.Insert(w)
+	}
+}
+
+// pendingLen is the size of the whole pending set.
+func (s *server) pendingLen() int { return s.future.Len() + s.ready.Len() }
+
+// admit fills the batch with arrived requests while memory lasts: highest
+// priority first, FIFO within a priority. It returns the prompt tokens
+// prefilled by the admissions for this step's cost, and an error when a
+// request cannot fit even on an idle server.
+func (s *server) admit() (prefillTokens int64, err error) {
+	s.promoteArrivals()
+	for len(s.running) < s.maxBatch {
+		n := s.ready.Min()
+		if n == nil {
+			break
+		}
+		rec := n.Value.rec
+		h, err := s.mgr.Admit(rec.req)
+		if err != nil {
+			s.rep.AdmitFailures++
+			if len(s.running) == 0 {
+				return prefillTokens, fmt.Errorf("serve: request %d does not fit even alone: %w", rec.req.ID, err)
+			}
+			break // head-of-line waits for capacity
+		}
+		s.ready.Delete(n)
+		s.admitSeq++
+		a := &active{rec: rec, handle: h, remaining: rec.req.OutputLen, admitOrder: s.admitSeq}
+		a.node = s.victims.Insert(a)
+		s.running = append(s.running, a)
+		prefillTokens += int64(rec.req.PromptLen)
+	}
+	return prefillTokens, nil
+}
+
+// jumpToNextArrival advances the idle server's clock to the next pending
+// arrival.
+func (s *server) jumpToNextArrival() error {
+	n := s.future.Min()
+	if n == nil {
+		// Unreachable: an arrived request on an idle server is either
+		// admitted or fails hard in admit.
+		return fmt.Errorf("serve: idle with %d arrived requests unadmitted", s.ready.Len())
+	}
+	if at := n.Value.rec.req.ArrivalAt; at > s.now {
+		s.now = at
+	}
+	return nil
+}
+
+// removeFromBatch takes a out of the running set (slice and victim index).
+func (s *server) removeFromBatch(a *active) {
+	s.victims.Delete(a.node)
+	a.node = nil
+	for i, v := range s.running {
+		if v == a {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+	panic("serve: active sequence missing from batch")
+}
+
+// evict requeues the sequence in full (vLLM's recompute-preemption),
+// releases its KV storage, and marks it so the in-flight decode step skips
+// it.
+func (s *server) evict(a *active) {
+	s.rep.Preemptions++
+	s.classPreempt[a.rec.class()]++
+	a.evicted = true
+	s.removeFromBatch(a)
+	s.mgr.Release(a.handle)
+	s.enqueue(a.rec)
+}
+
+// preemptFor evicts a victim so keep can grow, or reports that no eligible
+// victim exists. The victim tree's minimum is the most evictable sequence;
+// it is eligible exactly when it orders below keep (see victimLess).
+func (s *server) preemptFor(keep *active) bool {
+	n := s.victims.Min()
+	if n == nil {
+		return false
+	}
+	if n.Value == keep {
+		n = s.victims.Next(n)
+		if n == nil {
+			return false
+		}
+	}
+	if !victimLess(n.Value, keep) {
+		return false
+	}
+	s.evict(n.Value)
+	return true
+}
+
+// step runs one decode step across the batch: append one token per active
+// sequence in admission order, preempting when a mid-decode Append hits the
+// memory wall, then advance the clock and do end-of-step bookkeeping
+// (first tokens, occupancy, completions).
+func (s *server) step(prefillTokens int64) error {
+	s.rep.Steps++
+	s.batchSum += float64(len(s.running))
+
+	// The step decodes the sequences that were in the batch when it
+	// started, in batch order; preemptions during the step mark their
+	// victims evicted rather than re-indexing a live slice, so every
+	// survivor is appended exactly once and no slot is stepped twice.
+	batch := append(make([]*active, 0, len(s.running)), s.running...)
+	for _, a := range batch {
+		if a.evicted || a.remaining == 0 {
+			continue
+		}
+		err := s.mgr.Append(a.handle)
+		for err != nil {
+			if !s.preemptFor(a) {
+				if len(s.running) == 1 {
+					return fmt.Errorf("serve: request %d stuck mid-decode: %w", a.rec.req.ID, err)
+				}
+				// No eligible victim (everything else is older or higher
+				// priority): yield this slot and wait for capacity.
+				s.evict(a)
+				break
+			}
+			err = s.mgr.Append(a.handle)
+		}
+		if a.evicted {
+			continue
+		}
+		a.remaining--
+	}
+	s.now += s.stepTime + time.Duration(prefillTokens)*s.prefillTok
+
+	if u := s.mgr.UsedBytes(); u > s.rep.PeakUsed {
+		s.rep.PeakUsed = u
+	}
+	if l := s.mgr.LogicalBytes(); l > s.rep.PeakLogical {
+		s.rep.PeakLogical = l
+	}
+	s.wasteSum += WasteRatio(s.mgr)
+
+	// End-of-step bookkeeping: first tokens, occupancy, completions.
+	for i := len(s.running) - 1; i >= 0; i-- {
+		a := s.running[i]
+		if !a.rec.hasFirst {
+			a.rec.hasFirst = true
+			a.rec.firstToken = s.now
+		}
+		tokens := a.rec.req.PromptLen + (a.rec.req.OutputLen - a.remaining)
+		s.classTokenSteps[a.rec.class()] += float64(tokens)
+		s.totalTokenSteps += float64(tokens)
+		if a.remaining == 0 {
+			s.rep.Served++
+			a.rec.done = s.now
+			s.removeFromBatch(a)
+			s.mgr.Release(a.handle)
+		}
+	}
+	return nil
+}
+
+// finish seals the report once every request has completed.
+func (s *server) finish() {
+	if s.rep.Steps > 0 {
+		s.rep.MeanWaste = s.wasteSum / float64(s.rep.Steps)
+		s.rep.MeanBatch = s.batchSum / float64(s.rep.Steps)
+	}
+	s.rep.Duration = s.now
+	s.rep.Classes = classReports(s.recs, s.rep.Steps, s.classPreempt, s.classTokenSteps, s.totalTokenSteps)
+	var allTTFT, allE2E []time.Duration
+	for _, rec := range s.recs {
+		allTTFT = append(allTTFT, rec.firstToken-rec.req.ArrivalAt)
+		allE2E = append(allE2E, rec.done-rec.req.ArrivalAt)
+	}
+	s.rep.TTFT = summarize(allTTFT)
+	s.rep.E2E = summarize(allE2E)
+}
+
+// run drives the loop to completion.
+func (s *server) run() (Report, error) {
+	for s.pendingLen() > 0 || len(s.running) > 0 {
+		prefillTokens, err := s.admit()
+		if err != nil {
+			return s.rep, err
+		}
+		if len(s.running) == 0 {
+			if err := s.jumpToNextArrival(); err != nil {
+				return s.rep, err
+			}
+			continue
+		}
+		if err := s.step(prefillTokens); err != nil {
+			return s.rep, err
+		}
+	}
+	s.finish()
+	return s.rep, nil
+}
+
 // Serve runs the requests to completion under continuous batching: admit
 // arrived requests while memory and the batch cap allow (highest priority
 // first), append one token per active sequence per step, release
@@ -135,218 +468,21 @@ func (t *track) class() string {
 // preempt the lowest-priority, most recently admitted other sequence and
 // requeue it in full (vLLM's recompute-preemption, made SLO-aware).
 //
+// The queues are indexed: pending requests live in arrival- and priority-
+// ordered red-black trees and the batch keeps a preemption-ordered tree, so
+// admission, the idle-jump and victim selection are O(log n) instead of the
+// per-step linear rescans a slice-based loop pays. On long backlogged
+// streams the loop's bookkeeping is O(total work · log n).
+//
 // Time is simulated on an internal virtual clock (see ServerConfig's step
 // costs); per-request arrival, first-token and completion times feed the
 // per-class TTFT/E2E percentiles in the report.
 func Serve(reqs []Request, mgr CacheManager, cfg ServerConfig) (Report, error) {
-	if cfg.MaxBatch <= 0 {
-		return Report{}, fmt.Errorf("serve: max batch %d", cfg.MaxBatch)
+	s, err := newServer(reqs, mgr, cfg)
+	if err != nil {
+		return Report{}, err
 	}
-	stepTime := cfg.StepTime
-	if stepTime == 0 {
-		stepTime = DefaultStepTime
-	}
-	prefillTok := cfg.PrefillTokenTime
-	if prefillTok == 0 {
-		prefillTok = DefaultPrefillTokenTime
-	}
-
-	type active struct {
-		rec        *track
-		handle     SeqHandle
-		remaining  int
-		admitOrder int64
-	}
-
-	recs := make([]*track, len(reqs))
-	pending := make([]*track, len(reqs))
-	for i, r := range reqs {
-		recs[i] = &track{req: r}
-		pending[i] = recs[i]
-	}
-
-	var running []*active
-	var rep Report
-	var now time.Duration
-	var batchSum, wasteSum float64
-	var admitSeq int64
-	classPreempt := map[string]int64{}
-	classTokenSteps := map[string]float64{}
-	var totalTokenSteps float64
-
-	release := func(i int) {
-		mgr.Release(running[i].handle)
-		running = append(running[:i], running[i+1:]...)
-	}
-	// evict requeues the sequence at index i in full (vLLM's
-	// recompute-preemption).
-	evict := func(i int) {
-		rep.Preemptions++
-		classPreempt[running[i].rec.class()]++
-		pending = append(pending, running[i].rec)
-		release(i)
-	}
-	// preemptFor evicts a victim so the sequence at index keep can grow. A
-	// victim must be strictly lower priority, or the same priority but
-	// admitted later; among the eligible, lowest priority first, then the
-	// most recently admitted. Higher-priority sequences are never evicted
-	// (the SLO guarantee), and same-priority older ones are off limits so
-	// the oldest sequence of the top class always makes monotonic progress
-	// — without that rule two sequences that cannot coexist in memory
-	// preempt each other forever, each eviction resetting the other's
-	// decode.
-	preemptFor := func(keep int) bool {
-		req := running[keep]
-		victim := -1
-		for i, v := range running {
-			if i == keep {
-				continue
-			}
-			if v.rec.req.Priority > req.rec.req.Priority ||
-				(v.rec.req.Priority == req.rec.req.Priority && v.admitOrder < req.admitOrder) {
-				continue
-			}
-			if victim == -1 ||
-				v.rec.req.Priority < running[victim].rec.req.Priority ||
-				(v.rec.req.Priority == running[victim].rec.req.Priority &&
-					v.admitOrder > running[victim].admitOrder) {
-				victim = i
-			}
-		}
-		if victim == -1 {
-			return false
-		}
-		evict(victim)
-		return true
-	}
-	// nextArrived picks the admission candidate: the highest-priority
-	// already-arrived pending request, FIFO within a priority.
-	nextArrived := func() int {
-		best := -1
-		for i, p := range pending {
-			if p.req.ArrivalAt > now {
-				continue
-			}
-			if best == -1 || p.req.Priority > pending[best].req.Priority {
-				best = i
-			}
-		}
-		return best
-	}
-
-	for len(pending) > 0 || len(running) > 0 {
-		// Admission: fill the batch with arrived requests while memory
-		// lasts.
-		var prefillTokens int64
-		for len(running) < cfg.MaxBatch {
-			i := nextArrived()
-			if i == -1 {
-				break
-			}
-			rec := pending[i]
-			h, err := mgr.Admit(rec.req)
-			if err != nil {
-				rep.AdmitFailures++
-				if len(running) == 0 {
-					return rep, fmt.Errorf("serve: request %d does not fit even alone: %w", rec.req.ID, err)
-				}
-				break // head-of-line waits for capacity
-			}
-			admitSeq++
-			running = append(running, &active{rec: rec, handle: h, remaining: rec.req.OutputLen, admitOrder: admitSeq})
-			prefillTokens += int64(rec.req.PromptLen)
-			pending = append(pending[:i], pending[i+1:]...)
-		}
-
-		// Idle server: jump to the next arrival.
-		if len(running) == 0 {
-			next := pending[0].req.ArrivalAt
-			for _, p := range pending[1:] {
-				if p.req.ArrivalAt < next {
-					next = p.req.ArrivalAt
-				}
-			}
-			if next > now {
-				now = next
-			}
-			continue
-		}
-
-		// One decode step across the batch.
-		rep.Steps++
-		batchSum += float64(len(running))
-		for i := 0; i < len(running); i++ {
-			a := running[i]
-			if a.remaining == 0 {
-				continue
-			}
-			evictedSelf := false
-			err := mgr.Append(a.handle)
-			for err != nil {
-				if preemptFor(indexOf(running, a)) {
-					// Indexes shifted; find a again.
-					i = indexOf(running, a)
-					err = mgr.Append(a.handle)
-					continue
-				}
-				if len(running) == 1 {
-					return rep, fmt.Errorf("serve: request %d stuck mid-decode: %w", a.rec.req.ID, err)
-				}
-				// No eligible victim (everything else is older or higher
-				// priority): yield this slot and wait for capacity.
-				i = indexOf(running, a)
-				evict(i)
-				evictedSelf = true
-				break
-			}
-			if evictedSelf {
-				i-- // the slot at i now holds the next sequence
-				continue
-			}
-			a.remaining--
-		}
-		now += stepTime + time.Duration(prefillTokens)*prefillTok
-
-		if u := mgr.UsedBytes(); u > rep.PeakUsed {
-			rep.PeakUsed = u
-		}
-		if l := mgr.LogicalBytes(); l > rep.PeakLogical {
-			rep.PeakLogical = l
-		}
-		wasteSum += WasteRatio(mgr)
-
-		// End-of-step bookkeeping: first tokens, occupancy, completions.
-		for i := len(running) - 1; i >= 0; i-- {
-			a := running[i]
-			if !a.rec.hasFirst {
-				a.rec.hasFirst = true
-				a.rec.firstToken = now
-			}
-			tokens := a.rec.req.PromptLen + (a.rec.req.OutputLen - a.remaining)
-			classTokenSteps[a.rec.class()] += float64(tokens)
-			totalTokenSteps += float64(tokens)
-			if a.remaining == 0 {
-				rep.Served++
-				a.rec.done = now
-				release(i)
-			}
-		}
-	}
-
-	if rep.Steps > 0 {
-		rep.MeanWaste = wasteSum / float64(rep.Steps)
-		rep.MeanBatch = batchSum / float64(rep.Steps)
-	}
-	rep.Duration = now
-	rep.Classes = classReports(recs, rep.Steps, classPreempt, classTokenSteps, totalTokenSteps)
-	var allTTFT, allE2E []time.Duration
-	for _, rec := range recs {
-		allTTFT = append(allTTFT, rec.firstToken-rec.req.ArrivalAt)
-		allE2E = append(allE2E, rec.done-rec.req.ArrivalAt)
-	}
-	rep.TTFT = summarize(allTTFT)
-	rep.E2E = summarize(allE2E)
-	return rep, nil
+	return s.run()
 }
 
 // classReports aggregates per-request records into sorted per-class rows.
@@ -394,13 +530,4 @@ func classReports(recs []*track, steps int, preempt map[string]int64, tokenSteps
 		out = append(out, cr)
 	}
 	return out
-}
-
-func indexOf[T comparable](s []T, v T) int {
-	for i, e := range s {
-		if e == v {
-			return i
-		}
-	}
-	return -1
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench.sh — run the trajectory benchmark suite and write BENCH_<PR>.json.
+#
+# The BENCH_*.json files chart the repo's performance over PRs. Each file
+# records the raw `go test -bench` lines plus two derived headline numbers:
+#
+#   harness_parallel_speedup   BenchmarkHarnessSequential / BenchmarkHarnessParallel
+#                              wall-clock ratio — the parallel experiment
+#                              engine's win on this host (bounded by cores)
+#   serve_ns_per_request       BenchmarkServeStream's ns/request — the
+#                              serving loop's per-request cost on a long
+#                              backlogged stream
+#
+# Usage:  scripts/bench.sh [output.json]
+#   BENCHTIME=3x scripts/bench.sh          # more iterations
+#   PR=3 scripts/bench.sh                  # write BENCH_3.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${PR:-2}"
+OUT="${1:-BENCH_${PR}.json}"
+BENCHTIME="${BENCHTIME:-2x}"
+PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -timeout 60m . | tee "$RAW" >&2
+
+# The benchmarks' actual GOMAXPROCS: go test appends it as a -N name
+# suffix, but only when it is != 1, so fall back to the environment
+# override and finally the online CPU count.
+FALLBACK_PROCS="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+
+awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v fallback="$FALLBACK_PROCS" '
+/^Benchmark/ {
+    name = $1
+    # Prefer the -N suffix: it is the runtime GOMAXPROCS the benchmarks
+    # actually ran with.
+    if (match(name, /-[0-9]+$/)) {
+        gomaxprocs = substr(name, RSTART + 1)
+    }
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = $3
+    extra = ""
+    # trailing "<value> <unit>" metric pairs, e.g. "6989 ns/request"
+    for (i = 5; i < NF; i += 2) {
+        extra = extra sprintf(",\"%s\":%s", $(i+1), $i)
+    }
+    benches[++n] = sprintf("    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s%s}", name, iters, ns, extra)
+    nsop[name] = ns
+    if (name == "BenchmarkServeStream") {
+        for (i = 5; i < NF; i += 2) if ($(i+1) == "ns/request") servens = $i
+    }
+}
+END {
+    if (!gomaxprocs) gomaxprocs = fallback
+    printf "{\n"
+    printf "  \"pr\": %s,\n", pr
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", benches[i], (i < n ? "," : "")
+    printf "  ],\n"
+    printf "  \"derived\": {\n"
+    if (nsop["BenchmarkHarnessSequential"] && nsop["BenchmarkHarnessParallel"]) {
+        printf "    \"harness_parallel_speedup\": %.2f,\n", nsop["BenchmarkHarnessSequential"] / nsop["BenchmarkHarnessParallel"]
+    }
+    printf "    \"serve_ns_per_request\": %s\n", (servens ? servens : "null")
+    printf "  }\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
