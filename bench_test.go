@@ -8,8 +8,10 @@
 package gmlake
 
 import (
+	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/caching"
 	"repro/internal/core"
@@ -460,6 +462,46 @@ func BenchmarkServeStream(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
+}
+
+// BenchmarkServeCluster prices the multi-replica cluster on the same 10x
+// overloaded mixed-bursty stream at 1→8 replicas under join-shortest-queue
+// dispatch and 2s priority aging. It reports ns per served request (the
+// scheduler + dispatch cost) and the batch class's p99 E2E in milliseconds —
+// the starvation tail the replicas and aging exist to shrink
+// (scripts/bench.sh records both in BENCH_*.json).
+func BenchmarkServeCluster(b *testing.B) {
+	const requests = 4000
+	mix := servegen.MixedBursty()
+	reqs, err := mix.WithRate(mix.Rate*10).Generate(requests, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, replicas := range []int{1, 2, 4, 8} {
+		// "=" rather than "-" before the count: scripts/bench.sh treats a
+		// trailing "-<digits>" as go test's GOMAXPROCS suffix.
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			var batchP99 time.Duration
+			for i := 0; i < b.N; i++ {
+				rep, err := serve.ServeCluster(reqs, func(int) serve.CacheManager {
+					return serve.NewChunkedKV(caching.New(newBenchDriver(4*sim.GiB)), model.OPT1_3B, 64)
+				}, serve.ClusterConfig{
+					Replicas: replicas,
+					Dispatch: serve.DispatchJSQ,
+					Server:   serve.ServerConfig{MaxBatch: 32, Aging: 2 * time.Second},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Served != requests {
+					b.Fatalf("served %d of %d", rep.Served, requests)
+				}
+				batchP99 = rep.Class("batch-backfill").E2E.P99
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
+			b.ReportMetric(float64(batchP99.Milliseconds()), "batch-p99-ms")
+		})
+	}
 }
 
 // harnessBenchSlice is the experiment list the engine benchmarks sweep: a

@@ -9,13 +9,19 @@
 //	gmlake-serve -mix chat-heavy -policy paged
 //	gmlake-serve -conf "backend:gmlake,serve_mix:chat+batch,burst_cv:6" -policy chunked
 //	gmlake-serve -n 500 -seed 42 -capacity-gb 2 -policy all -parallel 3
+//	gmlake-serve -replicas 4 -dispatch jsq -aging 2s -policy chunked
 //
-// The workload keys (serve_mix, serve_rate, burst_cv, parallel) ride in the
-// same PYTORCH_CUDA_ALLOC_CONF-style string that selects the pool
-// allocator; the -mix/-rate/-burst-cv/-parallel flags are shorthands for
-// the same knobs. Runs are deterministic: one seed, one request stream,
-// whatever the policy — and because each policy runs on its own device and
-// pool, -parallel sweeps them concurrently without changing any report.
+// The workload keys (serve_mix, serve_rate, burst_cv, parallel) and the
+// cluster keys (replicas, dispatch, aging) ride in the same
+// PYTORCH_CUDA_ALLOC_CONF-style string that selects the pool allocator; the
+// -mix/-rate/-burst-cv/-parallel/-replicas/-dispatch/-aging flags are
+// shorthands for the same knobs. With -replicas > 1 the stream is served by
+// a multi-replica cluster — each replica on its own device and pool behind
+// a cluster-level admission queue — and the merged report's percentiles
+// come from the union of the replicas' raw samples. Runs are deterministic:
+// one seed, one request stream, whatever the policy — and because each
+// policy (and each replica) runs on its own device and pool, -parallel
+// sweeps policies concurrently without changing any report.
 package main
 
 import (
@@ -47,14 +53,23 @@ func main() {
 		n        = flag.Int("n", 200, "number of requests")
 		seed     = flag.Uint64("seed", 7, "workload generator seed")
 		policy   = flag.String("policy", "all", "KV policy: contiguous, paged, chunked or all")
-		batch    = flag.Int("batch", 24, "max concurrent decoding sequences")
-		capacity = flag.Float64("capacity-gb", 1.5, "device memory in GiB")
+		batch    = flag.Int("batch", 24, "max concurrent decoding sequences per replica")
+		capacity = flag.Float64("capacity-gb", 1.5, "device memory in GiB (per replica)")
 		par      = flag.Int("parallel", 0, "policy-run workers (0 = conf's parallel key or GOMAXPROCS)")
+		replicas = flag.Int("replicas", 0, "replica servers behind the cluster queue (0 = conf's replicas key or 1)")
+		dispatch = flag.String("dispatch", "", "cluster dispatch policy: round-robin, jsq, least-kv (default conf's dispatch key or round-robin)")
+		aging    = flag.Duration("aging", 0, "priority-aging rate, e.g. 2s (0 = conf's aging key or off)")
 	)
 	flag.Parse()
 
 	if *par < 0 {
 		fatal(fmt.Errorf("-parallel must be >= 0, got %d", *par))
+	}
+	if *replicas < 0 {
+		fatal(fmt.Errorf("-replicas must be >= 0, got %d", *replicas))
+	}
+	if *aging < 0 {
+		fatal(fmt.Errorf("-aging must be >= 0, got %v", *aging))
 	}
 
 	if *list {
@@ -74,6 +89,22 @@ func main() {
 	}
 	if *burstCV > 0 {
 		cfg.BurstCV = *burstCV
+	}
+	if *replicas > 0 {
+		cfg.Replicas = *replicas
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if *dispatch != "" {
+		p, err := serve.ParseDispatch(*dispatch)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Dispatch = p
+	}
+	if *aging > 0 {
+		cfg.Aging = *aging
 	}
 	mix, err := cfg.ServeWorkload()
 	if err != nil {
@@ -97,7 +128,16 @@ func main() {
 
 	fmt.Printf("mix %s: %d requests from %d classes, %.1f req/s aggregate, seed %d\n",
 		mix.Name, len(reqs), len(mix.Classes), mix.Rate, *seed)
-	fmt.Printf("pool %s, %.1f GiB device, max batch %d\n\n", cfg.Backend, *capacity, *batch)
+	fmt.Printf("pool %s, %.1f GiB device, max batch %d\n", cfg.Backend, *capacity, *batch)
+	agingStr := "off"
+	if cfg.Aging > 0 {
+		agingStr = cfg.Aging.String()
+	}
+	dispatchPolicy, err := serve.ParseDispatch(string(cfg.Dispatch))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster: %d replica(s), dispatch %s, aging %s\n\n", cfg.Replicas, dispatchPolicy, agingStr)
 
 	policies := []string{"contiguous", "paged", "chunked"}
 	if *policy != "all" {
@@ -110,27 +150,14 @@ func main() {
 			fatal(fmt.Errorf("unknown policy %q (contiguous, paged, chunked, all)", p))
 		}
 	}
-	srvCfg := serve.ServerConfig{MaxBatch: *batch}
+	srvCfg := serve.ServerConfig{MaxBatch: *batch, Aging: cfg.Aging}
 
-	// Policy runs are independent (each builds its own device, pool and
-	// manager over the identical request stream), so they sweep on the
-	// worker pool; reports print in policy order regardless of which
-	// finished first. -parallel overrides the conf string's parallel key.
-	workers := cfg.Parallelism
-	if *par > 0 {
-		workers = *par
-	}
-	type outcome struct {
-		rep   serve.Report
-		stats memalloc.Stats
-		err   error
-	}
-	results, err := runner.Collect(workers, len(policies), func(i int) outcome {
-		alloc := newAlloc()
-		var mgr serve.CacheManager
-		switch policies[i] {
+	// buildMgr assembles one replica's manager over its own pool; the
+	// returned closer releases a paged slab after the run.
+	buildMgr := func(policy string, alloc memalloc.Allocator) (serve.CacheManager, func(), error) {
+		switch policy {
 		case "contiguous":
-			mgr = serve.NewContiguousKV(alloc, modelCfg, 1024)
+			return serve.NewContiguousKV(alloc, modelCfg, 1024), func() {}, nil
 		case "paged":
 			// Size the slab to ~85% of the device so the block pool, not
 			// the pool allocator, is the binding constraint.
@@ -138,15 +165,48 @@ func main() {
 			blocks := int(capBytes * 85 / 100 / (16 * perToken))
 			m, err := serve.NewPagedKV(alloc, modelCfg, 16, blocks)
 			if err != nil {
+				return nil, nil, err
+			}
+			return m, m.Close, nil
+		default: // chunked
+			return serve.NewChunkedKV(alloc, modelCfg, 64), func() {}, nil
+		}
+	}
+
+	// Policy runs are independent (each builds its own devices, pools and
+	// managers over the identical request stream), so they sweep on the
+	// worker pool; reports print in policy order regardless of which
+	// finished first. -parallel overrides the conf string's parallel key.
+	// Every policy serves through the cluster — with one replica the
+	// cluster loop is byte-identical to the single-server Serve loop.
+	workers := cfg.Parallelism
+	if *par > 0 {
+		workers = *par
+	}
+	type outcome struct {
+		rep   serve.ClusterReport
+		stats []memalloc.Stats
+		err   error
+	}
+	results, err := runner.Collect(workers, len(policies), func(i int) outcome {
+		allocs := make([]memalloc.Allocator, cfg.Replicas)
+		mgrs := make([]serve.CacheManager, cfg.Replicas)
+		for r := range mgrs {
+			allocs[r] = newAlloc()
+			mgr, closer, err := buildMgr(policies[i], allocs[r])
+			if err != nil {
 				return outcome{err: err}
 			}
-			defer m.Close()
-			mgr = m
-		case "chunked":
-			mgr = serve.NewChunkedKV(alloc, modelCfg, 64)
+			defer closer()
+			mgrs[r] = mgr
 		}
-		rep, err := serve.Serve(reqs, mgr, srvCfg)
-		return outcome{rep: rep, stats: alloc.Stats(), err: err}
+		rep, err := serve.ServeCluster(reqs, func(r int) serve.CacheManager { return mgrs[r] },
+			serve.ClusterConfig{Replicas: cfg.Replicas, Dispatch: dispatchPolicy, Server: srvCfg})
+		stats := make([]memalloc.Stats, len(allocs))
+		for r, a := range allocs {
+			stats[r] = a.Stats()
+		}
+		return outcome{rep: rep, stats: stats, err: err}
 	})
 	if err != nil {
 		fatal(err)
@@ -160,10 +220,22 @@ func main() {
 	}
 }
 
-func printReport(policy string, rep serve.Report, st memalloc.Stats) {
-	fmt.Printf("== %s: served %d in %s virtual, mean batch %.1f, %d preemptions, pool util %.1f%%\n",
+func printReport(policy string, rep serve.ClusterReport, stats []memalloc.Stats) {
+	var util float64
+	for _, st := range stats {
+		util += st.Utilization()
+	}
+	util /= float64(len(stats))
+	fmt.Printf("== %s: served %d in %s virtual, mean batch %.1f, %d preemptions, mean pool util %.1f%%\n",
 		policy, rep.Served, rep.Duration.Round(time.Millisecond), rep.MeanBatch,
-		rep.Preemptions, 100*st.Utilization())
+		rep.Preemptions, 100*util)
+	if len(rep.Replicas) > 1 {
+		for i, r := range rep.Replicas {
+			fmt.Printf("   replica %d: %d assigned, %d served in %s, %d preemptions, pool util %.1f%%\n",
+				i, rep.Assigned[i], r.Served, r.Duration.Round(time.Millisecond),
+				r.Preemptions, 100*stats[i].Utilization())
+		}
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "class\tSLO\tserved\tTTFT p50\tp95\tp99\te2e p50\tp99\tpreempt\tKV share")
 	row := func(class, slo string, served int, ttft, e2e serve.LatencySummary, preempt int64, share float64) {

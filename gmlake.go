@@ -49,12 +49,31 @@
 //	burst_cv:<cv>       interarrival CV override for bursty classes
 //	parallel:<n>        worker-pool bound for experiment/policy sweeps
 //	                    (0 = GOMAXPROCS)
+//	replicas:<n>        replica servers behind the cluster admission queue
+//	dispatch:<policy>   cluster dispatch: round-robin, jsq, least-kv
+//	aging:<dur>         priority-aging rate (one level per <dur> of wait)
 //
 // ServeRequests runs a stream under continuous batching with SLO-aware
 // admission and preemption, and its ServeReport breaks TTFT and end-to-end
 // latency percentiles, preemptions and KV-cache occupancy down per client
 // class (ServeClassReport) — the per-SLO-class view a multi-tenant
 // operator actually monitors.
+//
+// # Multi-replica serving cluster
+//
+// ServeClusterRequests shards one request stream over N replica servers —
+// each with its own cache manager, pool allocator and virtual clock —
+// behind a cluster-level admission queue. A DispatchPolicy (round-robin,
+// join-shortest-queue, least-KV-load) assigns each arrival to a replica at
+// its arrival instant, and the returned ServeClusterReport merges the
+// replicas' raw per-request samples into cluster-level per-SLO-class
+// percentiles (never averaged percentiles) next to the per-replica
+// reports. ServeConfig.Aging enables priority aging — a waiting request
+// gains one priority level per Aging of queue wait — so batch-class
+// requests cannot starve under a permanent interactive overload. The
+// co-simulation is event-ordered: the same seed yields a byte-identical
+// cluster report, and with one replica the cluster reproduces
+// ServeRequests exactly.
 //
 // # Quick start
 //
@@ -275,6 +294,13 @@ type (
 	ServeClassReport = serve.ClassReport
 	// LatencySummary holds p50/p95/p99 of a latency sample.
 	LatencySummary = serve.LatencySummary
+	// ServeClusterConfig tunes the multi-replica serving cluster.
+	ServeClusterConfig = serve.ClusterConfig
+	// ServeClusterReport merges per-replica serving reports from raw
+	// samples and keeps the per-replica breakdown.
+	ServeClusterReport = serve.ClusterReport
+	// DispatchPolicy assigns cluster arrivals to replicas.
+	DispatchPolicy = serve.DispatchPolicy
 
 	// WorkloadMix is a multi-tenant serving workload: an aggregate request
 	// rate decomposed over heterogeneous client classes.
@@ -379,6 +405,23 @@ func NewChunkedKV(alloc MemoryAllocator, cfg ModelConfig, chunkTokens int) *serv
 func ServeRequests(reqs []ServeRequest, mgr KVCacheManager, cfg ServeConfig) (ServeReport, error) {
 	return serve.Serve(reqs, mgr, cfg)
 }
+
+// Cluster dispatch policies.
+const (
+	DispatchRoundRobin = serve.DispatchRoundRobin
+	DispatchJSQ        = serve.DispatchJSQ
+	DispatchLeastKV    = serve.DispatchLeastKV
+)
+
+// ServeClusterRequests runs requests on a multi-replica serving cluster;
+// newMgr builds replica i's cache manager (each replica needs its own
+// manager and allocator). See the package comment's cluster section.
+func ServeClusterRequests(reqs []ServeRequest, newMgr func(replica int) KVCacheManager, cfg ServeClusterConfig) (ServeClusterReport, error) {
+	return serve.ServeCluster(reqs, newMgr, cfg)
+}
+
+// ParseDispatchPolicy resolves a dispatch-policy name ("" = round-robin).
+func ParseDispatchPolicy(name string) (DispatchPolicy, error) { return serve.ParseDispatch(name) }
 
 // CaptureFragmentation snapshots an allocator's free blocks; ok is false
 // when the allocator does not expose them.

@@ -23,6 +23,17 @@
 //	                    (Gamma-arrival) classes
 //	parallel:<n>        worker-pool bound for the parallel experiment
 //	                    engine and policy sweeps (0 = GOMAXPROCS)
+//
+// and the multi-replica serving cluster (consumed by cmd/gmlake-serve and
+// the servecluster experiment):
+//
+//	replicas:<n>        replica servers behind the cluster admission
+//	                    queue (1 = the single-server loop)
+//	dispatch:<policy>   cluster dispatch policy: round-robin, jsq
+//	                    (join-shortest-queue) or least-kv
+//	aging:<dur>         priority-aging rate, e.g. aging:2s — a waiting
+//	                    request gains one priority level per <dur> of
+//	                    queue wait; 0 disables aging
 package conf
 
 import (
@@ -30,6 +41,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/caching"
 	"repro/internal/compact"
@@ -37,6 +49,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/expandable"
 	"repro/internal/memalloc"
+	"repro/internal/serve"
 	"repro/internal/servegen"
 	"repro/internal/sim"
 )
@@ -61,6 +74,13 @@ type Config struct {
 	ServeMix  string  // named client mix ("" = none configured)
 	ServeRate float64 // aggregate requests/second override (0 = mix default)
 	BurstCV   float64 // bursty-class interarrival CV override (0 = mix default)
+
+	// Serving-cluster knobs (consumed by the cluster runners, ignored by
+	// Build). Replicas 0 means unconfigured (callers treat it as 1);
+	// Dispatch "" means round-robin; Aging 0 disables priority aging.
+	Replicas int
+	Dispatch serve.DispatchPolicy
+	Aging    time.Duration
 
 	// Parallelism bounds the worker pool of consumers that sweep
 	// independent cells (the experiment engine, policy comparisons).
@@ -165,6 +185,24 @@ func Parse(s string) (Config, error) {
 				return cfg, err
 			}
 			cfg.BurstCV = f
+		case "replicas":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Replicas = int(n)
+		case "dispatch":
+			p, err := serve.ParseDispatch(val)
+			if err != nil {
+				return cfg, fmt.Errorf("conf: %w", err)
+			}
+			cfg.Dispatch = p
+		case "aging":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return cfg, fmt.Errorf("conf: %s must be a non-negative duration (e.g. 2s), got %q", key, val)
+			}
+			cfg.Aging = d
 		case "parallel":
 			// Parsed as an integer, so "NaN", floats and junk are rejected
 			// outright; 0 is legal and means GOMAXPROCS.

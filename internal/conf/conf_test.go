@@ -2,9 +2,11 @@ package conf
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/cuda"
 	"repro/internal/gpu"
+	"repro/internal/serve"
 	"repro/internal/servegen"
 	"repro/internal/sim"
 )
@@ -206,6 +208,49 @@ func TestParseServeKeyErrors(t *testing.T) {
 		"serve_rate:+Inf", // infinite rate
 		"burst_cv:-2",     // negative
 		"burst_cv:-Inf",   // negative infinity
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseClusterKeys(t *testing.T) {
+	cfg, err := Parse("backend:gmlake,serve_mix:mixed,replicas:4,dispatch:jsq,aging:2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Replicas != 4 {
+		t.Fatalf("replicas = %d", cfg.Replicas)
+	}
+	if cfg.Dispatch != serve.DispatchJSQ {
+		t.Fatalf("dispatch = %q", cfg.Dispatch)
+	}
+	if cfg.Aging != 2*time.Second {
+		t.Fatalf("aging = %v", cfg.Aging)
+	}
+	// Unconfigured defaults: single server, round-robin, no aging.
+	cfg, err = Parse("backend:caching")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Replicas != 0 || cfg.Dispatch != "" || cfg.Aging != 0 {
+		t.Fatalf("cluster defaults polluted: %+v", cfg)
+	}
+	if _, err := serve.ParseDispatch(string(cfg.Dispatch)); err != nil {
+		t.Fatal("empty dispatch must resolve to the default policy")
+	}
+}
+
+func TestParseClusterKeyErrors(t *testing.T) {
+	for _, s := range []string{
+		"replicas:0",       // cluster needs at least one replica
+		"replicas:-2",      // negative
+		"replicas:many",    // not a number
+		"dispatch:fastest", // unknown policy
+		"aging:-1s",        // negative duration
+		"aging:2 parsecs",  // not a duration
+		"aging:1000000",    // missing unit
 	} {
 		if _, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q) accepted", s)

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/servegen"
+)
+
+// Serving-cluster grid. Replica counts are swept per mix and dispatch
+// policy; every replica is a full serving testbed (its own device, pool
+// allocator and KV manager) behind the cluster admission queue.
+var (
+	serveClusterReplicas = []int{1, 2, 4}
+	serveClusterAgings   = []time.Duration{0, 250 * time.Millisecond, time.Second}
+)
+
+// Aging-table testbed: the mixed-bursty rate is multiplied until the
+// interactive classes saturate admission of a deliberately small per-replica
+// batch — the regime where the batch class starves without aging — and the
+// stream is long enough that every swept aging window is much shorter than
+// the arrival span (a window wider than the whole run cannot reorder it).
+const (
+	serveClusterOverloadRate = 8
+	serveClusterAgingBatch   = 4
+	serveClusterAgingReqs    = 2 * serveMixRequests
+)
+
+// clusterMgrFactory builds per-replica chunked KV managers, each over its
+// own fresh serving rig — replicas share nothing, which is what makes the
+// cluster cells (and the replicas inside one cell) deterministic.
+func (e *Env) clusterMgrFactory() func(int) serve.CacheManager {
+	return func(int) serve.CacheManager {
+		r := e.newServeRig(AllocCaching)
+		return serve.NewChunkedKV(r.alloc, model.OPT1_3B, serveMixChunkTokens)
+	}
+}
+
+// ServeClusterExperiment shards the multi-tenant mixes over a multi-replica
+// serving cluster and reports the per-SLO-class view per (mix, replica
+// count, dispatch policy) cell, plus an aging table showing how priority
+// aging bounds batch-class starvation under sustained interactive overload.
+// Cells run on the parallel experiment engine; each owns its replicas' rigs,
+// so tables are byte-identical at any parallelism.
+func (e *Env) ServeClusterExperiment() []*Table {
+	return []*Table{e.serveClusterScaling(), e.serveClusterAging()}
+}
+
+// serveClusterScaling is the mixes × replica counts × dispatch policies
+// grid. The cluster-level percentiles are computed from the union of the
+// replicas' raw per-request samples, so rows are comparable across replica
+// counts.
+func (e *Env) serveClusterScaling() *Table {
+	t := &Table{
+		ID: "servecluster",
+		Title: fmt.Sprintf("Multi-replica serving cluster, OPT-1.3B, %d requests, %s GB per replica",
+			serveMixRequests, gb(serveMixCapacity)),
+		Header: []string{"mix", "replicas", "dispatch", "class", "SLO", "served",
+			"TTFT p50", "TTFT p99", "e2e p50", "e2e p99", "preempt", "assigned"},
+	}
+	type cell struct {
+		mix      servegen.Mix
+		reqs     []serve.Request
+		replicas int
+		dispatch serve.DispatchPolicy
+	}
+	var cells []cell
+	for _, mix := range servegen.Mixes() {
+		reqs, err := mix.Generate(serveMixRequests, e.Seed)
+		if err != nil {
+			panic("harness: " + err.Error())
+		}
+		for _, n := range serveClusterReplicas {
+			for _, d := range serve.DispatchPolicies() {
+				cells = append(cells, cell{mix: mix, reqs: reqs, replicas: n, dispatch: d})
+			}
+		}
+	}
+	reports := runCells(e, cells, func(c cell) [][]string {
+		rep, err := serve.ServeCluster(c.reqs, e.clusterMgrFactory(), serve.ClusterConfig{
+			Replicas: c.replicas,
+			Dispatch: c.dispatch,
+			Server:   serve.ServerConfig{MaxBatch: serveMixMaxBatch},
+		})
+		key := []string{c.mix.Name, fmt.Sprint(c.replicas), string(c.dispatch)}
+		if err != nil {
+			return [][]string{append(key, "ALL", "-", "OOM", "-", "-", "-", "-", "-", "-")}
+		}
+		var rows [][]string
+		for _, cr := range rep.Classes {
+			rows = append(rows, append(append([]string{}, key...),
+				cr.Class, cr.SLO, fmt.Sprint(cr.Served),
+				ms(cr.TTFT.P50), ms(cr.TTFT.P99), ms(cr.E2E.P50), ms(cr.E2E.P99),
+				fmt.Sprint(cr.Preemptions), "-"))
+		}
+		spread := make([]string, len(rep.Assigned))
+		for i, n := range rep.Assigned {
+			spread[i] = fmt.Sprint(n)
+		}
+		rows = append(rows, append(append([]string{}, key...),
+			"ALL", "-", fmt.Sprint(rep.Served),
+			ms(rep.TTFT.P50), ms(rep.TTFT.P99), ms(rep.E2E.P50), ms(rep.E2E.P99),
+			fmt.Sprint(rep.Preemptions), strings.Join(spread, "/")))
+		return rows
+	})
+	for _, rows := range reports {
+		for _, row := range rows {
+			t.AddRow(row...)
+		}
+	}
+	t.AddNote("one request stream per mix, sharded by the dispatch policy; cluster percentiles merge the")
+	t.AddNote("replicas' raw samples (never averaged percentiles). ALL/assigned shows the per-replica")
+	t.AddNote("request spread; jsq and least-kv adapt it to load where round-robin cannot.")
+	return t
+}
+
+// serveClusterAging overloads a 2-replica cluster with the mixed-bursty mix
+// at several priority-aging rates: without aging the batch class waits out
+// the whole run, with aging its effective priority grows with queue wait
+// until it outranks fresh interactive arrivals.
+func (e *Env) serveClusterAging() *Table {
+	mix := servegen.MixedBursty()
+	t := &Table{
+		ID: "servecluster-aging",
+		Title: fmt.Sprintf("Priority aging under %dx interactive overload, mixed-bursty, 2 replicas, jsq",
+			serveClusterOverloadRate),
+		Header: []string{"aging", "class", "SLO", "served",
+			"TTFT p50", "TTFT p99", "e2e p50", "e2e p99", "preempt"},
+	}
+	reqs, err := mix.WithRate(mix.Rate*serveClusterOverloadRate).Generate(serveClusterAgingReqs, e.Seed)
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	reports := runCells(e, serveClusterAgings, func(aging time.Duration) [][]string {
+		rep, err := serve.ServeCluster(reqs, e.clusterMgrFactory(), serve.ClusterConfig{
+			Replicas: 2,
+			Dispatch: serve.DispatchJSQ,
+			Server:   serve.ServerConfig{MaxBatch: serveClusterAgingBatch, Aging: aging},
+		})
+		label := "off"
+		if aging > 0 {
+			label = aging.String()
+		}
+		if err != nil {
+			return [][]string{{label, "ALL", "-", "OOM", "-", "-", "-", "-", "-"}}
+		}
+		var rows [][]string
+		for _, cr := range rep.Classes {
+			rows = append(rows, []string{label, cr.Class, cr.SLO, fmt.Sprint(cr.Served),
+				ms(cr.TTFT.P50), ms(cr.TTFT.P99), ms(cr.E2E.P50), ms(cr.E2E.P99),
+				fmt.Sprint(cr.Preemptions)})
+		}
+		return rows
+	})
+	for _, rows := range reports {
+		for _, row := range rows {
+			t.AddRow(row...)
+		}
+	}
+	t.AddNote("aging is the per-priority-level wait: with it on, a starved batch request's effective")
+	t.AddNote("priority rises until fresh interactive arrivals no longer cut ahead, pulling the batch")
+	t.AddNote("queueing tail down at the interactive classes' expense — the fairness dial is the rate.")
+	return t
+}

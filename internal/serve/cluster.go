@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DispatchPolicy names a cluster-level dispatch policy: how the admission
+// queue assigns an arriving request to a replica.
+type DispatchPolicy string
+
+const (
+	// DispatchRoundRobin cycles arrivals over the replicas in order —
+	// oblivious to load, the baseline every smarter policy is measured
+	// against.
+	DispatchRoundRobin DispatchPolicy = "round-robin"
+	// DispatchJSQ joins the shortest queue: the replica with the fewest
+	// unfinished requests (queued plus decoding), ties to the lowest
+	// replica index.
+	DispatchJSQ DispatchPolicy = "jsq"
+	// DispatchLeastKV picks the replica with the least outstanding KV
+	// demand — the sum of total tokens (prompt+output) of its unfinished
+	// requests, a token-weighted shortest queue that sees the difference
+	// between ten chat turns and ten long batch jobs.
+	DispatchLeastKV DispatchPolicy = "least-kv"
+)
+
+// DispatchPolicies lists the accepted policies in presentation order.
+func DispatchPolicies() []DispatchPolicy {
+	return []DispatchPolicy{DispatchRoundRobin, DispatchJSQ, DispatchLeastKV}
+}
+
+// ParseDispatch resolves a policy name ("" = round-robin).
+func ParseDispatch(name string) (DispatchPolicy, error) {
+	switch DispatchPolicy(name) {
+	case "":
+		return DispatchRoundRobin, nil
+	case DispatchRoundRobin, DispatchJSQ, DispatchLeastKV:
+		return DispatchPolicy(name), nil
+	}
+	return "", fmt.Errorf("serve: unknown dispatch policy %q (round-robin, jsq, least-kv)", name)
+}
+
+// ClusterConfig tunes a multi-replica serving cluster.
+type ClusterConfig struct {
+	// Replicas is the number of replica servers (must be >= 1). Each
+	// replica owns its cache manager and its own virtual clock.
+	Replicas int
+	// Dispatch assigns arrivals to replicas ("" = round-robin).
+	Dispatch DispatchPolicy
+	// Server is the per-replica continuous-batching configuration,
+	// including the priority-aging rate (Server.Aging).
+	Server ServerConfig
+}
+
+// ClusterReport summarizes one cluster serving run.
+type ClusterReport struct {
+	// Report is the cluster-level view. Counters (served, steps, admit
+	// failures, blocked steps, preemptions) are summed over replicas,
+	// MeanWaste and MeanBatch are step-weighted means, Duration is the
+	// longest replica makespan, and PeakUsed/PeakLogical sum the per-
+	// replica peaks (an upper bound on the cluster-wide footprint, since
+	// replicas peak at different virtual times). The latency percentiles
+	// and per-class rows are recomputed from the union of the replicas'
+	// raw per-request samples — merging percentiles by averaging them
+	// would be statistically meaningless.
+	Report
+	// Replicas are the per-replica reports, indexed by replica.
+	Replicas []Report
+	// Assigned[i] is how many requests the dispatcher sent to replica i.
+	Assigned []int
+}
+
+// ServeCluster runs the requests on a multi-replica serving cluster: a
+// cluster-level admission queue releases each request at its arrival time to
+// one replica, chosen by the dispatch policy from the replicas' states at
+// that instant, and every replica runs the same SLO-aware continuous-
+// batching loop as Serve on its own cache manager and virtual clock. newMgr
+// builds replica i's cache manager — each replica must get its own manager
+// (and, for pool-backed managers, its own allocator and device).
+//
+// The co-simulation is event-driven and fully deterministic: the scheduler
+// always advances the earliest event (an arrival, or the replica with the
+// smallest next-event time, ties to the lowest replica index), so the same
+// input produces a byte-identical ClusterReport on every run. With one
+// replica the scheduler degenerates to exactly Serve's loop — dispatched
+// requests carry their input position as the FIFO ticket, replaying Serve's
+// up-front numbering whatever order the input arrived in — and the output
+// is identical to Serve's report.
+//
+// On a replica error (a request that fits nowhere, a stuck decode) the
+// partial reports of every replica are sealed and returned with the error;
+// requests still waiting in the cluster queue appear in the merged class
+// roster with nothing served, exactly as Serve reports requests it never
+// started.
+func ServeCluster(reqs []Request, newMgr func(replica int) CacheManager, cfg ClusterConfig) (ClusterReport, error) {
+	if cfg.Replicas <= 0 {
+		return ClusterReport{}, fmt.Errorf("serve: cluster needs >= 1 replica, got %d", cfg.Replicas)
+	}
+	if newMgr == nil {
+		return ClusterReport{}, fmt.Errorf("serve: cluster needs a cache-manager factory")
+	}
+	dispatch, err := ParseDispatch(string(cfg.Dispatch))
+	if err != nil {
+		return ClusterReport{}, err
+	}
+
+	// The cluster admission queue: input indexes in arrival-time order,
+	// input order preserved among ties. Dispatch releases requests in this
+	// order but tickets them by input index, matching Serve's numbering.
+	queue := make([]int, len(reqs))
+	for i := range queue {
+		queue[i] = i
+	}
+	sort.SliceStable(queue, func(i, j int) bool {
+		return reqs[queue[i]].ArrivalAt < reqs[queue[j]].ArrivalAt
+	})
+
+	replicas := make([]*server, cfg.Replicas)
+	for i := range replicas {
+		s, err := newEmptyServer(newMgr(i), cfg.Server)
+		if err != nil {
+			return ClusterReport{}, err
+		}
+		// Reserve the global ticket range [0, len(reqs)) for dispatched
+		// requests; requeued preemptions draw above it, exactly as Serve's
+		// up-front enqueue would have numbered them.
+		s.nextTkt = int64(len(reqs))
+		replicas[i] = s
+	}
+
+	assigned := make([]int, cfg.Replicas)
+	dispatchedTokens := make([]int64, cfg.Replicas)
+	rr := 0
+	pick := func() int {
+		switch dispatch {
+		case DispatchJSQ:
+			best, bestLen := 0, -1
+			for i, s := range replicas {
+				if l := s.pendingLen() + len(s.running); bestLen < 0 || l < bestLen {
+					best, bestLen = i, l
+				}
+			}
+			return best
+		case DispatchLeastKV:
+			best, bestLoad := 0, int64(-1)
+			for i, s := range replicas {
+				if l := dispatchedTokens[i] - s.doneTokens; bestLoad < 0 || l < bestLoad {
+					best, bestLoad = i, l
+				}
+			}
+			return best
+		default: // round-robin
+			p := rr
+			rr = (rr + 1) % len(replicas)
+			return p
+		}
+	}
+
+	qi := 0
+	seal := func(err error) (ClusterReport, error) {
+		rep := ClusterReport{
+			Replicas: make([]Report, len(replicas)),
+			Assigned: assigned,
+		}
+		for i, s := range replicas {
+			s.finish()
+			rep.Replicas[i] = s.rep
+		}
+		// Requests never released from the cluster queue (the run failed
+		// first) still belong in the merged roster, unserved.
+		undispatched := make([]Request, 0, len(queue)-qi)
+		for _, idx := range queue[qi:] {
+			undispatched = append(undispatched, reqs[idx])
+		}
+		rep.Report = mergeReports(replicas, undispatched)
+		return rep, err
+	}
+
+	for {
+		// The earliest replica event; ties go to the lowest index so the
+		// schedule is deterministic.
+		tRep, ri := time.Duration(0), -1
+		for i, s := range replicas {
+			if t, ok := s.nextEventTime(); ok && (ri == -1 || t < tRep) {
+				tRep, ri = t, i
+			}
+		}
+		// Dispatch an arrival when it is due at or before the next replica
+		// event — the policy then sees every replica's state as of the
+		// arrival instant, exactly like admission sees arrivals that
+		// landed during the previous decode step.
+		if qi < len(queue) && (ri == -1 || reqs[queue[qi]].ArrivalAt <= tRep) {
+			req := reqs[queue[qi]]
+			r := pick()
+			replicas[r].addRequest(req, int64(queue[qi]))
+			assigned[r]++
+			dispatchedTokens[r] += int64(req.TotalTokens())
+			qi++
+			continue
+		}
+		if ri == -1 {
+			break // drained: no arrivals left, every replica idle
+		}
+		if _, err := replicas[ri].runOnce(); err != nil {
+			return seal(fmt.Errorf("serve: replica %d: %w", ri, err))
+		}
+	}
+	return seal(nil)
+}
+
+// mergeReports builds the cluster-level Report from the replicas' raw
+// per-request records: percentiles of the merged samples, never averages of
+// per-replica percentiles. undispatched requests (present only when a
+// failed run sealed early) join the class roster without samples.
+func mergeReports(replicas []*server, undispatched []Request) Report {
+	var m Report
+	var steps int
+	var wasteSum, batchSum float64
+	var recs []*track
+	preempt := map[string]int64{}
+	tokenSteps := map[string]float64{}
+	var totalTokenSteps float64
+	for i := range undispatched {
+		recs = append(recs, &track{req: undispatched[i]})
+	}
+	for _, s := range replicas {
+		m.Served += s.rep.Served
+		m.PeakUsed += s.rep.PeakUsed
+		m.PeakLogical += s.rep.PeakLogical
+		m.AdmitFailures += s.rep.AdmitFailures
+		m.BlockedSteps += s.rep.BlockedSteps
+		m.Preemptions += s.rep.Preemptions
+		if s.rep.Duration > m.Duration {
+			m.Duration = s.rep.Duration
+		}
+		steps += s.rep.Steps
+		wasteSum += s.wasteSum
+		batchSum += s.batchSum
+		recs = append(recs, s.recs...)
+		for c, n := range s.classPreempt {
+			preempt[c] += n
+		}
+		for c, t := range s.classTokenSteps {
+			tokenSteps[c] += t
+		}
+		totalTokenSteps += s.totalTokenSteps
+	}
+	m.Steps = steps
+	if steps > 0 {
+		m.MeanWaste = wasteSum / float64(steps)
+		m.MeanBatch = batchSum / float64(steps)
+	}
+	m.Classes = classReports(recs, steps, preempt, tokenSteps, totalTokenSteps)
+	allTTFT, allE2E := latencySamples(recs)
+	m.TTFT = summarize(allTTFT)
+	m.E2E = summarize(allE2E)
+	return m
+}

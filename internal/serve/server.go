@@ -29,6 +29,15 @@ type ServerConfig struct {
 	// PrefillTokenTime is the simulated cost per prompt token prefilled
 	// during a step (0 = DefaultPrefillTokenTime).
 	PrefillTokenTime time.Duration
+
+	// Aging is the priority-aging rate: a waiting request's effective
+	// priority rises by one full priority level per Aging of queue wait,
+	// so under a permanent high-priority overload a batch-class request
+	// eventually outranks freshly arrived interactive ones instead of
+	// starving. 0 disables aging (pure static priority, the original
+	// behaviour). See (*server).rank for why aging keeps the O(log n)
+	// queue indexes.
+	Aging time.Duration
 }
 
 // LatencySummary holds nearest-rank percentiles of a latency sample.
@@ -37,23 +46,21 @@ type LatencySummary struct {
 }
 
 // summarize computes the nearest-rank percentiles of samples (sorted in
-// place).
+// place). The nearest rank of the pct-th percentile over n samples is
+// ceil(n*pct/100), computed in exact integer arithmetic: products like
+// 0.95*n are not exactly representable in binary floating point, so the
+// former float formulation needed an epsilon that silently picks the wrong
+// rank once n grows past the epsilon's resolution. For n >= 1 and
+// 1 <= pct <= 100 the index is always in [0, n).
 func summarize(samples []time.Duration) LatencySummary {
 	if len(samples) == 0 {
 		return LatencySummary{}
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	at := func(q float64) time.Duration {
-		idx := int(q*float64(len(samples))+0.9999999) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(samples) {
-			idx = len(samples) - 1
-		}
-		return samples[idx]
+	at := func(pct int) time.Duration {
+		return samples[(len(samples)*pct+99)/100-1]
 	}
-	return LatencySummary{P50: at(0.50), P95: at(0.95), P99: at(0.99)}
+	return LatencySummary{P50: at(50), P95: at(95), P99: at(99)}
 }
 
 // ClassReport is the per-client-class (per-SLO-class) slice of a serving
@@ -80,14 +87,23 @@ type ClassReport struct {
 
 // Report summarizes one serving run.
 type Report struct {
-	Served        int     // requests completed
-	Steps         int     // decode steps executed
-	PeakUsed      int64   // peak bytes taken by the cache manager
-	PeakLogical   int64   // peak bytes of real KV data
-	MeanWaste     float64 // average per-step waste ratio
-	MeanBatch     float64 // average decoding batch size
-	AdmitFailures int64   // admissions deferred for lack of memory
-	Preemptions   int64   // sequences evicted mid-decode and requeued
+	Served      int     // requests completed
+	Steps       int     // decode steps executed
+	PeakUsed    int64   // peak bytes taken by the cache manager
+	PeakLogical int64   // peak bytes of real KV data
+	MeanWaste   float64 // average per-step waste ratio
+	MeanBatch   float64 // average decoding batch size
+
+	// AdmitFailures counts distinct requests whose admission was deferred
+	// at least once for lack of memory; BlockedSteps counts head-of-line
+	// blocked admission attempts, one per step the blocked request kept
+	// waiting. (They used to be a single counter with BlockedSteps
+	// semantics under the AdmitFailures name, overcounting one long-blocked
+	// request once per step.)
+	AdmitFailures int64
+	BlockedSteps  int64
+
+	Preemptions int64 // sequences evicted mid-decode and requeued
 
 	// Duration is the virtual makespan of the run.
 	Duration time.Duration
@@ -116,11 +132,17 @@ func (r Report) Class(name string) *ClassReport {
 }
 
 // track is the lifetime record of one input request across preemptions.
+// done is the completion time on the virtual clock; it doubles as the
+// completion marker (zero = still unfinished) because completions are
+// recorded strictly after the clock advanced past the first step.
 type track struct {
 	req        Request
 	firstToken time.Duration
 	hasFirst   bool
 	done       time.Duration
+	// deferred marks that the request's admission was blocked at least
+	// once, so AdmitFailures counts distinct requests, not blocked steps.
+	deferred bool
 }
 
 func (t *track) class() string {
@@ -157,10 +179,11 @@ type waiting struct {
 // server is the continuous-batching loop with its indexed queues. The
 // pending set is split by arrival: `future` orders not-yet-arrived requests
 // by (ArrivalAt, ticket) so promotion and the idle-jump are O(log n), and
-// `ready` orders arrived-unadmitted requests by (priority desc, ticket asc)
-// so the admission candidate is its minimum. The running batch keeps a
+// `ready` orders arrived-unadmitted requests by (aged rank desc, ticket asc)
+// — the aged rank is the static priority when aging is off — so the
+// admission candidate is its minimum. The running batch keeps a
 // slice for deterministic step order plus `victims`, a tree ordered by
-// (priority asc, admitOrder desc) whose minimum is the preemption victim.
+// (aged rank asc, admitOrder desc) whose minimum is the preemption victim.
 // All three replace the linear rescans of the slice-based loop; the
 // selection rules are unchanged, so reports are identical.
 type server struct {
@@ -168,6 +191,7 @@ type server struct {
 	maxBatch   int
 	stepTime   time.Duration
 	prefillTok time.Duration
+	aging      time.Duration
 
 	now  time.Duration
 	rep  Report
@@ -181,58 +205,103 @@ type server struct {
 	victims  *container.Tree[*active]
 	admitSeq int64
 
+	// doneTokens is the total tokens (prompt+output) of completed
+	// requests — the cluster dispatcher's O(1) source for outstanding
+	// KV demand (dispatched tokens − doneTokens).
+	doneTokens int64
+
 	batchSum, wasteSum float64
 	classPreempt       map[string]int64
 	classTokenSteps    map[string]float64
 	totalTokenSteps    float64
 }
 
-// victimLess is the preemption order: lower priority first, then most
+// rank is a request's effective scheduling priority with aging applied,
+// encoded as a static per-request key. Without aging it is the bare
+// priority. With aging the effective priority at time t is
+//
+//	Priority + (t − ArrivalAt)/Aging
+//
+// — continuous aging, one full priority level gained per Aging of wait.
+// Because every request ages at the same rate, the order of two effective
+// priorities is time-invariant:
+//
+//	pa + (t−aa)/G > pb + (t−ab)/G  ⇔  pa·G − aa > pb·G − ab
+//
+// and the right-hand side does not mention t. The aged order is therefore a
+// fixed per-request integer, and the same O(log n) tree indexes that serve
+// static priorities serve aged ones — no re-keying as the clock advances.
+// A requeued (preempted) request keeps its original ArrivalAt, so its age
+// keeps counting from first arrival across preemptions.
+func (s *server) rank(rec *track) int64 {
+	if s.aging <= 0 {
+		return int64(rec.req.Priority)
+	}
+	return int64(rec.req.Priority)*int64(s.aging) - int64(rec.req.ArrivalAt)
+}
+
+// victimLess is the preemption order: lowest aged rank first, then most
 // recently admitted. It doubles as the eligibility rule — v may be evicted
 // in favour of keep iff victimLess(v, keep) — so the tree minimum is both
 // the candidate and the proof: if even the minimum is not below keep,
-// nothing in the batch is evictable for it. Higher-priority sequences are
-// never evicted (the SLO guarantee), and same-priority older ones are off
-// limits so the oldest sequence of the top class always makes monotonic
-// progress — without that rule two sequences that cannot coexist in memory
-// preempt each other forever, each eviction resetting the other's decode.
-func victimLess(a, b *active) bool {
-	if a.rec.req.Priority != b.rec.req.Priority {
-		return a.rec.req.Priority < b.rec.req.Priority
+// nothing in the batch is evictable for it. Higher-ranked sequences are
+// never evicted (the SLO guarantee, aging included), and same-rank older
+// ones are off limits so the oldest sequence of the top rank always makes
+// monotonic progress — without that rule two sequences that cannot coexist
+// in memory preempt each other forever, each eviction resetting the other's
+// decode. Ranks are static (see rank), so the unevictable maximum is fixed
+// and the argument survives aging unchanged.
+func (s *server) victimLess(a, b *active) bool {
+	if ra, rb := s.rank(a.rec), s.rank(b.rec); ra != rb {
+		return ra < rb
 	}
 	return a.admitOrder > b.admitOrder
 }
 
-func newServer(reqs []Request, mgr CacheManager, cfg ServerConfig) (*server, error) {
+// newEmptyServer builds the loop with no requests enqueued; Serve fills it
+// via enqueue, the cluster dispatcher feeds it addRequest by addRequest.
+func newEmptyServer(mgr CacheManager, cfg ServerConfig) (*server, error) {
 	if cfg.MaxBatch <= 0 {
 		return nil, fmt.Errorf("serve: max batch %d", cfg.MaxBatch)
 	}
+	if cfg.StepTime < 0 || cfg.PrefillTokenTime < 0 || cfg.Aging < 0 {
+		return nil, fmt.Errorf("serve: negative durations in config %+v", cfg)
+	}
 	s := &server{
-		mgr:        mgr,
-		maxBatch:   cfg.MaxBatch,
-		stepTime:   cfg.StepTime,
-		prefillTok: cfg.PrefillTokenTime,
-		future: container.NewTree[waiting](func(a, b waiting) bool {
-			if a.rec.req.ArrivalAt != b.rec.req.ArrivalAt {
-				return a.rec.req.ArrivalAt < b.rec.req.ArrivalAt
-			}
-			return a.seq < b.seq
-		}),
-		ready: container.NewTree[waiting](func(a, b waiting) bool {
-			if a.rec.req.Priority != b.rec.req.Priority {
-				return a.rec.req.Priority > b.rec.req.Priority
-			}
-			return a.seq < b.seq
-		}),
-		victims:         container.NewTree[*active](victimLess),
+		mgr:             mgr,
+		maxBatch:        cfg.MaxBatch,
+		stepTime:        cfg.StepTime,
+		prefillTok:      cfg.PrefillTokenTime,
+		aging:           cfg.Aging,
 		classPreempt:    map[string]int64{},
 		classTokenSteps: map[string]float64{},
 	}
+	s.future = container.NewTree[waiting](func(a, b waiting) bool {
+		if a.rec.req.ArrivalAt != b.rec.req.ArrivalAt {
+			return a.rec.req.ArrivalAt < b.rec.req.ArrivalAt
+		}
+		return a.seq < b.seq
+	})
+	s.ready = container.NewTree[waiting](func(a, b waiting) bool {
+		if ra, rb := s.rank(a.rec), s.rank(b.rec); ra != rb {
+			return ra > rb
+		}
+		return a.seq < b.seq
+	})
+	s.victims = container.NewTree[*active](s.victimLess)
 	if s.stepTime == 0 {
 		s.stepTime = DefaultStepTime
 	}
 	if s.prefillTok == 0 {
 		s.prefillTok = DefaultPrefillTokenTime
+	}
+	return s, nil
+}
+
+func newServer(reqs []Request, mgr CacheManager, cfg ServerConfig) (*server, error) {
+	s, err := newEmptyServer(mgr, cfg)
+	if err != nil {
+		return nil, err
 	}
 	s.recs = make([]*track, len(reqs))
 	for i, r := range reqs {
@@ -240,6 +309,24 @@ func newServer(reqs []Request, mgr CacheManager, cfg ServerConfig) (*server, err
 		s.enqueue(s.recs[i])
 	}
 	return s, nil
+}
+
+// addRequest hands the server one request mid-run under an externally
+// assigned FIFO ticket. The cluster dispatcher tickets every request by its
+// input position and reserves the range [0, n) before the run (see
+// ServeCluster), so a single-replica cluster replays the exact ticket order
+// Serve's up-front enqueue produces — whatever order the input arrived in —
+// while requeued preemptions still draw fresh tickets above every external
+// one.
+func (s *server) addRequest(req Request, ticket int64) {
+	rec := &track{req: req}
+	s.recs = append(s.recs, rec)
+	w := waiting{rec: rec, seq: ticket}
+	if req.ArrivalAt > s.now {
+		s.future.Insert(w)
+	} else {
+		s.ready.Insert(w)
+	}
 }
 
 // enqueue adds rec to the pending set with a fresh FIFO ticket, routing it
@@ -281,7 +368,11 @@ func (s *server) admit() (prefillTokens int64, err error) {
 		rec := n.Value.rec
 		h, err := s.mgr.Admit(rec.req)
 		if err != nil {
-			s.rep.AdmitFailures++
+			s.rep.BlockedSteps++
+			if !rec.deferred {
+				rec.deferred = true
+				s.rep.AdmitFailures++
+			}
 			if len(s.running) == 0 {
 				return prefillTokens, fmt.Errorf("serve: request %d does not fit even alone: %w", rec.req.ID, err)
 			}
@@ -351,7 +442,7 @@ func (s *server) preemptFor(keep *active) bool {
 			return false
 		}
 	}
-	if !victimLess(n.Value, keep) {
+	if !s.victimLess(n.Value, keep) {
 		return false
 	}
 	s.evict(n.Value)
@@ -415,6 +506,7 @@ func (s *server) step(prefillTokens int64) error {
 		s.totalTokenSteps += float64(tokens)
 		if a.remaining == 0 {
 			s.rep.Served++
+			s.doneTokens += int64(tokens)
 			a.rec.done = s.now
 			s.removeFromBatch(a)
 			s.mgr.Release(a.handle)
@@ -423,7 +515,13 @@ func (s *server) step(prefillTokens int64) error {
 	return nil
 }
 
-// finish seals the report once every request has completed.
+// finish seals the report: duration, step means, per-class rows and latency
+// percentiles. On a completed run every request contributes one TTFT and one
+// E2E sample. After a failed run (a request that fits nowhere, a stuck
+// decode) it seals what is known — requests that produced a first token
+// contribute TTFT, completed requests contribute E2E and the served counts —
+// so an error-path Report never carries zeroed Duration, Classes or
+// percentile fields for the work that did happen.
 func (s *server) finish() {
 	if s.rep.Steps > 0 {
 		s.rep.MeanWaste = s.wasteSum / float64(s.rep.Steps)
@@ -431,34 +529,86 @@ func (s *server) finish() {
 	}
 	s.rep.Duration = s.now
 	s.rep.Classes = classReports(s.recs, s.rep.Steps, s.classPreempt, s.classTokenSteps, s.totalTokenSteps)
-	var allTTFT, allE2E []time.Duration
-	for _, rec := range s.recs {
-		allTTFT = append(allTTFT, rec.firstToken-rec.req.ArrivalAt)
-		allE2E = append(allE2E, rec.done-rec.req.ArrivalAt)
-	}
+	allTTFT, allE2E := latencySamples(s.recs)
 	s.rep.TTFT = summarize(allTTFT)
 	s.rep.E2E = summarize(allE2E)
 }
 
-// run drives the loop to completion.
-func (s *server) run() (Report, error) {
-	for s.pendingLen() > 0 || len(s.running) > 0 {
-		prefillTokens, err := s.admit()
-		if err != nil {
-			return s.rep, err
+// latencySamples collects the raw TTFT and E2E samples of a record set
+// under the shared eligibility rule: a request contributes TTFT once it
+// produced a first token and E2E once it completed. finish and the
+// cluster's report merge both draw from it, so replica-level and
+// cluster-level percentiles can never disagree about who counts.
+func latencySamples(recs []*track) (ttft, e2e []time.Duration) {
+	for _, rec := range recs {
+		if rec.hasFirst {
+			ttft = append(ttft, rec.firstToken-rec.req.ArrivalAt)
 		}
-		if len(s.running) == 0 {
-			if err := s.jumpToNextArrival(); err != nil {
-				return s.rep, err
-			}
-			continue
-		}
-		if err := s.step(prefillTokens); err != nil {
-			return s.rep, err
+		if rec.done > 0 {
+			e2e = append(e2e, rec.done-rec.req.ArrivalAt)
 		}
 	}
-	s.finish()
-	return s.rep, nil
+	return ttft, e2e
+}
+
+// nextEventTime is when the server can next make progress: now when it has
+// running or arrived work, the earliest future arrival when it is idle
+// awaiting one, and ok=false when it is fully drained. The cluster
+// scheduler interleaves replicas by this time.
+func (s *server) nextEventTime() (at time.Duration, ok bool) {
+	if len(s.running) > 0 || s.ready.Len() > 0 {
+		return s.now, true
+	}
+	if n := s.future.Min(); n != nil {
+		at = n.Value.rec.req.ArrivalAt
+		if at < s.now {
+			at = s.now
+		}
+		return at, true
+	}
+	return 0, false
+}
+
+// runOnce executes one iteration of the serving loop — admit, then either
+// one decode step or an idle jump to the next arrival — and reports whether
+// the server still has work. Serve's run loop and the cluster scheduler
+// drive the identical method, so a single-replica cluster reproduces Serve
+// step for step.
+func (s *server) runOnce() (more bool, err error) {
+	if s.pendingLen() == 0 && len(s.running) == 0 {
+		return false, nil
+	}
+	prefillTokens, err := s.admit()
+	if err != nil {
+		return false, err
+	}
+	if len(s.running) == 0 {
+		if err := s.jumpToNextArrival(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if err := s.step(prefillTokens); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// run drives the loop to completion. The report is sealed on the error
+// paths too, so callers always see the duration, class rows and percentiles
+// of whatever work completed before the failure.
+func (s *server) run() (Report, error) {
+	for {
+		more, err := s.runOnce()
+		if err != nil {
+			s.finish()
+			return s.rep, err
+		}
+		if !more {
+			s.finish()
+			return s.rep, nil
+		}
+	}
 }
 
 // Serve runs the requests to completion under continuous batching: admit
@@ -467,6 +617,9 @@ func (s *server) run() (Report, error) {
 // completions, and — when a mid-decode Append hits the memory wall —
 // preempt the lowest-priority, most recently admitted other sequence and
 // requeue it in full (vLLM's recompute-preemption, made SLO-aware).
+// With ServerConfig.Aging set, "priority" throughout means the aged
+// effective priority — Priority + wait/Aging — so starved low-priority
+// requests eventually outrank fresh high-priority arrivals.
 //
 // The queues are indexed: pending requests live in arrival- and priority-
 // ordered red-black trees and the batch keeps a preemption-ordered tree, so
@@ -486,6 +639,10 @@ func Serve(reqs []Request, mgr CacheManager, cfg ServerConfig) (Report, error) {
 }
 
 // classReports aggregates per-request records into sorted per-class rows.
+// Every record contributes its class to the roster, but only requests that
+// produced a first token feed the TTFT samples and only completed ones feed
+// the E2E samples and the served count, so the rows stay truthful when a
+// run is sealed mid-failure.
 func classReports(recs []*track, steps int, preempt map[string]int64, tokenSteps map[string]float64, totalTokenSteps float64) []ClassReport {
 	type agg struct {
 		slo    string
@@ -501,9 +658,13 @@ func classReports(recs []*track, steps int, preempt map[string]int64, tokenSteps
 			a = &agg{slo: rec.req.SLO}
 			byClass[c] = a
 		}
-		a.served++
-		a.ttft = append(a.ttft, rec.firstToken-rec.req.ArrivalAt)
-		a.e2e = append(a.e2e, rec.done-rec.req.ArrivalAt)
+		if rec.hasFirst {
+			a.ttft = append(a.ttft, rec.firstToken-rec.req.ArrivalAt)
+		}
+		if rec.done > 0 {
+			a.served++
+			a.e2e = append(a.e2e, rec.done-rec.req.ArrivalAt)
+		}
 	}
 	names := make([]string, 0, len(byClass))
 	for name := range byClass {

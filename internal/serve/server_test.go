@@ -2,7 +2,9 @@ package serve
 
 import (
 	"testing"
+	"time"
 
+	"repro/internal/container"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -162,5 +164,200 @@ func TestServeRandomMixesProperty(t *testing.T) {
 				t.Fatalf("seed %d %s: waste %v", seed, mgr.Name(), rep.MeanWaste)
 			}
 		}
+	}
+}
+
+// TestSummarizeNearestRankBoundaries pins the exact-integer nearest-rank
+// index (rank = ceil(n·pct/100)) at the sample counts where the old float
+// formulation leaned on its epsilon: tiny n, n where 0.95·n is not exactly
+// representable, and n large enough that a float product's error can cross
+// an integer boundary.
+func TestSummarizeNearestRankBoundaries(t *testing.T) {
+	mk := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = time.Duration(i+1) * time.Microsecond // value = 1-based rank
+		}
+		return s
+	}
+	cases := []struct {
+		n             int
+		p50, p95, p99 int // expected 1-based ranks
+	}{
+		{1, 1, 1, 1},
+		{2, 1, 2, 2},
+		{20, 10, 19, 20},
+		{100, 50, 95, 99},
+		{1000000, 500000, 950000, 990000},
+	}
+	for _, c := range cases {
+		got := summarize(mk(c.n))
+		want := LatencySummary{
+			P50: time.Duration(c.p50) * time.Microsecond,
+			P95: time.Duration(c.p95) * time.Microsecond,
+			P99: time.Duration(c.p99) * time.Microsecond,
+		}
+		if got != want {
+			t.Errorf("n=%d: got %+v, want %+v", c.n, got, want)
+		}
+	}
+}
+
+// TestErrorReportSealedOnImpossibleAdmission: when a request that fits
+// nowhere arrives after real work completed, the error-path Report must
+// still carry the duration, served counts, class rows and percentiles of
+// that completed work.
+func TestErrorReportSealedOnImpossibleAdmission(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, Class: "ok", PromptLen: 16, OutputLen: 4},
+		{ID: 1, Class: "ok", PromptLen: 16, OutputLen: 4},
+		{ID: 2, Class: "huge", PromptLen: 100000, OutputLen: 4, ArrivalAt: 10 * time.Second},
+	}
+	mgr := NewChunkedKV(newServeAlloc(sim.GiB/4), model.OPT1_3B, 64)
+	rep, err := Serve(reqs, mgr, ServerConfig{MaxBatch: 4})
+	if err == nil {
+		t.Fatal("expected an admission error for the unservable request")
+	}
+	if rep.Served != 2 || rep.Steps == 0 {
+		t.Fatalf("sealed report lost completed work: served %d, steps %d", rep.Served, rep.Steps)
+	}
+	if rep.Duration <= 0 || rep.MeanBatch <= 0 {
+		t.Fatalf("sealed report has zeroed run stats: %+v", rep)
+	}
+	ok := rep.Class("ok")
+	if ok == nil || ok.Served != 2 || ok.TTFT.P99 <= 0 || ok.E2E.P99 <= 0 {
+		t.Fatalf("sealed report lost the completed class: %+v", ok)
+	}
+	if huge := rep.Class("huge"); huge == nil || huge.Served != 0 {
+		t.Fatalf("unserved class misreported: %+v", huge)
+	}
+	if rep.E2E.P50 <= 0 {
+		t.Fatal("aggregate percentiles zeroed on the error path")
+	}
+}
+
+// TestErrorReportSealedOnStuckDecode: a request that admits but cannot
+// finish decoding alone (output outgrows the pool with nothing to preempt)
+// errors out mid-decode; the sealed report keeps earlier completions and the
+// stuck request's TTFT — it produced tokens — while not counting it served.
+func TestErrorReportSealedOnStuckDecode(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, Class: "ok", PromptLen: 16, OutputLen: 4},
+		{ID: 1, Class: "doomed", PromptLen: 16, OutputLen: 100000, ArrivalAt: 5 * time.Second},
+	}
+	mgr := NewChunkedKV(newServeAlloc(sim.GiB/4), model.OPT1_3B, 64)
+	rep, err := Serve(reqs, mgr, ServerConfig{MaxBatch: 4})
+	if err == nil {
+		t.Fatal("expected a stuck-mid-decode error")
+	}
+	if rep.Served != 1 || rep.Duration <= 0 {
+		t.Fatalf("sealed report wrong: served %d, duration %v", rep.Served, rep.Duration)
+	}
+	doomed := rep.Class("doomed")
+	if doomed == nil || doomed.Served != 0 {
+		t.Fatalf("stuck request misreported: %+v", doomed)
+	}
+	if doomed.TTFT.P50 <= 0 {
+		t.Fatal("stuck request generated tokens; its TTFT sample must be kept")
+	}
+	if doomed.E2E != (LatencySummary{}) {
+		t.Fatal("unfinished request must not contribute an E2E sample")
+	}
+}
+
+// TestAdmitFailuresCountsDistinctRequests: one head-of-line request blocked
+// across many steps is one admission failure, not one per step; the per-step
+// view lives in BlockedSteps.
+func TestAdmitFailuresCountsDistinctRequests(t *testing.T) {
+	// An 8-block pool: the first request's 80-token prompt takes 5 blocks,
+	// so the identical second request (5 blocks) blocks until the first
+	// completes ~32 steps later.
+	reqs := []Request{
+		{ID: 0, PromptLen: 80, OutputLen: 32},
+		{ID: 1, PromptLen: 80, OutputLen: 32},
+	}
+	mgr, err := NewPagedKV(newServeAlloc(sim.GiB), model.OPT1_3B, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	rep, err := Serve(reqs, mgr, ServerConfig{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served != 2 {
+		t.Fatalf("served %d of 2", rep.Served)
+	}
+	if rep.AdmitFailures != 1 {
+		t.Fatalf("AdmitFailures = %d, want 1 distinct blocked request", rep.AdmitFailures)
+	}
+	if rep.BlockedSteps < 5 {
+		t.Fatalf("BlockedSteps = %d, want the multi-step wait visible", rep.BlockedSteps)
+	}
+}
+
+// TestTTFTPreservedAcrossPreemption: recompute-preemption requeues the whole
+// sequence, but the first token already streamed to the client — the TTFT
+// recorded at first decode must survive eviction, requeue and re-admission
+// untouched. The test drives the server's own loop methods so it can watch
+// first-token times step by step and catch sequences waiting in the pending
+// set again after having produced tokens.
+func TestTTFTPreservedAcrossPreemption(t *testing.T) {
+	var reqs []Request
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, Request{
+			ID: i, Class: []string{"bulk", "std", "gold"}[i%3], Priority: i % 3,
+			PromptLen: 16, OutputLen: 64 + 8*(i%4),
+		})
+	}
+	mgr, err := NewPagedKV(newServeAlloc(sim.GiB), model.OPT1_3B, 16, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	s, err := newServer(reqs, mgr, ServerConfig{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	firstSeen := map[*track]time.Duration{}
+	requeuedAfterFirst := map[*track]bool{}
+	for {
+		more, err := s.runOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+		for _, rec := range s.recs {
+			if rec.hasFirst {
+				if _, ok := firstSeen[rec]; !ok {
+					firstSeen[rec] = rec.firstToken
+				}
+			}
+		}
+		// A record with a first token sitting in the pending set again was
+		// preempted after it started streaming.
+		s.ready.Ascend(func(n *container.Node[waiting]) bool {
+			if n.Value.rec.hasFirst {
+				requeuedAfterFirst[n.Value.rec] = true
+			}
+			return true
+		})
+	}
+	s.finish()
+
+	if len(requeuedAfterFirst) == 0 {
+		t.Fatal("no sequence was preempted after its first token; testbed no longer exercises the invariant")
+	}
+	for rec, first := range firstSeen {
+		if rec.firstToken != first {
+			t.Fatalf("request %d: firstToken moved from %v to %v across preemption",
+				rec.req.ID, first, rec.firstToken)
+		}
+	}
+	if s.rep.Served != len(reqs) {
+		t.Fatalf("served %d of %d", s.rep.Served, len(reqs))
 	}
 }

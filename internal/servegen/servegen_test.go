@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // TestGenerateDeterministic: the same (mix, n, seed) must yield a
@@ -354,5 +356,52 @@ func TestSeedIndependencePerClass(t *testing.T) {
 		if la[i] != lb[i] {
 			t.Fatalf("class a draw %d changed when class b was appended", i)
 		}
+	}
+}
+
+// TestOnOffCycleBoundary drives the on-off on-time→wall-clock mapping
+// directly across many cycle boundaries: arrivals must be non-decreasing,
+// every arrival must land inside an on-window even when the cumulative
+// on-time tau is at (or within float noise of) an exact multiple of the
+// window length, and consecutive arrivals that straddle d cycle boundaries
+// must be separated by at least the d off-windows between them.
+func TestOnOffCycleBoundary(t *testing.T) {
+	const onFraction = 0.2
+	cycle := 4 * time.Second
+	proc := OnOff(onFraction, cycle)
+	// A rate high enough that several arrivals land in every on-window and
+	// the stream crosses many boundaries.
+	times := proc.arrivals(sim.NewRNG(17), 25, 4000)
+
+	onLen := onFraction * cycle.Seconds()
+	cycleS := cycle.Seconds()
+	boundaries := 0
+	for i, at := range times {
+		if at < 0 {
+			t.Fatalf("arrival %d negative: %v", i, at)
+		}
+		phase := math.Mod(at, cycleS)
+		if phase > onLen*(1+1e-9) {
+			t.Fatalf("arrival %d at %.9fs lands in the off-window (phase %.9fs, on-window %.9fs)",
+				i, at, phase, onLen)
+		}
+		if i == 0 {
+			continue
+		}
+		if at < times[i-1] {
+			t.Fatalf("arrival %d at %.9fs before arrival %d at %.9fs", i, at, i-1, times[i-1])
+		}
+		if d := int(math.Floor(at/cycleS)) - int(math.Floor(times[i-1]/cycleS)); d >= 1 {
+			boundaries++
+			// Straddling d boundaries skips d off-windows of (1-on)·cycle
+			// each; the two in-window offsets can eat at most one on-window.
+			if gap, min := at-times[i-1], float64(d)*(cycleS-onLen)-onLen; gap < min {
+				t.Fatalf("arrivals %d→%d straddle %d boundaries with gap %.9fs < %.9fs",
+					i-1, i, d, gap, min)
+			}
+		}
+	}
+	if boundaries < 3 {
+		t.Fatalf("stream crossed only %d cycle boundaries; boundary seam untested", boundaries)
 	}
 }

@@ -10,17 +10,21 @@
 #   serve_ns_per_request       BenchmarkServeStream's ns/request — the
 #                              serving loop's per-request cost on a long
 #                              backlogged stream
+#   cluster_batch_p99_shrink   batch-class p99 E2E at 1 replica divided by
+#                              the p99 at 8 replicas (BenchmarkServeCluster)
+#                              — how much the cluster-scaling sweep shrinks
+#                              the starvation tail
 #
 # Usage:  scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh          # more iterations
-#   PR=3 scripts/bench.sh                  # write BENCH_3.json
+#   PR=4 scripts/bench.sh                  # write BENCH_4.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-2}"
+PR="${PR:-3}"
 OUT="${1:-BENCH_${PR}.json}"
 BENCHTIME="${BENCHTIME:-2x}"
-PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
+PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -53,6 +57,9 @@ awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v fallback="$FALLBACK_
     if (name == "BenchmarkServeStream") {
         for (i = 5; i < NF; i += 2) if ($(i+1) == "ns/request") servens = $i
     }
+    if (name ~ /^BenchmarkServeCluster\/replicas=(1|8)$/) {
+        for (i = 5; i < NF; i += 2) if ($(i+1) == "batch-p99-ms") clusterp99[name] = $i
+    }
 }
 END {
     if (!gomaxprocs) gomaxprocs = fallback
@@ -66,6 +73,11 @@ END {
     printf "  \"derived\": {\n"
     if (nsop["BenchmarkHarnessSequential"] && nsop["BenchmarkHarnessParallel"]) {
         printf "    \"harness_parallel_speedup\": %.2f,\n", nsop["BenchmarkHarnessSequential"] / nsop["BenchmarkHarnessParallel"]
+    }
+    p1 = clusterp99["BenchmarkServeCluster/replicas=1"]
+    p8 = clusterp99["BenchmarkServeCluster/replicas=8"]
+    if (p1 && p8) {
+        printf "    \"cluster_batch_p99_shrink\": %.1f,\n", p1 / p8
     }
     printf "    \"serve_ns_per_request\": %s\n", (servens ? servens : "null")
     printf "  }\n"
