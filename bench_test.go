@@ -504,6 +504,67 @@ func BenchmarkServeCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkServeElastic prices elasticity on the 10x-overloaded
+// mixed-bursty stream: the static MaxReplicas fleet versus the autoscaled
+// (and autoscaled + work-stealing) 1..MaxReplicas fleet. Each variant
+// reports ns per served request, the batch class's p99 E2E and the fleet's
+// replica-seconds; scripts/bench.sh derives elastic_drain_savings (the
+// replica-seconds the autoscaler did not consume versus the static fleet)
+// and elastic_p99_ratio (the latency price paid for them) into
+// BENCH_*.json.
+func BenchmarkServeElastic(b *testing.B) {
+	const (
+		requests = 4000
+		maxFleet = 8
+	)
+	mix := servegen.MixedBursty()
+	reqs, err := mix.WithRate(mix.Rate*10).Generate(requests, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		cfg  serve.ClusterConfig
+	}{
+		{"fleet=static", serve.ClusterConfig{
+			Replicas: maxFleet,
+			Dispatch: serve.DispatchJSQ,
+			Server:   serve.ServerConfig{MaxBatch: 32, Aging: 2 * time.Second},
+		}},
+		{"fleet=elastic", serve.ClusterConfig{
+			MinReplicas: 1, MaxReplicas: maxFleet,
+			Dispatch: serve.DispatchJSQ,
+			Server:   serve.ServerConfig{MaxBatch: 32, Aging: 2 * time.Second},
+		}},
+		{"fleet=elastic+steal", serve.ClusterConfig{
+			MinReplicas: 1, MaxReplicas: maxFleet, Steal: true,
+			Dispatch: serve.DispatchJSQ,
+			Server:   serve.ServerConfig{MaxBatch: 32, Aging: 2 * time.Second},
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var batchP99, replicaSecs time.Duration
+			for i := 0; i < b.N; i++ {
+				rep, err := serve.ServeCluster(reqs, func(int) serve.CacheManager {
+					return serve.NewChunkedKV(caching.New(newBenchDriver(4*sim.GiB)), model.OPT1_3B, 64)
+				}, v.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Served != requests {
+					b.Fatalf("served %d of %d", rep.Served, requests)
+				}
+				batchP99 = rep.Class("batch-backfill").E2E.P99
+				replicaSecs = rep.ReplicaSeconds
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
+			b.ReportMetric(float64(batchP99.Milliseconds()), "batch-p99-ms")
+			b.ReportMetric(replicaSecs.Seconds(), "replica-secs")
+		})
+	}
+}
+
 // harnessBenchSlice is the experiment list the engine benchmarks sweep: a
 // mix of cheap micro tables and the cell-heavy extended comparison, enough
 // work for the worker pool to matter without the full-suite runtime.

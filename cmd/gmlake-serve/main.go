@@ -10,24 +10,44 @@
 //	gmlake-serve -conf "backend:gmlake,serve_mix:chat+batch,burst_cv:6" -policy chunked
 //	gmlake-serve -n 500 -seed 42 -capacity-gb 2 -policy all -parallel 3
 //	gmlake-serve -replicas 4 -dispatch jsq -aging 2s -policy chunked
+//	gmlake-serve -min-replicas 1 -max-replicas 6 -steal -policy chunked
+//	gmlake-serve -replicas 2 -replica-caps 2,1 -dispatch least-kv -policy chunked
 //
 // The workload keys (serve_mix, serve_rate, burst_cv, parallel) and the
-// cluster keys (replicas, dispatch, aging) ride in the same
-// PYTORCH_CUDA_ALLOC_CONF-style string that selects the pool allocator; the
-// -mix/-rate/-burst-cv/-parallel/-replicas/-dispatch/-aging flags are
-// shorthands for the same knobs. With -replicas > 1 the stream is served by
-// a multi-replica cluster — each replica on its own device and pool behind
-// a cluster-level admission queue — and the merged report's percentiles
-// come from the union of the replicas' raw samples. Runs are deterministic:
-// one seed, one request stream, whatever the policy — and because each
-// policy (and each replica) runs on its own device and pool, -parallel
-// sweeps policies concurrently without changing any report.
+// cluster keys (replicas, dispatch, aging, min_replicas, max_replicas,
+// scale_up, scale_down, scale_cooldown, steal, replica_caps) ride in the
+// same PYTORCH_CUDA_ALLOC_CONF-style string that selects the pool
+// allocator; the corresponding flags are shorthands for the same knobs.
+//
+// With -replicas > 1 the stream is served by a multi-replica cluster —
+// each replica on its own device and pool behind a cluster-level admission
+// queue — and the merged report's percentiles come from the union of the
+// replicas' raw samples. With -max-replicas > 0 the fleet is elastic: a
+// queue-depth autoscaler spawns replicas (up to the ceiling) when the
+// queued backlog exceeds -scale-up per active replica, and drains one —
+// only after it has fully emptied — when the backlog falls to -scale-down
+// per remaining replica, with at least -scale-cooldown of virtual time
+// between decisions. -steal enables work-stealing re-dispatch: a replica
+// that goes idle takes queued (never running) requests from a backlogged
+// peer, so dispatch is no longer decide-once at arrival. -replica-caps
+// makes the fleet heterogeneous: "2,1" gives replica 0 twice the device
+// memory, twice the batch limit and twice the dispatch weight of replica
+// 1, and the load-aware policies (jsq, least-kv) divide each replica's
+// observed load by its weight so the big replica absorbs proportionally
+// more demand.
+//
+// Runs are deterministic: one seed, one request stream, whatever the
+// policy — scaling and stealing decisions happen at event boundaries of
+// the virtual-time co-simulation — and because each policy (and each
+// replica) runs on its own device and pool, -parallel sweeps policies
+// concurrently without changing any report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -54,22 +74,29 @@ func main() {
 		seed     = flag.Uint64("seed", 7, "workload generator seed")
 		policy   = flag.String("policy", "all", "KV policy: contiguous, paged, chunked or all")
 		batch    = flag.Int("batch", 24, "max concurrent decoding sequences per replica")
-		capacity = flag.Float64("capacity-gb", 1.5, "device memory in GiB (per replica)")
+		capacity = flag.Float64("capacity-gb", 1.5, "device memory in GiB (per replica, scaled by its capacity weight)")
 		par      = flag.Int("parallel", 0, "policy-run workers (0 = conf's parallel key or GOMAXPROCS)")
 		replicas = flag.Int("replicas", 0, "replica servers behind the cluster queue (0 = conf's replicas key or 1)")
 		dispatch = flag.String("dispatch", "", "cluster dispatch policy: round-robin, jsq, least-kv (default conf's dispatch key or round-robin)")
 		aging    = flag.Duration("aging", 0, "priority-aging rate, e.g. 2s (0 = conf's aging key or off)")
+		minRep   = flag.Int("min-replicas", 0, "autoscaler floor (0 = conf's min_replicas key)")
+		maxRep   = flag.Int("max-replicas", 0, "autoscaler ceiling; > 0 enables queue-depth autoscaling (0 = conf's max_replicas key)")
+		scaleUp  = flag.Int("scale-up", 0, "queued backlog per active replica that spawns one more (0 = conf's scale_up key or 4)")
+		scaleDn  = flag.Int("scale-down", 0, "backlog per remaining replica below which one drains (0 = conf's scale_down key or 1)")
+		cooldown = flag.Duration("scale-cooldown", 0, "minimum virtual time between scale decisions (0 = conf's scale_cooldown key or 250ms)")
+		steal    = flag.Bool("steal", false, "work-stealing re-dispatch of queued requests to starving replicas")
+		capsFlag = flag.String("replica-caps", "", "comma-separated per-replica capacity weights, e.g. 2,1 (overrides conf's replica_caps)")
 	)
 	flag.Parse()
 
 	if *par < 0 {
 		fatal(fmt.Errorf("-parallel must be >= 0, got %d", *par))
 	}
-	if *replicas < 0 {
-		fatal(fmt.Errorf("-replicas must be >= 0, got %d", *replicas))
+	if *replicas < 0 || *minRep < 0 || *maxRep < 0 || *scaleUp < 0 || *scaleDn < 0 {
+		fatal(fmt.Errorf("replica and scaling counts must be >= 0"))
 	}
-	if *aging < 0 {
-		fatal(fmt.Errorf("-aging must be >= 0, got %v", *aging))
+	if *aging < 0 || *cooldown < 0 {
+		fatal(fmt.Errorf("durations must be >= 0"))
 	}
 
 	if *list {
@@ -93,9 +120,6 @@ func main() {
 	if *replicas > 0 {
 		cfg.Replicas = *replicas
 	}
-	if cfg.Replicas == 0 {
-		cfg.Replicas = 1
-	}
 	if *dispatch != "" {
 		p, err := serve.ParseDispatch(*dispatch)
 		if err != nil {
@@ -105,6 +129,31 @@ func main() {
 	}
 	if *aging > 0 {
 		cfg.Aging = *aging
+	}
+	if *minRep > 0 {
+		cfg.MinReplicas = *minRep
+	}
+	if *maxRep > 0 {
+		cfg.MaxReplicas = *maxRep
+	}
+	if *scaleUp > 0 {
+		cfg.ScaleUpDepth = *scaleUp
+	}
+	if *scaleDn > 0 {
+		cfg.ScaleDownDepth = *scaleDn
+	}
+	if *cooldown > 0 {
+		cfg.ScaleCooldown = *cooldown
+	}
+	if *steal {
+		cfg.Steal = true
+	}
+	if *capsFlag != "" {
+		caps, err := parseCapsFlag(*capsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ReplicaCaps = caps
 	}
 	mix, err := cfg.ServeWorkload()
 	if err != nil {
@@ -117,8 +166,33 @@ func main() {
 
 	modelCfg := model.OPT1_3B
 	capBytes := int64(*capacity * float64(sim.GiB))
-	newAlloc := func() memalloc.Allocator {
-		driver := cuda.NewDriver(gpu.NewDevice("serve", capBytes), sim.NewClock(), sim.DefaultCostModel())
+
+	// The cluster configuration: replica i's capacity weight scales its
+	// dispatch share, its batch limit and its device memory together.
+	clusterCfg := cfg.Cluster(serve.ServerConfig{MaxBatch: *batch, Aging: cfg.Aging})
+	for i := range clusterCfg.Overrides {
+		w := clusterCfg.Overrides[i].Capacity
+		if w > 0 && w != 1 {
+			b := int(w*float64(*batch) + 0.5)
+			if b < 1 {
+				b = 1 // a 0 override would mean "inherit the full batch"
+			}
+			clusterCfg.Overrides[i].MaxBatch = b
+		}
+	}
+	capacityOf := func(i int) int64 {
+		if i < len(clusterCfg.Overrides) && clusterCfg.Overrides[i].Capacity > 0 {
+			return int64(clusterCfg.Overrides[i].Capacity * float64(capBytes))
+		}
+		return capBytes
+	}
+	fleetMax := clusterCfg.Replicas
+	if clusterCfg.MaxReplicas > 0 {
+		fleetMax = clusterCfg.MaxReplicas
+	}
+
+	newAlloc := func(i int) memalloc.Allocator {
+		driver := cuda.NewDriver(gpu.NewDevice("serve", capacityOf(i)), sim.NewClock(), sim.DefaultCostModel())
 		alloc, err := cfg.Build(driver)
 		if err != nil {
 			fatal(err)
@@ -137,7 +211,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("cluster: %d replica(s), dispatch %s, aging %s\n\n", cfg.Replicas, dispatchPolicy, agingStr)
+	fleetStr := fmt.Sprintf("%d replica(s)", clusterCfg.Replicas)
+	if clusterCfg.MaxReplicas > 0 {
+		min := clusterCfg.MinReplicas
+		if min == 0 {
+			min = 1
+		}
+		fleetStr = fmt.Sprintf("elastic %d..%d replicas", min, clusterCfg.MaxReplicas)
+	}
+	stealStr := ""
+	if clusterCfg.Steal {
+		stealStr = ", work-stealing"
+	}
+	capsStr := ""
+	if len(cfg.ReplicaCaps) > 0 {
+		capsStr = fmt.Sprintf(", caps %v", cfg.ReplicaCaps)
+	}
+	fmt.Printf("cluster: %s, dispatch %s, aging %s%s%s\n\n", fleetStr, dispatchPolicy, agingStr, stealStr, capsStr)
 
 	policies := []string{"contiguous", "paged", "chunked"}
 	if *policy != "all" {
@@ -150,11 +240,10 @@ func main() {
 			fatal(fmt.Errorf("unknown policy %q (contiguous, paged, chunked, all)", p))
 		}
 	}
-	srvCfg := serve.ServerConfig{MaxBatch: *batch, Aging: cfg.Aging}
 
 	// buildMgr assembles one replica's manager over its own pool; the
 	// returned closer releases a paged slab after the run.
-	buildMgr := func(policy string, alloc memalloc.Allocator) (serve.CacheManager, func(), error) {
+	buildMgr := func(policy string, replica int, alloc memalloc.Allocator) (serve.CacheManager, func(), error) {
 		switch policy {
 		case "contiguous":
 			return serve.NewContiguousKV(alloc, modelCfg, 1024), func() {}, nil
@@ -162,7 +251,7 @@ func main() {
 			// Size the slab to ~85% of the device so the block pool, not
 			// the pool allocator, is the binding constraint.
 			perToken := serve.KVBytesPerToken(modelCfg)
-			blocks := int(capBytes * 85 / 100 / (16 * perToken))
+			blocks := int(capacityOf(replica) * 85 / 100 / (16 * perToken))
 			m, err := serve.NewPagedKV(alloc, modelCfg, 16, blocks)
 			if err != nil {
 				return nil, nil, err
@@ -179,6 +268,8 @@ func main() {
 	// finished first. -parallel overrides the conf string's parallel key.
 	// Every policy serves through the cluster — with one replica the
 	// cluster loop is byte-identical to the single-server Serve loop.
+	// Replica managers are built lazily: with autoscaling on, replicas
+	// past the initial fleet exist only if the scaler spawned them.
 	workers := cfg.Parallelism
 	if *par > 0 {
 		workers = *par
@@ -188,20 +279,34 @@ func main() {
 		stats []memalloc.Stats
 		err   error
 	}
-	results, err := runner.Collect(workers, len(policies), func(i int) outcome {
-		allocs := make([]memalloc.Allocator, cfg.Replicas)
-		mgrs := make([]serve.CacheManager, cfg.Replicas)
-		for r := range mgrs {
-			allocs[r] = newAlloc()
-			mgr, closer, err := buildMgr(policies[i], allocs[r])
-			if err != nil {
-				return outcome{err: err}
+	results, err := runner.Collect(workers, len(policies), func(i int) (out outcome) {
+		allocs := make([]memalloc.Allocator, 0, fleetMax)
+		closers := make([]func(), 0, fleetMax)
+		defer func() {
+			for _, c := range closers {
+				c()
 			}
-			defer closer()
-			mgrs[r] = mgr
-		}
-		rep, err := serve.ServeCluster(reqs, func(r int) serve.CacheManager { return mgrs[r] },
-			serve.ClusterConfig{Replicas: cfg.Replicas, Dispatch: dispatchPolicy, Server: srvCfg})
+			// A manager build error aborts the co-simulation immediately
+			// (there is no point serving thousands of requests on a
+			// half-built fleet); it surfaces as this policy's outcome.
+			if r := recover(); r != nil {
+				if err, ok := r.(replicaBuildError); ok {
+					out = outcome{err: err.err}
+					return
+				}
+				panic(r)
+			}
+		}()
+		rep, err := serve.ServeCluster(reqs, func(r int) serve.CacheManager {
+			alloc := newAlloc(r)
+			mgr, closer, err := buildMgr(policies[i], r, alloc)
+			if err != nil {
+				panic(replicaBuildError{err: fmt.Errorf("replica %d: %w", r, err)})
+			}
+			allocs = append(allocs, alloc)
+			closers = append(closers, closer)
+			return mgr
+		}, clusterCfg)
 		stats := make([]memalloc.Stats, len(allocs))
 		for r, a := range allocs {
 			stats[r] = a.Stats()
@@ -220,6 +325,24 @@ func main() {
 	}
 }
 
+// replicaBuildError carries a cache-manager build failure out of the
+// ServeCluster factory callback via panic, aborting the run up front.
+type replicaBuildError struct{ err error }
+
+// parseCapsFlag parses the -replica-caps comma list ("2,1,1.5").
+func parseCapsFlag(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	caps := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || !(f > 0) {
+			return nil, fmt.Errorf("-replica-caps needs positive numbers, got %q", p)
+		}
+		caps = append(caps, f)
+	}
+	return caps, nil
+}
+
 func printReport(policy string, rep serve.ClusterReport, stats []memalloc.Stats) {
 	var util float64
 	for _, st := range stats {
@@ -229,11 +352,23 @@ func printReport(policy string, rep serve.ClusterReport, stats []memalloc.Stats)
 	fmt.Printf("== %s: served %d in %s virtual, mean batch %.1f, %d preemptions, mean pool util %.1f%%\n",
 		policy, rep.Served, rep.Duration.Round(time.Millisecond), rep.MeanBatch,
 		rep.Preemptions, 100*util)
+	if rep.Spawns > 0 || rep.Drains > 0 {
+		fmt.Printf("   elastic fleet: peak %d replicas, %d spawns, %d drains, %.1f replica-seconds\n",
+			rep.PeakReplicas, rep.Spawns, rep.Drains, rep.ReplicaSeconds.Seconds())
+	}
 	if len(rep.Replicas) > 1 {
 		for i, r := range rep.Replicas {
-			fmt.Printf("   replica %d: %d assigned, %d served in %s, %d preemptions, pool util %.1f%%\n",
-				i, rep.Assigned[i], r.Served, r.Duration.Round(time.Millisecond),
-				r.Preemptions, 100*stats[i].Utilization())
+			stolen := ""
+			if rep.Stolen[i] > 0 {
+				stolen = fmt.Sprintf(", %d stolen", rep.Stolen[i])
+			}
+			util := "-"
+			if i < len(stats) {
+				util = fmt.Sprintf("%.1f%%", 100*stats[i].Utilization())
+			}
+			fmt.Printf("   replica %d: %d assigned%s, %d served in %s, %d preemptions, pool util %s\n",
+				i, rep.Assigned[i], stolen, r.Served, r.Duration.Round(time.Millisecond),
+				r.Preemptions, util)
 		}
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)

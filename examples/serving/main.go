@@ -17,6 +17,11 @@
 // and chunking keep every class's TTFT low — and admission/preemption are
 // SLO-aware, so interactive tenants are evicted last.
 //
+// The final sections scale out: a fixed multi-replica cluster with
+// priority aging, then an elastic fleet — queue-depth autoscaling with
+// drain-on-idle, work-stealing re-dispatch of queued requests, and
+// capacity-weighted dispatch for heterogeneous replicas.
+//
 // Run with: go run ./examples/serving
 package main
 
@@ -145,6 +150,53 @@ func main() {
 	fmt.Println("cluster percentiles merge the replicas' raw samples; with aging on, a starved")
 	fmt.Println("batch request's effective priority rises one level per aging interval of wait,")
 	fmt.Println("so fresh interactive arrivals eventually stop cutting ahead of it.")
+	fmt.Println()
+
+	// Elastic fleet: the same overload served by a queue-depth autoscaler
+	// instead of a fixed fleet. The scaler watches the queued backlog in
+	// virtual time: above ScaleUpDepth requests per active replica it
+	// spawns one (up to MaxReplicas); when the backlog thins it marks the
+	// highest-index replica draining — the replica takes no new work and
+	// leaves the fleet only once its queue and batch are empty, the
+	// drain-on-idle rule that keeps runs deterministic. Work-stealing
+	// re-dispatch (Steal) lets a replica that goes idle take QUEUED (never
+	// running) requests from a backlogged peer, so an early-draining
+	// replica helps instead of idling.
+	//
+	// Worked drain-on-idle example: under the 4x burst the fleet grows
+	// 1 -> 3; when arrivals stop, replica 2 finishes its queue first, is
+	// marked draining, empties, and leaves — its replica-seconds stop
+	// accruing there, while a static 3-replica fleet pays 3 x makespan.
+	for _, steal := range []bool{false, true} {
+		rep, err := gmlake.ServeClusterRequests(overload, newMgr, gmlake.ServeClusterConfig{
+			MinReplicas: 1,
+			MaxReplicas: 3,
+			Steal:       steal,
+			Dispatch:    gmlake.DispatchJSQ,
+			Server:      gmlake.ServeConfig{MaxBatch: 4},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "elastic 1..3"
+		if steal {
+			label = "elastic 1..3 + stealing"
+		}
+		stolen := 0
+		for _, n := range rep.Stolen {
+			stolen += n
+		}
+		fmt.Printf("%s: served %d in %s virtual, peak %d replicas, %d spawns, %d drains, %d stolen\n",
+			label, rep.Served, rep.Duration.Round(time.Millisecond),
+			rep.PeakReplicas, rep.Spawns, rep.Drains, stolen)
+		fmt.Printf("  fleet cost %.1f replica-seconds (static 3x fleet would pay %.1f), e2e p99 %s\n",
+			rep.ReplicaSeconds.Seconds(), (3 * rep.Duration).Seconds(),
+			rep.E2E.P99.Round(time.Millisecond))
+	}
+	fmt.Println()
+	fmt.Println("a heterogeneous fleet adds per-replica overrides: ServeReplicaOverride{Capacity: 2,")
+	fmt.Println("MaxBatch: 8} makes replica 0 a double-size instance, and jsq/least-kv divide its")
+	fmt.Println("observed load by the weight so it legitimately absorbs twice the demand.")
 }
 
 func gb(n int64) string { return fmt.Sprintf("%.2f GB", float64(n)/float64(gmlake.GiB)) }

@@ -70,9 +70,24 @@
 // percentiles (never averaged percentiles) next to the per-replica
 // reports. ServeConfig.Aging enables priority aging — a waiting request
 // gains one priority level per Aging of queue wait — so batch-class
-// requests cannot starve under a permanent interactive overload. The
-// co-simulation is event-ordered: the same seed yields a byte-identical
-// cluster report, and with one replica the cluster reproduces
+// requests cannot starve under a permanent interactive overload.
+//
+// The fleet can be heterogeneous and elastic. ServeReplicaOverride gives a
+// replica its own capacity weight (the load-aware policies divide observed
+// load by it, so a 2x replica absorbs 2x demand), batch limit and aging
+// rate. ServeClusterConfig.MaxReplicas > 0 enables queue-depth
+// autoscaling: replicas spawn when the queued backlog per active replica
+// exceeds ScaleUpDepth and drain — only after they empty — when it falls
+// to ScaleDownDepth, between MinReplicas and MaxReplicas with a
+// ScaleCooldown between decisions; ReplicaSeconds in the report prices the
+// fleet. ServeClusterConfig.Steal enables work-stealing re-dispatch: a
+// replica that goes idle takes queued (never running) requests from a
+// backlogged peer, replacing decide-once-at-arrival dispatch.
+//
+// The co-simulation is event-ordered — scaling and stealing decisions
+// happen at event boundaries — so the same seed yields a byte-identical
+// cluster report, and with one replica (static, or MinReplicas ==
+// MaxReplicas == 1 with stealing off) the cluster reproduces
 // ServeRequests exactly.
 //
 // # Quick start
@@ -294,10 +309,17 @@ type (
 	ServeClassReport = serve.ClassReport
 	// LatencySummary holds p50/p95/p99 of a latency sample.
 	LatencySummary = serve.LatencySummary
-	// ServeClusterConfig tunes the multi-replica serving cluster.
+	// ServeClusterConfig tunes the multi-replica serving cluster,
+	// including the elastic autoscaler (MinReplicas/MaxReplicas), the
+	// work-stealing switch (Steal) and per-replica overrides.
 	ServeClusterConfig = serve.ClusterConfig
+	// ServeReplicaOverride customizes one replica of a heterogeneous
+	// cluster: capacity weight for load-aware dispatch, batch limit,
+	// aging rate.
+	ServeReplicaOverride = serve.ReplicaOverride
 	// ServeClusterReport merges per-replica serving reports from raw
-	// samples and keeps the per-replica breakdown.
+	// samples and keeps the per-replica breakdown, plus the elastic-fleet
+	// view (peak replicas, spawns/drains, replica-seconds, steals).
 	ServeClusterReport = serve.ClusterReport
 	// DispatchPolicy assigns cluster arrivals to replicas.
 	DispatchPolicy = serve.DispatchPolicy

@@ -28,12 +28,32 @@
 // the servecluster experiment):
 //
 //	replicas:<n>        replica servers behind the cluster admission
-//	                    queue (1 = the single-server loop)
+//	                    queue (1 = the single-server loop); with
+//	                    autoscaling on, the initial fleet size
 //	dispatch:<policy>   cluster dispatch policy: round-robin, jsq
 //	                    (join-shortest-queue) or least-kv
 //	aging:<dur>         priority-aging rate, e.g. aging:2s — a waiting
 //	                    request gains one priority level per <dur> of
 //	                    queue wait; 0 disables aging
+//
+// the elastic heterogeneous fleet (PR 4):
+//
+//	min_replicas:<n>    autoscaler floor (needs max_replicas)
+//	max_replicas:<n>    autoscaler ceiling; > 0 enables queue-depth
+//	                    autoscaling between the two bounds
+//	scale_up:<n>        queued backlog per active replica that spawns
+//	                    one more (default 4)
+//	scale_down:<n>      backlog per remaining replica below which one
+//	                    replica starts draining (default 1); a draining
+//	                    replica leaves only after it empties
+//	scale_cooldown:<d>  minimum virtual time between scale decisions
+//	                    (default 250ms)
+//	steal:<bool>        work-stealing re-dispatch: a starving replica
+//	                    takes queued (never running) requests from a
+//	                    backlogged peer
+//	replica_caps:<a/b/…> per-replica capacity weights, slash-separated
+//	                    (e.g. replica_caps:2/1/1): load-aware dispatch
+//	                    divides a replica's load by its weight
 package conf
 
 import (
@@ -81,6 +101,18 @@ type Config struct {
 	Replicas int
 	Dispatch serve.DispatchPolicy
 	Aging    time.Duration
+
+	// Elastic-fleet knobs (see the package comment). MaxReplicas > 0
+	// enables queue-depth autoscaling; Steal enables work-stealing
+	// re-dispatch; ReplicaCaps are per-replica capacity weights for
+	// capacity-aware dispatch over a heterogeneous fleet.
+	MinReplicas    int
+	MaxReplicas    int
+	ScaleUpDepth   int
+	ScaleDownDepth int
+	ScaleCooldown  time.Duration
+	Steal          bool
+	ReplicaCaps    []float64
 
 	// Parallelism bounds the worker pool of consumers that sweep
 	// independent cells (the experiment engine, policy comparisons).
@@ -203,6 +235,48 @@ func Parse(s string) (Config, error) {
 				return cfg, fmt.Errorf("conf: %s must be a non-negative duration (e.g. 2s), got %q", key, val)
 			}
 			cfg.Aging = d
+		case "min_replicas":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.MinReplicas = int(n)
+		case "max_replicas":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.MaxReplicas = int(n)
+		case "scale_up":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.ScaleUpDepth = int(n)
+		case "scale_down":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.ScaleDownDepth = int(n)
+		case "scale_cooldown":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return cfg, fmt.Errorf("conf: %s must be a non-negative duration (e.g. 500ms), got %q", key, val)
+			}
+			cfg.ScaleCooldown = d
+		case "steal":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return cfg, fmt.Errorf("conf: %s must be a bool, got %q", key, val)
+			}
+			cfg.Steal = b
+		case "replica_caps":
+			caps, err := parseReplicaCaps(val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.ReplicaCaps = caps
 		case "parallel":
 			// Parsed as an integer, so "NaN", floats and junk are rejected
 			// outright; 0 is legal and means GOMAXPROCS.
@@ -224,6 +298,47 @@ func parsePositive(key, val string) (int64, error) {
 		return 0, fmt.Errorf("conf: %s must be a positive integer, got %q", key, val)
 	}
 	return n, nil
+}
+
+// parseReplicaCaps parses a slash-separated list of positive capacity
+// weights, e.g. "2/1/1". Commas separate conf keys, so they cannot
+// separate list elements.
+func parseReplicaCaps(val string) ([]float64, error) {
+	parts := strings.Split(val, "/")
+	caps := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := parsePositiveFloat("replica_caps", strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		caps = append(caps, f)
+	}
+	return caps, nil
+}
+
+// Cluster assembles the serving-cluster configuration the string describes
+// around the given per-replica server config (which carries MaxBatch and,
+// typically, c.Aging). Replica capacity weights become per-replica
+// overrides; an unconfigured static fleet defaults to one replica.
+func (c Config) Cluster(server serve.ServerConfig) serve.ClusterConfig {
+	cc := serve.ClusterConfig{
+		Replicas:       c.Replicas,
+		Dispatch:       c.Dispatch,
+		Server:         server,
+		MinReplicas:    c.MinReplicas,
+		MaxReplicas:    c.MaxReplicas,
+		ScaleUpDepth:   c.ScaleUpDepth,
+		ScaleDownDepth: c.ScaleDownDepth,
+		ScaleCooldown:  c.ScaleCooldown,
+		Steal:          c.Steal,
+	}
+	if cc.Replicas == 0 && cc.MaxReplicas == 0 {
+		cc.Replicas = 1
+	}
+	for _, w := range c.ReplicaCaps {
+		cc.Overrides = append(cc.Overrides, serve.ReplicaOverride{Capacity: w})
+	}
+	return cc
 }
 
 func parsePositiveFloat(key, val string) (float64, error) {

@@ -257,3 +257,83 @@ func TestParseClusterKeyErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseElasticKeys(t *testing.T) {
+	cfg, err := Parse("min_replicas:1,max_replicas:6,scale_up:8,scale_down:2,scale_cooldown:500ms,steal:true,replica_caps:2/1/1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MinReplicas != 1 || cfg.MaxReplicas != 6 {
+		t.Fatalf("bounds = [%d, %d]", cfg.MinReplicas, cfg.MaxReplicas)
+	}
+	if cfg.ScaleUpDepth != 8 || cfg.ScaleDownDepth != 2 || cfg.ScaleCooldown != 500*time.Millisecond {
+		t.Fatalf("scaler knobs: %+v", cfg)
+	}
+	if !cfg.Steal {
+		t.Fatal("steal:true not captured")
+	}
+	if len(cfg.ReplicaCaps) != 3 || cfg.ReplicaCaps[0] != 2 || cfg.ReplicaCaps[1] != 1 || cfg.ReplicaCaps[2] != 1.5 {
+		t.Fatalf("replica_caps = %v", cfg.ReplicaCaps)
+	}
+	// Dispatch names from conf strings may carry case and whitespace.
+	cfg, err = Parse("dispatch: JSQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dispatch != serve.DispatchJSQ {
+		t.Fatalf("dispatch = %q", cfg.Dispatch)
+	}
+}
+
+func TestParseElasticKeyErrors(t *testing.T) {
+	for _, s := range []string{
+		"min_replicas:0",      // positive
+		"max_replicas:-3",     // negative
+		"scale_up:0",          // positive
+		"scale_down:none",     // not a number
+		"scale_cooldown:-1s",  // negative duration
+		"steal:perhaps",       // not a bool
+		"replica_caps:2/0/1",  // zero weight
+		"replica_caps:2,1",    // comma splits keys, not weights
+		"replica_caps:fast/1", // not a number
+		"replica_caps:",       // empty
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestClusterAssembly(t *testing.T) {
+	cfg, err := Parse("replicas:2,dispatch:least-kv,min_replicas:2,max_replicas:4,steal:true,replica_caps:2/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := cfg.Cluster(serve.ServerConfig{MaxBatch: 8, Aging: cfg.Aging})
+	if cc.Replicas != 2 || cc.MinReplicas != 2 || cc.MaxReplicas != 4 || !cc.Steal {
+		t.Fatalf("%+v", cc)
+	}
+	if cc.Dispatch != serve.DispatchLeastKV || cc.Server.MaxBatch != 8 {
+		t.Fatalf("%+v", cc)
+	}
+	if len(cc.Overrides) != 2 || cc.Overrides[0].Capacity != 2 || cc.Overrides[1].Capacity != 1 {
+		t.Fatalf("overrides = %+v", cc.Overrides)
+	}
+	// An unconfigured static fleet is one replica.
+	plain, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc := plain.Cluster(serve.ServerConfig{MaxBatch: 8}); cc.Replicas != 1 || cc.MaxReplicas != 0 {
+		t.Fatalf("%+v", cc)
+	}
+	// With autoscaling on and no replicas key, the initial size is the
+	// scaler's business (serve defaults it to MinReplicas).
+	auto, err := Parse("max_replicas:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc := auto.Cluster(serve.ServerConfig{MaxBatch: 8}); cc.Replicas != 0 || cc.MaxReplicas != 4 {
+		t.Fatalf("%+v", cc)
+	}
+}

@@ -8,7 +8,7 @@ var Experiments = []string{
 	"figure10", "figure11", "figure12", "figure13", "figure14",
 	"headline", "extended", "ablations", "cluster",
 	"zero", "topology", "recompute", "offload", "streams",
-	"serving", "servemix", "servecluster", "fragindex", "pipefrag",
+	"serving", "servemix", "servecluster", "serveelastic", "fragindex", "pipefrag",
 }
 
 // RunExperiment executes one experiment by id and returns its tables.
@@ -59,6 +59,8 @@ func (e *Env) RunExperiment(id string) []*Table {
 		return []*Table{e.ServeMixExperiment()}
 	case "servecluster":
 		return e.ServeClusterExperiment()
+	case "serveelastic":
+		return e.ServeElasticExperiment()
 	case "fragindex":
 		return []*Table{e.FragIndexExperiment()}
 	case "pipefrag":

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -11,18 +13,18 @@ import (
 type DispatchPolicy string
 
 const (
-	// DispatchRoundRobin cycles arrivals over the replicas in order —
-	// oblivious to load, the baseline every smarter policy is measured
+	// DispatchRoundRobin cycles arrivals over the active replicas in order
+	// — oblivious to load, the baseline every smarter policy is measured
 	// against.
 	DispatchRoundRobin DispatchPolicy = "round-robin"
 	// DispatchJSQ joins the shortest queue: the replica with the fewest
-	// unfinished requests (queued plus decoding), ties to the lowest
-	// replica index.
+	// unfinished requests (queued plus decoding) per unit of capacity,
+	// ties to the lowest replica index.
 	DispatchJSQ DispatchPolicy = "jsq"
 	// DispatchLeastKV picks the replica with the least outstanding KV
-	// demand — the sum of total tokens (prompt+output) of its unfinished
-	// requests, a token-weighted shortest queue that sees the difference
-	// between ten chat turns and ten long batch jobs.
+	// demand per unit of capacity — the sum of total tokens (prompt+output)
+	// of its unfinished requests, a token-weighted shortest queue that sees
+	// the difference between ten chat turns and ten long batch jobs.
 	DispatchLeastKV DispatchPolicy = "least-kv"
 )
 
@@ -31,27 +33,95 @@ func DispatchPolicies() []DispatchPolicy {
 	return []DispatchPolicy{DispatchRoundRobin, DispatchJSQ, DispatchLeastKV}
 }
 
-// ParseDispatch resolves a policy name ("" = round-robin).
+// ParseDispatch resolves a policy name ("" = round-robin). Names are
+// case-insensitive and surrounding whitespace is ignored, so "JSQ" from a
+// CLI flag or " least-kv " from a hand-edited conf file resolve like their
+// canonical spellings.
 func ParseDispatch(name string) (DispatchPolicy, error) {
-	switch DispatchPolicy(name) {
+	switch p := DispatchPolicy(strings.ToLower(strings.TrimSpace(name))); p {
 	case "":
 		return DispatchRoundRobin, nil
 	case DispatchRoundRobin, DispatchJSQ, DispatchLeastKV:
-		return DispatchPolicy(name), nil
+		return p, nil
 	}
 	return "", fmt.Errorf("serve: unknown dispatch policy %q (round-robin, jsq, least-kv)", name)
 }
 
+// Autoscaler defaults (see ClusterConfig).
+const (
+	DefaultScaleUpDepth   = 4
+	DefaultScaleDownDepth = 1
+	DefaultScaleCooldown  = 250 * time.Millisecond
+)
+
+// ReplicaOverride customizes one replica of a heterogeneous cluster. The
+// zero value inherits everything from the cluster-wide configuration.
+type ReplicaOverride struct {
+	// Capacity is the replica's relative serving capacity (0 = 1). The
+	// load-aware dispatch policies (jsq, least-kv) divide the replica's
+	// observed load by it, so a Capacity-2 replica legitimately absorbs
+	// twice the demand of a Capacity-1 peer instead of looking "twice as
+	// loaded" at the same queue depth. It is a dispatch weight only; the
+	// caller sizes the replica's actual pool and batch to match (MaxBatch
+	// here, pool capacity in the cache-manager factory).
+	Capacity float64
+	// MaxBatch overrides ServerConfig.MaxBatch for this replica (0 =
+	// inherit the cluster-wide value).
+	MaxBatch int
+	// Aging overrides ServerConfig.Aging for this replica (0 = inherit).
+	Aging time.Duration
+}
+
 // ClusterConfig tunes a multi-replica serving cluster.
 type ClusterConfig struct {
-	// Replicas is the number of replica servers (must be >= 1). Each
-	// replica owns its cache manager and its own virtual clock.
+	// Replicas is the number of replica servers. With autoscaling off
+	// (MaxReplicas == 0) it is the fixed fleet size and must be >= 1. With
+	// autoscaling on it is the initial fleet size and may be left 0 to
+	// start at MinReplicas.
 	Replicas int
 	// Dispatch assigns arrivals to replicas ("" = round-robin).
 	Dispatch DispatchPolicy
 	// Server is the per-replica continuous-batching configuration,
 	// including the priority-aging rate (Server.Aging).
 	Server ServerConfig
+
+	// Overrides customizes replica i via Overrides[i]; replicas beyond the
+	// slice (including autoscaled spawns past its end) use the cluster-wide
+	// defaults. It must not be longer than the maximum fleet size.
+	Overrides []ReplicaOverride
+
+	// MaxReplicas > 0 enables queue-depth autoscaling: the scheduler
+	// watches the cluster backlog in virtual time and keeps between
+	// MinReplicas and MaxReplicas replicas active. MinReplicas 0 means 1.
+	// The scaler spawns a replica when the queued backlog exceeds
+	// ScaleUpDepth per active replica, and starts draining one when the
+	// backlog would leave at most ScaleDownDepth per remaining replica.
+	// A draining replica accepts no new dispatches and leaves the fleet
+	// only after it has fully emptied; scale-ups reuse draining or drained
+	// replicas before growing the fleet. Consecutive scale decisions are
+	// at least ScaleCooldown of virtual time apart. All decisions happen
+	// at event boundaries of the co-simulation, so elastic runs are as
+	// deterministic as static ones.
+	MinReplicas int
+	MaxReplicas int
+	// ScaleUpDepth is the queued-requests-per-active-replica backlog that
+	// triggers a spawn (0 = DefaultScaleUpDepth).
+	ScaleUpDepth int
+	// ScaleDownDepth is the backlog per remaining replica below which one
+	// replica starts draining (0 = DefaultScaleDownDepth; use a negative
+	// value to effectively never scale down).
+	ScaleDownDepth int
+	// ScaleCooldown is the minimum virtual time between scale decisions
+	// (0 = DefaultScaleCooldown).
+	ScaleCooldown time.Duration
+
+	// Steal enables work-stealing re-dispatch: when a replica is starving
+	// (nothing decoding, nothing admissible) while another holds queued
+	// requests beyond what it can admit, the scheduler re-dispatches the
+	// backlogged replica's lowest-ranked queued request — never a running
+	// one — to the idle replica. Dispatch stops being decide-once at
+	// arrival. Stealing works on static and elastic fleets alike.
+	Steal bool
 }
 
 // ClusterReport summarizes one cluster serving run.
@@ -66,10 +136,161 @@ type ClusterReport struct {
 	// raw per-request samples — merging percentiles by averaging them
 	// would be statistically meaningless.
 	Report
-	// Replicas are the per-replica reports, indexed by replica.
+	// Replicas are the per-replica reports, indexed by replica. Every
+	// replica that ever joined the fleet appears, drained ones included.
+	// A request that was stolen counts in the report of the replica that
+	// finally served it.
 	Replicas []Report
-	// Assigned[i] is how many requests the dispatcher sent to replica i.
+	// Assigned[i] is how many requests the dispatcher sent to replica i
+	// at arrival. With stealing on, a request may be re-dispatched later;
+	// Assigned keeps the original decision, Stolen records the moves.
 	Assigned []int
+	// Stolen[i] is how many queued requests replica i stole from a
+	// backlogged peer (all zero unless ClusterConfig.Steal).
+	Stolen []int
+
+	// PeakReplicas is the largest number of simultaneously active
+	// replicas; Spawns and Drains count scale-up decisions (including
+	// drain cancellations and re-activations) and completed drains.
+	// Without autoscaling PeakReplicas is the static fleet size and
+	// Spawns/Drains are zero.
+	PeakReplicas int
+	Spawns       int
+	Drains       int
+	// ReplicaSeconds is the virtual time integral of the active fleet:
+	// the sum over replicas of their spawn-to-drain (or spawn-to-end)
+	// spans — the fleet cost an autoscaler exists to shrink.
+	ReplicaSeconds time.Duration
+}
+
+// replicaState tracks one replica's place in the elastic fleet lifecycle.
+type replicaState int
+
+const (
+	replicaActive   replicaState = iota // receives dispatches
+	replicaDraining                     // serving out its backlog, no new work
+	replicaStopped                      // drained and out of the fleet
+)
+
+// clusterReplica is one replica server plus the scheduler-side bookkeeping
+// the dispatch policies and the autoscaler read.
+type clusterReplica struct {
+	srv      *server
+	capacity float64
+	state    replicaState
+	// spawnAt opens the current busy span on the cluster clock; busy
+	// accumulates closed spans (a replica can stop and be re-activated).
+	spawnAt time.Duration
+	busy    time.Duration
+	// assigned counts arrival dispatches, stolen counts re-dispatches won,
+	// dispatchedTokens the outstanding-KV numerator for least-kv dispatch.
+	assigned         int
+	stolen           int
+	dispatchedTokens int64
+}
+
+// clusterSched is the cluster scheduler: the admission queue, the fleet and
+// the elastic machinery, advanced one event at a time.
+type clusterSched struct {
+	cfg      ClusterConfig
+	dispatch DispatchPolicy
+	newMgr   func(int) CacheManager
+	reqs     []Request
+	queue    []int // input indexes in arrival order
+	qi       int
+	fleet    []*clusterReplica
+	rr       int // round-robin cursor over active replicas
+
+	elastic      bool
+	minReplicas  int
+	upDepth      int
+	downDepth    int
+	cooldown     time.Duration
+	lastScale    time.Duration
+	scaled       bool          // a scale decision happened (gates cooldown)
+	now          time.Duration // monotonic cluster event clock
+	spawns       int
+	drains       int
+	peakReplicas int
+}
+
+// resolveOverride returns replica i's override (zero value past the slice).
+func (cfg ClusterConfig) resolveOverride(i int) ReplicaOverride {
+	if i < len(cfg.Overrides) {
+		return cfg.Overrides[i]
+	}
+	return ReplicaOverride{}
+}
+
+// serverConfig is replica i's effective per-server configuration.
+func (cfg ClusterConfig) serverConfig(i int) ServerConfig {
+	sc := cfg.Server
+	o := cfg.resolveOverride(i)
+	if o.MaxBatch > 0 {
+		sc.MaxBatch = o.MaxBatch
+	}
+	if o.Aging > 0 {
+		sc.Aging = o.Aging
+	}
+	return sc
+}
+
+// validate checks the whole configuration up front — including every
+// replica configuration the run could ever instantiate — so mid-run spawns
+// cannot fail.
+func (cfg ClusterConfig) validate() (initial, fleetMax int, err error) {
+	if cfg.MinReplicas < 0 || cfg.MaxReplicas < 0 {
+		return 0, 0, fmt.Errorf("serve: negative replica bounds [%d, %d]", cfg.MinReplicas, cfg.MaxReplicas)
+	}
+	if cfg.ScaleCooldown < 0 {
+		return 0, 0, fmt.Errorf("serve: negative scale cooldown %v", cfg.ScaleCooldown)
+	}
+	if cfg.MaxReplicas > 0 {
+		min := cfg.MinReplicas
+		if min == 0 {
+			min = 1
+		}
+		if min > cfg.MaxReplicas {
+			return 0, 0, fmt.Errorf("serve: min replicas %d above max %d", min, cfg.MaxReplicas)
+		}
+		initial, fleetMax = min, cfg.MaxReplicas
+		if cfg.Replicas != 0 {
+			if cfg.Replicas < min || cfg.Replicas > cfg.MaxReplicas {
+				return 0, 0, fmt.Errorf("serve: initial replicas %d outside [%d, %d]",
+					cfg.Replicas, min, cfg.MaxReplicas)
+			}
+			initial = cfg.Replicas
+		}
+	} else {
+		if cfg.MinReplicas > 0 || cfg.ScaleUpDepth > 0 || cfg.ScaleDownDepth != 0 || cfg.ScaleCooldown > 0 {
+			return 0, 0, fmt.Errorf("serve: autoscaling knobs need MaxReplicas > 0")
+		}
+		if cfg.Replicas <= 0 {
+			return 0, 0, fmt.Errorf("serve: cluster needs >= 1 replica, got %d", cfg.Replicas)
+		}
+		initial, fleetMax = cfg.Replicas, cfg.Replicas
+	}
+	if len(cfg.Overrides) > fleetMax {
+		return 0, 0, fmt.Errorf("serve: %d replica overrides for a fleet of at most %d",
+			len(cfg.Overrides), fleetMax)
+	}
+	for i := 0; i < fleetMax; i++ {
+		o := cfg.resolveOverride(i)
+		if o.Capacity < 0 || math.IsNaN(o.Capacity) || math.IsInf(o.Capacity, 0) {
+			return 0, 0, fmt.Errorf("serve: replica %d capacity %v", i, o.Capacity)
+		}
+		if o.MaxBatch < 0 || o.Aging < 0 {
+			return 0, 0, fmt.Errorf("serve: replica %d override %+v", i, o)
+		}
+		sc := cfg.serverConfig(i)
+		if sc.MaxBatch <= 0 {
+			return 0, 0, fmt.Errorf("serve: replica %d max batch %d", i, sc.MaxBatch)
+		}
+		if sc.StepTime < 0 || sc.PrefillTokenTime < 0 || sc.Aging < 0 {
+			return 0, 0, fmt.Errorf("serve: replica %d negative durations in config %+v", i, sc)
+		}
+	}
+	return initial, fleetMax, nil
 }
 
 // ServeCluster runs the requests on a multi-replica serving cluster: a
@@ -78,16 +299,25 @@ type ClusterReport struct {
 // that instant, and every replica runs the same SLO-aware continuous-
 // batching loop as Serve on its own cache manager and virtual clock. newMgr
 // builds replica i's cache manager — each replica must get its own manager
-// (and, for pool-backed managers, its own allocator and device).
+// (and, for pool-backed managers, its own allocator and device) — and is
+// also invoked mid-run when the autoscaler grows the fleet.
+//
+// The fleet can be heterogeneous (ClusterConfig.Overrides: per-replica
+// capacity weight, batch limit and aging), elastic (MinReplicas/MaxReplicas
+// queue-depth autoscaling with drain-on-empty), and work-stealing
+// (ClusterConfig.Steal re-dispatches queued — never running — requests from
+// a backlogged replica to a starving one).
 //
 // The co-simulation is event-driven and fully deterministic: the scheduler
 // always advances the earliest event (an arrival, or the replica with the
-// smallest next-event time, ties to the lowest replica index), so the same
+// smallest next-event time, ties to the lowest replica index), and scaling
+// and stealing decisions happen only at those event boundaries, so the same
 // input produces a byte-identical ClusterReport on every run. With one
-// replica the scheduler degenerates to exactly Serve's loop — dispatched
-// requests carry their input position as the FIFO ticket, replaying Serve's
-// up-front numbering whatever order the input arrived in — and the output
-// is identical to Serve's report.
+// replica (static, stealing off — or MinReplicas == MaxReplicas == 1) the
+// scheduler degenerates to exactly Serve's loop — dispatched requests carry
+// their input position as the FIFO ticket, replaying Serve's up-front
+// numbering whatever order the input arrived in — and the output is
+// identical to Serve's report.
 //
 // On a replica error (a request that fits nowhere, a stuck decode) the
 // partial reports of every replica are sealed and returned with the error;
@@ -95,95 +325,301 @@ type ClusterReport struct {
 // roster with nothing served, exactly as Serve reports requests it never
 // started.
 func ServeCluster(reqs []Request, newMgr func(replica int) CacheManager, cfg ClusterConfig) (ClusterReport, error) {
-	if cfg.Replicas <= 0 {
-		return ClusterReport{}, fmt.Errorf("serve: cluster needs >= 1 replica, got %d", cfg.Replicas)
-	}
 	if newMgr == nil {
 		return ClusterReport{}, fmt.Errorf("serve: cluster needs a cache-manager factory")
 	}
-	dispatch, err := ParseDispatch(string(cfg.Dispatch))
+	c, err := newClusterSched(reqs, newMgr, cfg)
 	if err != nil {
 		return ClusterReport{}, err
+	}
+	return c.run()
+}
+
+func newClusterSched(reqs []Request, newMgr func(int) CacheManager, cfg ClusterConfig) (*clusterSched, error) {
+	initial, _, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	dispatch, err := ParseDispatch(string(cfg.Dispatch))
+	if err != nil {
+		return nil, err
+	}
+
+	c := &clusterSched{
+		cfg:         cfg,
+		dispatch:    dispatch,
+		newMgr:      newMgr,
+		reqs:        reqs,
+		elastic:     cfg.MaxReplicas > 0,
+		minReplicas: cfg.MinReplicas,
+		upDepth:     cfg.ScaleUpDepth,
+		downDepth:   cfg.ScaleDownDepth,
+		cooldown:    cfg.ScaleCooldown,
+	}
+	if c.minReplicas == 0 {
+		c.minReplicas = 1
+	}
+	if c.upDepth == 0 {
+		c.upDepth = DefaultScaleUpDepth
+	}
+	if c.downDepth == 0 {
+		c.downDepth = DefaultScaleDownDepth
+	}
+	if c.cooldown == 0 {
+		c.cooldown = DefaultScaleCooldown
 	}
 
 	// The cluster admission queue: input indexes in arrival-time order,
 	// input order preserved among ties. Dispatch releases requests in this
 	// order but tickets them by input index, matching Serve's numbering.
-	queue := make([]int, len(reqs))
-	for i := range queue {
-		queue[i] = i
+	c.queue = make([]int, len(reqs))
+	for i := range c.queue {
+		c.queue[i] = i
 	}
-	sort.SliceStable(queue, func(i, j int) bool {
-		return reqs[queue[i]].ArrivalAt < reqs[queue[j]].ArrivalAt
+	sort.SliceStable(c.queue, func(i, j int) bool {
+		return reqs[c.queue[i]].ArrivalAt < reqs[c.queue[j]].ArrivalAt
 	})
 
-	replicas := make([]*server, cfg.Replicas)
-	for i := range replicas {
-		s, err := newEmptyServer(newMgr(i), cfg.Server)
-		if err != nil {
-			return ClusterReport{}, err
+	for i := 0; i < initial; i++ {
+		if err := c.spawn(); err != nil {
+			return nil, err
 		}
-		// Reserve the global ticket range [0, len(reqs)) for dispatched
-		// requests; requeued preemptions draw above it, exactly as Serve's
-		// up-front enqueue would have numbered them.
-		s.nextTkt = int64(len(reqs))
-		replicas[i] = s
 	}
+	c.peakReplicas = initial
+	return c, nil
+}
 
-	assigned := make([]int, cfg.Replicas)
-	dispatchedTokens := make([]int64, cfg.Replicas)
-	rr := 0
-	pick := func() int {
-		switch dispatch {
-		case DispatchJSQ:
-			best, bestLen := 0, -1
-			for i, s := range replicas {
-				if l := s.pendingLen() + len(s.running); bestLen < 0 || l < bestLen {
-					best, bestLen = i, l
-				}
+// spawn appends a fresh replica to the fleet with the cluster clock as its
+// busy-span start. Configurations were validated up front, so construction
+// cannot fail mid-run in practice.
+func (c *clusterSched) spawn() error {
+	i := len(c.fleet)
+	s, err := newEmptyServer(c.newMgr(i), c.cfg.serverConfig(i))
+	if err != nil {
+		return err
+	}
+	// Reserve the global ticket range [0, len(reqs)) for dispatched
+	// requests; requeued preemptions draw above it, exactly as Serve's
+	// up-front enqueue would have numbered them.
+	s.nextTkt = int64(len(c.reqs))
+	w := c.cfg.resolveOverride(i).Capacity
+	if w == 0 {
+		w = 1
+	}
+	c.fleet = append(c.fleet, &clusterReplica{srv: s, capacity: w, spawnAt: c.now})
+	return nil
+}
+
+// advance moves the monotonic cluster clock to the event being processed.
+func (c *clusterSched) advance(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// activeCount is the number of dispatchable replicas.
+func (c *clusterSched) activeCount() int {
+	n := 0
+	for _, r := range c.fleet {
+		if r.state == replicaActive {
+			n++
+		}
+	}
+	return n
+}
+
+// autoscale is the queue-depth scaler, evaluated at every event boundary.
+// It first retires draining replicas that have emptied, then — outside the
+// cooldown — takes at most one scale decision against the queued backlog
+// per active replica.
+func (c *clusterSched) autoscale() {
+	if !c.elastic {
+		return
+	}
+	c.retireDrained()
+	if c.scaled && c.now-c.lastScale < c.cooldown {
+		return
+	}
+	active, backlog := 0, 0
+	for _, r := range c.fleet {
+		if r.state == replicaStopped {
+			continue
+		}
+		backlog += r.srv.pendingLen()
+		if r.state == replicaActive {
+			active++
+		}
+	}
+	if backlog > c.upDepth*active && active < c.cfg.MaxReplicas {
+		c.scaleUp()
+		c.spawns++
+		if a := c.activeCount(); a > c.peakReplicas {
+			c.peakReplicas = a
+		}
+		c.scaled, c.lastScale = true, c.now
+		return
+	}
+	if active > c.minReplicas && backlog <= c.downDepth*(active-1) {
+		// Drain the highest-index active replica: the fleet shrinks from
+		// the top, mirroring how it grew.
+		for i := len(c.fleet) - 1; i >= 0; i-- {
+			if c.fleet[i].state == replicaActive {
+				c.fleet[i].state = replicaDraining
+				break
 			}
-			return best
-		case DispatchLeastKV:
-			best, bestLoad := 0, int64(-1)
-			for i, s := range replicas {
-				if l := dispatchedTokens[i] - s.doneTokens; bestLoad < 0 || l < bestLoad {
-					best, bestLoad = i, l
-				}
+		}
+		c.scaled, c.lastScale = true, c.now
+	}
+}
+
+// retireDrained completes drain-on-idle: a draining replica leaves the
+// fleet only once it has neither queued nor running work. Its busy span
+// closes at its own clock — the virtual instant it finished its last
+// request. Called at every autoscale evaluation and once more at seal, so
+// a drain that completes on the run's final event still counts.
+func (c *clusterSched) retireDrained() {
+	for _, r := range c.fleet {
+		if r.state == replicaDraining && r.srv.pendingLen() == 0 && len(r.srv.running) == 0 {
+			r.state = replicaStopped
+			end := r.srv.now
+			if end < r.spawnAt {
+				end = r.spawnAt
 			}
-			return best
-		default: // round-robin
-			p := rr
-			rr = (rr + 1) % len(replicas)
-			return p
+			r.busy += end - r.spawnAt
+			c.drains++
 		}
 	}
+}
 
-	qi := 0
-	seal := func(err error) (ClusterReport, error) {
-		rep := ClusterReport{
-			Replicas: make([]Report, len(replicas)),
-			Assigned: assigned,
+// scaleUp adds one active replica, cheapest first: cancel a drain in
+// progress, re-activate a drained replica, and only then grow the fleet.
+func (c *clusterSched) scaleUp() {
+	for _, r := range c.fleet {
+		if r.state == replicaDraining {
+			r.state = replicaActive // busy span never closed: it continues
+			return
 		}
-		for i, s := range replicas {
-			s.finish()
-			rep.Replicas[i] = s.rep
-		}
-		// Requests never released from the cluster queue (the run failed
-		// first) still belong in the merged roster, unserved.
-		undispatched := make([]Request, 0, len(queue)-qi)
-		for _, idx := range queue[qi:] {
-			undispatched = append(undispatched, reqs[idx])
-		}
-		rep.Report = mergeReports(replicas, undispatched)
-		return rep, err
 	}
+	for _, r := range c.fleet {
+		if r.state == replicaStopped {
+			r.state = replicaActive
+			r.spawnAt = c.now // a new busy span opens
+			return
+		}
+	}
+	if err := c.spawn(); err != nil {
+		// Unreachable: every config in [0, fleetMax) was validated.
+		panic("serve: mid-run spawn failed: " + err.Error())
+	}
+}
 
+// pick chooses the replica for an arriving request among the active ones.
+// Load-aware policies normalize by the replica's capacity, so a Capacity-2
+// replica absorbs twice the demand before looking equally loaded.
+func (c *clusterSched) pick() int {
+	switch c.dispatch {
+	case DispatchJSQ:
+		best, bestLoad := -1, 0.0
+		for i, r := range c.fleet {
+			if r.state != replicaActive {
+				continue
+			}
+			l := float64(r.srv.pendingLen()+len(r.srv.running)) / r.capacity
+			if best == -1 || l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		return best
+	case DispatchLeastKV:
+		best, bestLoad := -1, 0.0
+		for i, r := range c.fleet {
+			if r.state != replicaActive {
+				continue
+			}
+			l := float64(r.dispatchedTokens-r.srv.doneTokens) / r.capacity
+			if best == -1 || l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		return best
+	default: // round-robin cycles the active replicas in index order
+		act := make([]int, 0, len(c.fleet))
+		for i, r := range c.fleet {
+			if r.state == replicaActive {
+				act = append(act, i)
+			}
+		}
+		p := act[c.rr%len(act)]
+		c.rr++
+		return p
+	}
+}
+
+// trySteal performs at most one work-stealing re-dispatch: the lowest-index
+// starving active replica takes the lowest-ranked queued request from the
+// peer with the largest un-admissible backlog. Only queued requests move —
+// a decoding sequence is never migrated — and the stolen request keeps its
+// FIFO ticket, so the move is exactly a late dispatch decision.
+func (c *clusterSched) trySteal() bool {
+	thief := -1
+	for i, r := range c.fleet {
+		if r.state == replicaActive && len(r.srv.running) == 0 && r.srv.ready.Len() == 0 {
+			thief = i
+			break
+		}
+	}
+	if thief == -1 {
+		return false
+	}
+	victim, excess := -1, 0
+	for i, r := range c.fleet {
+		if i == thief || r.state == replicaStopped {
+			continue
+		}
+		if e := r.srv.stealableExcess(); e > excess {
+			victim, excess = i, e
+		}
+	}
+	if victim == -1 {
+		return false
+	}
+	// On a heterogeneous fleet the thief's pool may be smaller than the
+	// victim's: a request that cannot fit the idle thief even alone must
+	// stay queued where it is (stealing it would abort the run as a hard
+	// admission failure). A trial admit answers exactly that question; the
+	// reservation is released immediately either way.
+	cand := c.fleet[victim].srv.ready.Max()
+	if cand == nil {
+		return false
+	}
+	if h, err := c.fleet[thief].srv.mgr.Admit(cand.Value.rec.req); err != nil {
+		return false
+	} else {
+		c.fleet[thief].srv.mgr.Release(h)
+	}
+	w, ok := c.fleet[victim].srv.stealWorstReady()
+	if !ok {
+		return false
+	}
+	tokens := int64(w.rec.req.TotalTokens())
+	c.fleet[victim].dispatchedTokens -= tokens
+	c.fleet[thief].dispatchedTokens += tokens
+	c.fleet[thief].srv.acceptStolen(w, c.now)
+	c.fleet[thief].stolen++
+	return true
+}
+
+// run drives the co-simulation to completion.
+func (c *clusterSched) run() (ClusterReport, error) {
 	for {
 		// The earliest replica event; ties go to the lowest index so the
 		// schedule is deterministic.
 		tRep, ri := time.Duration(0), -1
-		for i, s := range replicas {
-			if t, ok := s.nextEventTime(); ok && (ri == -1 || t < tRep) {
+		for i, r := range c.fleet {
+			if r.state == replicaStopped {
+				continue
+			}
+			if t, ok := r.srv.nextEventTime(); ok && (ri == -1 || t < tRep) {
 				tRep, ri = t, i
 			}
 		}
@@ -191,23 +627,85 @@ func ServeCluster(reqs []Request, newMgr func(replica int) CacheManager, cfg Clu
 		// event — the policy then sees every replica's state as of the
 		// arrival instant, exactly like admission sees arrivals that
 		// landed during the previous decode step.
-		if qi < len(queue) && (ri == -1 || reqs[queue[qi]].ArrivalAt <= tRep) {
-			req := reqs[queue[qi]]
-			r := pick()
-			replicas[r].addRequest(req, int64(queue[qi]))
-			assigned[r]++
-			dispatchedTokens[r] += int64(req.TotalTokens())
-			qi++
+		if c.qi < len(c.queue) && (ri == -1 || c.reqs[c.queue[c.qi]].ArrivalAt <= tRep) {
+			req := c.reqs[c.queue[c.qi]]
+			c.advance(req.ArrivalAt)
+			c.autoscale()
+			r := c.pick()
+			c.fleet[r].srv.addRequest(req, int64(c.queue[c.qi]))
+			c.fleet[r].assigned++
+			c.fleet[r].dispatchedTokens += int64(req.TotalTokens())
+			c.qi++
 			continue
 		}
 		if ri == -1 {
 			break // drained: no arrivals left, every replica idle
 		}
-		if _, err := replicas[ri].runOnce(); err != nil {
-			return seal(fmt.Errorf("serve: replica %d: %w", ri, err))
+		c.advance(tRep)
+		c.autoscale()
+		if c.cfg.Steal && c.trySteal() {
+			continue // fleet state changed; re-derive the earliest event
+		}
+		if _, err := c.fleet[ri].srv.runOnce(); err != nil {
+			return c.seal(fmt.Errorf("serve: replica %d: %w", ri, err))
 		}
 	}
-	return seal(nil)
+	return c.seal(nil)
+}
+
+// seal finalizes every replica and assembles the cluster report. All slices
+// in the report are freshly allocated — never views of scheduler state — so
+// a caller mutating the report cannot corrupt anything read later.
+func (c *clusterSched) seal(err error) (ClusterReport, error) {
+	if c.elastic {
+		// A drain that completed on the run's very last event has not been
+		// through an autoscale evaluation yet — retire it before counting.
+		c.retireDrained()
+	}
+	rep := ClusterReport{
+		Replicas:     make([]Report, len(c.fleet)),
+		Assigned:     make([]int, len(c.fleet)),
+		Stolen:       make([]int, len(c.fleet)),
+		PeakReplicas: c.peakReplicas,
+		Spawns:       c.spawns,
+		Drains:       c.drains,
+	}
+	servers := make([]*server, len(c.fleet))
+	// A replica still in the fleet at the end of the run was provisioned
+	// until the cluster makespan, idle tail included — that is what makes
+	// ReplicaSeconds of a static N-replica fleet exactly N × makespan, the
+	// baseline elastic drains are measured against. Drained replicas
+	// closed their spans at their own drain instant.
+	var makespan time.Duration
+	for _, r := range c.fleet {
+		if r.srv.now > makespan {
+			makespan = r.srv.now
+		}
+	}
+	for i, r := range c.fleet {
+		r.srv.finish()
+		rep.Replicas[i] = r.srv.rep
+		rep.Assigned[i] = r.assigned
+		rep.Stolen[i] = r.stolen
+		servers[i] = r.srv
+		if r.state != replicaStopped {
+			end := makespan
+			if end < r.spawnAt {
+				end = r.spawnAt
+			}
+			r.busy += end - r.spawnAt
+			r.state = replicaStopped
+		}
+		rep.ReplicaSeconds += r.busy
+	}
+	// Requests never released from the cluster queue (the run failed
+	// first) still belong in the merged roster, unserved.
+	undispatched := make([]Request, 0, len(c.queue)-c.qi)
+	for _, idx := range c.queue[c.qi:] {
+		undispatched = append(undispatched, c.reqs[idx])
+	}
+	rep.Report = mergeReports(servers, undispatched)
+	return rep, err
 }
 
 // mergeReports builds the cluster-level Report from the replicas' raw

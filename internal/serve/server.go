@@ -329,6 +329,59 @@ func (s *server) addRequest(req Request, ticket int64) {
 	}
 }
 
+// stealableExcess is how many ready (arrived, unadmitted) requests the
+// server holds beyond the batch slots it could still fill — the queued
+// backlog a work-stealing scheduler may re-dispatch. Requests that would be
+// admitted at the server's next event are not counted: stealing them could
+// only delay them.
+func (s *server) stealableExcess() int {
+	free := s.maxBatch - len(s.running)
+	if free < 0 {
+		free = 0
+	}
+	if e := s.ready.Len() - free; e > 0 {
+		return e
+	}
+	return 0
+}
+
+// stealWorstReady removes and returns the ready request the server would
+// admit last (lowest aged rank, then highest ticket) — the tail end a
+// work-stealing peer takes. The request's lifetime record leaves this
+// server's roster: it will be reported by whoever finally serves it.
+// Running sequences are never stolen.
+func (s *server) stealWorstReady() (waiting, bool) {
+	n := s.ready.Max()
+	if n == nil {
+		return waiting{}, false
+	}
+	w := n.Value
+	s.ready.Delete(n)
+	for i := len(s.recs) - 1; i >= 0; i-- {
+		if s.recs[i] == w.rec {
+			s.recs = append(s.recs[:i], s.recs[i+1:]...)
+			break
+		}
+	}
+	return w, true
+}
+
+// acceptStolen hands the server a request stolen from a peer at cluster
+// time at. The request keeps its FIFO ticket — the move is a late dispatch
+// decision, not a requeue — and the idle server's clock advances to the
+// steal instant, since before it the request was queued elsewhere.
+func (s *server) acceptStolen(w waiting, at time.Duration) {
+	if at > s.now {
+		s.now = at
+	}
+	s.recs = append(s.recs, w.rec)
+	if w.rec.req.ArrivalAt > s.now {
+		s.future.Insert(w)
+	} else {
+		s.ready.Insert(w)
+	}
+}
+
 // enqueue adds rec to the pending set with a fresh FIFO ticket, routing it
 // by arrival time.
 func (s *server) enqueue(rec *track) {

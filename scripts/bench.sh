@@ -14,17 +14,25 @@
 #                              the p99 at 8 replicas (BenchmarkServeCluster)
 #                              — how much the cluster-scaling sweep shrinks
 #                              the starvation tail
+#   elastic_drain_savings      replica-seconds the queue-depth autoscaler
+#                              did not consume versus the static
+#                              MaxReplicas fleet (BenchmarkServeElastic:
+#                              static minus elastic) — strictly positive
+#                              when drain-on-idle pays
+#   elastic_p99_ratio          batch-class p99 E2E of the elastic fleet
+#                              divided by the static fleet's — the latency
+#                              price of those savings (acceptance: < 2)
 #
 # Usage:  scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh          # more iterations
-#   PR=4 scripts/bench.sh                  # write BENCH_4.json
+#   PR=3 scripts/bench.sh                  # write BENCH_3.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-3}"
+PR="${PR:-4}"
 OUT="${1:-BENCH_${PR}.json}"
 BENCHTIME="${BENCHTIME:-2x}"
-PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
+PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -60,6 +68,12 @@ awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v fallback="$FALLBACK_
     if (name ~ /^BenchmarkServeCluster\/replicas=(1|8)$/) {
         for (i = 5; i < NF; i += 2) if ($(i+1) == "batch-p99-ms") clusterp99[name] = $i
     }
+    if (name ~ /^BenchmarkServeElastic\/fleet=(static|elastic)$/) {
+        for (i = 5; i < NF; i += 2) {
+            if ($(i+1) == "replica-secs") elasticrs[name] = $i
+            if ($(i+1) == "batch-p99-ms") elasticp99[name] = $i
+        }
+    }
 }
 END {
     if (!gomaxprocs) gomaxprocs = fallback
@@ -78,6 +92,16 @@ END {
     p8 = clusterp99["BenchmarkServeCluster/replicas=8"]
     if (p1 && p8) {
         printf "    \"cluster_batch_p99_shrink\": %.1f,\n", p1 / p8
+    }
+    srs = elasticrs["BenchmarkServeElastic/fleet=static"]
+    ers = elasticrs["BenchmarkServeElastic/fleet=elastic"]
+    if (srs && ers) {
+        printf "    \"elastic_drain_savings\": %.1f,\n", srs - ers
+    }
+    sp99 = elasticp99["BenchmarkServeElastic/fleet=static"]
+    ep99 = elasticp99["BenchmarkServeElastic/fleet=elastic"]
+    if (sp99 && ep99) {
+        printf "    \"elastic_p99_ratio\": %.2f,\n", ep99 / sp99
     }
     printf "    \"serve_ns_per_request\": %s\n", (servens ? servens : "null")
     printf "  }\n"
