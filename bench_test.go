@@ -8,6 +8,7 @@
 package gmlake
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/memalloc"
 	"repro/internal/model"
+	"repro/internal/reqtrace"
 	"repro/internal/serve"
 	"repro/internal/servegen"
 	"repro/internal/sim"
@@ -563,6 +565,81 @@ func BenchmarkServeElastic(b *testing.B) {
 			b.ReportMetric(replicaSecs.Seconds(), "replica-secs")
 		})
 	}
+}
+
+// BenchmarkTraceReplay prices request-stream production: generating the
+// 10x-overloaded mixed-bursty stream synthetically versus replaying it from
+// a captured request trace (decode from in-memory JSONL bytes + replay —
+// the whole per-run cost a trace-driven experiment pays instead of
+// generation). Both report ns per produced request; scripts/bench.sh
+// derives their ratio as trace_replay_overhead in BENCH_*.json.
+func BenchmarkTraceReplay(b *testing.B) {
+	const requests = 4000
+	mix := servegen.MixedBursty()
+	over := mix.WithRate(mix.Rate * 10)
+	reqs, err := over.Generate(requests, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var encoded bytes.Buffer
+	if err := reqtrace.FromRequests(reqs).WriteJSONL(&encoded); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("source=synthetic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := over.Generate(requests, 7)
+			if err != nil || len(out) != requests {
+				b.Fatalf("generated %d: %v", len(out), err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
+	})
+	b.Run("source=replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := reqtrace.Read(bytes.NewReader(encoded.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := tr.Replay(reqtrace.ReplayOptions{})
+			if err != nil || len(out) != requests {
+				b.Fatalf("replayed %d: %v", len(out), err)
+			}
+			if out[0] != reqs[0] || out[requests-1] != reqs[requests-1] {
+				b.Fatal("replay diverged from the generated stream")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
+	})
+}
+
+// BenchmarkTraceFit prices calibration — fitting a servegen mix to a
+// 4000-request trace — and reports the fitted mix's aggregate fit error
+// (mean of the rate and length moment-match errors, in percent) as
+// fit-err-pct; scripts/bench.sh records it as the fit_error derived metric
+// in BENCH_*.json, charting calibration quality over PRs alongside its
+// cost.
+func BenchmarkTraceFit(b *testing.B) {
+	const requests = 4000
+	mix := servegen.MixedBursty()
+	reqs, err := mix.WithRate(mix.Rate*10).Generate(requests, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := reqtrace.FromRequests(reqs)
+	var fitErr float64
+	for i := 0; i < b.N; i++ {
+		m, err := reqtrace.Fit(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := reqtrace.FitError(tr, m, requests, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fitErr = (rep.RateErr + rep.PromptMeanErr + rep.OutputMeanErr) / 3
+	}
+	b.ReportMetric(100*fitErr, "fit-err-pct")
 }
 
 // harnessBenchSlice is the experiment list the engine benchmarks sweep: a

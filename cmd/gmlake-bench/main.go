@@ -37,11 +37,17 @@ func main() {
 		minSteps = flag.Int("min-steps", 40, "minimum training steps per run")
 		maxSteps = flag.Int("max-steps", 200, "maximum training steps per run")
 		par      = flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
+		traceIn  = flag.String("trace-in", "", "servetrace: replay this request-trace file instead of the canonical mixes")
+		traceSc  = flag.Float64("trace-scale", 0, "servetrace: rate multiplier for the replayed trace (needs -trace-in)")
 	)
 	flag.Parse()
 
 	if *par < 0 {
 		fmt.Fprintf(os.Stderr, "gmlake-bench: -parallel must be >= 0, got %d\n", *par)
+		os.Exit(2)
+	}
+	if *traceIn == "" && *traceSc != 0 {
+		fmt.Fprintln(os.Stderr, "gmlake-bench: -trace-scale needs -trace-in")
 		os.Exit(2)
 	}
 
@@ -58,6 +64,8 @@ func main() {
 	env.TotalSteps = *minSteps
 	env.MaxSteps = *maxSteps
 	env.Parallelism = *par
+	env.TraceIn = *traceIn
+	env.TraceScale = *traceSc
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

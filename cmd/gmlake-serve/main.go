@@ -12,12 +12,25 @@
 //	gmlake-serve -replicas 4 -dispatch jsq -aging 2s -policy chunked
 //	gmlake-serve -min-replicas 1 -max-replicas 6 -steal -policy chunked
 //	gmlake-serve -replicas 2 -replica-caps 2,1 -dispatch least-kv -policy chunked
+//	gmlake-serve -mix chat-heavy -trace-out captured.jsonl -policy chunked
+//	gmlake-serve -trace-in captured.jsonl -trace-scale 2 -policy chunked
+//	gmlake-serve -trace-in prod.csv -fit -policy chunked
 //
-// The workload keys (serve_mix, serve_rate, burst_cv, parallel) and the
+// The workload keys (serve_mix, serve_rate, burst_cv, parallel), the
 // cluster keys (replicas, dispatch, aging, min_replicas, max_replicas,
-// scale_up, scale_down, scale_cooldown, steal, replica_caps) ride in the
+// scale_up, scale_down, scale_cooldown, steal, replica_caps) and the
+// request-trace keys (trace_in, trace_out, trace_scale, fit) ride in the
 // same PYTORCH_CUDA_ALLOC_CONF-style string that selects the pool
 // allocator; the corresponding flags are shorthands for the same knobs.
+//
+// With -trace-in the request stream is replayed from a request trace file
+// (internal/reqtrace JSONL or CSV) instead of generated: -trace-scale
+// multiplies the replayed request rate, -n (when given explicitly)
+// truncates or loops the trace, and -fit calibrates a servegen mix to the
+// trace — printing the fitted classes and a per-class fit-error report —
+// and serves the fitted mix instead of the replay. With -trace-out the
+// completed run is captured back into a trace file (generate → capture →
+// replay round-trips byte-identically).
 //
 // With -replicas > 1 the stream is served by a multi-replica cluster —
 // each replica on its own device and pool behind a cluster-level admission
@@ -57,6 +70,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/memalloc"
 	"repro/internal/model"
+	"repro/internal/reqtrace"
 	"repro/internal/runner"
 	"repro/internal/serve"
 	"repro/internal/servegen"
@@ -86,8 +100,18 @@ func main() {
 		cooldown = flag.Duration("scale-cooldown", 0, "minimum virtual time between scale decisions (0 = conf's scale_cooldown key or 250ms)")
 		steal    = flag.Bool("steal", false, "work-stealing re-dispatch of queued requests to starving replicas")
 		capsFlag = flag.String("replica-caps", "", "comma-separated per-replica capacity weights, e.g. 2,1 (overrides conf's replica_caps)")
+		traceIn  = flag.String("trace-in", "", "replay this request-trace file (JSONL or CSV) instead of generating a mix")
+		traceOut = flag.String("trace-out", "", "capture the completed run into this trace file")
+		traceSc  = flag.Float64("trace-scale", 0, "rate multiplier for the replayed trace (0 = recorded rate; needs -trace-in)")
+		fit      = flag.Bool("fit", false, "calibrate a mix to the trace and serve it, with a fit-error report (needs -trace-in)")
 	)
 	flag.Parse()
+	nVisited := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			nVisited = true
+		}
+	})
 
 	if *par < 0 {
 		fatal(fmt.Errorf("-parallel must be >= 0, got %d", *par))
@@ -155,13 +179,80 @@ func main() {
 		}
 		cfg.ReplicaCaps = caps
 	}
-	mix, err := cfg.ServeWorkload()
-	if err != nil {
-		fatal(err)
+	if *traceIn != "" {
+		cfg.TraceIn = *traceIn
 	}
-	reqs, err := mix.Generate(*n, *seed)
-	if err != nil {
-		fatal(err)
+	if *traceOut != "" {
+		cfg.TraceOut = *traceOut
+	}
+	if *traceSc > 0 {
+		cfg.TraceScale = *traceSc
+	}
+	if *fit {
+		cfg.Fit = true
+	}
+	if cfg.TraceIn == "" && (cfg.Fit || cfg.TraceScale > 0) {
+		fatal(fmt.Errorf("-fit and -trace-scale need -trace-in"))
+	}
+
+	// The request stream: replayed (or fitted) from a trace file when
+	// trace_in is configured, generated from the mix otherwise.
+	var (
+		reqs   []serve.Request
+		mix    servegen.Mix
+		source string
+	)
+	if cfg.TraceIn != "" {
+		tr, rerr := reqtrace.ReadFile(cfg.TraceIn)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if cfg.Fit {
+			fitted, ferr := reqtrace.Fit(tr)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			mix = fitted
+			nReqs := len(tr.Records)
+			if nVisited {
+				nReqs = *n
+			}
+			reqs, err = mix.Generate(nReqs, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			source = fmt.Sprintf("mix fitted to %s", cfg.TraceIn)
+			printFit(tr, fitted, reqs)
+		} else {
+			opts := reqtrace.ReplayOptions{Scale: cfg.TraceScale}
+			if nVisited {
+				opts.N = *n
+			}
+			reqs, err = tr.Replay(opts)
+			if err != nil {
+				fatal(err)
+			}
+			stats := tr.Stats()
+			mix = servegen.Mix{Name: "replay:" + cfg.TraceIn, Rate: stats.RatePerSec,
+				Classes: make([]servegen.ClientClass, len(stats.Classes))}
+			if cfg.TraceScale > 0 {
+				mix.Rate *= cfg.TraceScale
+			}
+			source = fmt.Sprintf("trace replay of %s", cfg.TraceIn)
+			if cfg.TraceScale > 0 {
+				source += fmt.Sprintf(" at %gx rate", cfg.TraceScale)
+			}
+		}
+	} else {
+		mix, err = cfg.ServeWorkload()
+		if err != nil {
+			fatal(err)
+		}
+		reqs, err = mix.Generate(*n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		source = "generated"
 	}
 
 	modelCfg := model.OPT1_3B
@@ -200,8 +291,8 @@ func main() {
 		return alloc
 	}
 
-	fmt.Printf("mix %s: %d requests from %d classes, %.1f req/s aggregate, seed %d\n",
-		mix.Name, len(reqs), len(mix.Classes), mix.Rate, *seed)
+	fmt.Printf("mix %s (%s): %d requests from %d classes, %.1f req/s aggregate, seed %d\n",
+		mix.Name, source, len(reqs), len(mix.Classes), mix.Rate, *seed)
 	fmt.Printf("pool %s, %.1f GiB device, max batch %d\n", cfg.Backend, *capacity, *batch)
 	agingStr := "off"
 	if cfg.Aging > 0 {
@@ -277,6 +368,7 @@ func main() {
 	type outcome struct {
 		rep   serve.ClusterReport
 		stats []memalloc.Stats
+		cap   *reqtrace.Capture
 		err   error
 	}
 	results, err := runner.Collect(workers, len(policies), func(i int) (out outcome) {
@@ -297,6 +389,15 @@ func main() {
 				panic(r)
 			}
 		}()
+		// Each policy run gets its own capture (policies sweep in
+		// parallel); the trace is written once from the first successful
+		// run — the streams are identical, so the captures are too.
+		runCfg := clusterCfg
+		var capRec *reqtrace.Capture
+		if cfg.TraceOut != "" {
+			capRec = reqtrace.NewCapture()
+			runCfg.Server.OnComplete = capRec.Hook()
+		}
 		rep, err := serve.ServeCluster(reqs, func(r int) serve.CacheManager {
 			alloc := newAlloc(r)
 			mgr, closer, err := buildMgr(policies[i], r, alloc)
@@ -306,12 +407,12 @@ func main() {
 			allocs = append(allocs, alloc)
 			closers = append(closers, closer)
 			return mgr
-		}, clusterCfg)
+		}, runCfg)
 		stats := make([]memalloc.Stats, len(allocs))
 		for r, a := range allocs {
 			stats[r] = a.Stats()
 		}
-		return outcome{rep: rep, stats: stats, err: err}
+		return outcome{rep: rep, stats: stats, cap: capRec, err: err}
 	})
 	if err != nil {
 		fatal(err)
@@ -323,6 +424,45 @@ func main() {
 		}
 		printReport(policies[i], res.rep, res.stats)
 	}
+	if cfg.TraceOut != "" {
+		for i, res := range results {
+			if res.err == nil && res.cap != nil {
+				if err := res.cap.Trace().WriteFile(cfg.TraceOut); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("captured %d completed requests from the %s run into %s\n",
+					res.cap.Count(), policies[i], cfg.TraceOut)
+				break
+			}
+		}
+	}
+}
+
+// printFit summarizes a calibration: the fitted classes and the fit-error
+// report of the fitted mix against the source trace, computed on the exact
+// stream the run serves.
+func printFit(tr reqtrace.Trace, fitted servegen.Mix, served []serve.Request) {
+	fmt.Printf("calibration: fitted %d classes at %.2f req/s aggregate\n", len(fitted.Classes), fitted.Rate)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "  class\tSLO\tshare\tarrival\tprompt\toutput")
+	for _, c := range fitted.Classes {
+		fmt.Fprintf(w, "  %s\t%s\t%.0f%%\t%s\t%s\t%s\n",
+			c.Name, c.SLO, 100*c.Share, c.Arrival.Describe(),
+			c.Prompt.Describe(), c.Output.Describe())
+	}
+	w.Flush()
+	rep := reqtrace.CompareTraces(tr, reqtrace.FromRequests(served))
+	fmt.Printf("fit error vs trace (aggregate): rate %.1f%%, prompt mean %.1f%%, output mean %.1f%%\n",
+		100*rep.RateErr, 100*rep.PromptMeanErr, 100*rep.OutputMeanErr)
+	w = tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "  class\trate err\tprompt err\toutput err\tKS prompt\tKS output")
+	for _, ce := range rep.Classes {
+		fmt.Fprintf(w, "  %s\t%.1f%%\t%.1f%%\t%.1f%%\t%.2f\t%.2f\n",
+			ce.Class, 100*ce.RateErr, 100*ce.PromptMeanErr, 100*ce.OutputMeanErr,
+			ce.PromptKS, ce.OutputKS)
+	}
+	w.Flush()
+	fmt.Println()
 }
 
 // replicaBuildError carries a cache-manager build failure out of the

@@ -17,10 +17,37 @@
 // and chunking keep every class's TTFT low — and admission/preemption are
 // SLO-aware, so interactive tenants are evicted last.
 //
-// The final sections scale out: a fixed multi-replica cluster with
+// The next sections scale out: a fixed multi-replica cluster with
 // priority aging, then an elastic fleet — queue-depth autoscaling with
 // drain-on-idle, work-stealing re-dispatch of queued requests, and
 // capacity-weighted dispatch for heterogeneous replicas.
+//
+// The final section closes the specify→observe→calibrate loop with request
+// traces: a capture hook records every completed request, the trace
+// round-trips through a file byte-identically, replaying it reproduces the
+// original report exactly, and fitting it recovers a calibrated mix with a
+// quantified fit error.
+//
+// # Request-trace file format
+//
+// A request trace stores one record per request — arrival offset
+// (integer nanoseconds), client class, SLO tag, priority, prompt tokens,
+// output tokens — sorted by arrival, in either of two versioned formats:
+//
+// JSONL (default; a header object, then one record per line):
+//
+//	{"format":"reqtrace","version":1}
+//	{"arrival_ns":212334791,"class":"chat","slo":"interactive","priority":2,"prompt_tokens":120,"output_tokens":64}
+//
+// CSV (written for .csv paths; a version comment, a column header, rows):
+//
+//	#reqtrace v1
+//	arrival_ns,class,slo,priority,prompt_tokens,output_tokens
+//	212334791,chat,interactive,2,120,64
+//
+// Readers sniff the format from the first byte, reject newer versions, and
+// validate ordering and token counts on load. Arrival offsets are exact
+// integer nanoseconds, which is what makes file round trips byte-identical.
 //
 // Run with: go run ./examples/serving
 package main
@@ -28,6 +55,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"reflect"
 	"time"
 
 	gmlake "repro"
@@ -197,6 +227,69 @@ func main() {
 	fmt.Println("a heterogeneous fleet adds per-replica overrides: ServeReplicaOverride{Capacity: 2,")
 	fmt.Println("MaxBatch: 8} makes replica 0 a double-size instance, and jsq/least-kv divide its")
 	fmt.Println("observed load by the weight so it legitimately absorbs twice the demand.")
+	fmt.Println()
+
+	// Request traces: capture → file → replay → calibrate. A capture hook
+	// on the server records every completed request; the trace written to
+	// disk (JSONL here — see the package comment for the format) replays
+	// into the byte-identical request stream, so re-serving it reproduces
+	// the original report exactly. Fitting the trace recovers a servegen
+	// mix — class shares, arrival burstiness, length distributions — whose
+	// fit error against the trace is measured, never assumed.
+	dir, err := os.MkdirTemp("", "reqtrace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	tracePath := filepath.Join(dir, "captured.jsonl")
+
+	capture := gmlake.NewRequestCapture()
+	{
+		sys := gmlake.NewSystem(capacity)
+		mgr := gmlake.NewChunkedKV(gmlake.New(sys.Driver), cfg, 64)
+		srvCfg := srvCfg
+		srvCfg.OnComplete = capture.Hook()
+		if _, err := gmlake.ServeRequests(reqs, mgr, srvCfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := capture.Trace().WriteFile(tracePath); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := gmlake.ReadRequestTrace(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayed, err := loaded.Replay(gmlake.TraceReplayOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d completed requests into %s; replay identical to the generated stream: %v\n",
+		capture.Count(), filepath.Base(tracePath), reflect.DeepEqual(replayed, reqs))
+
+	fitted, err := gmlake.FitRequestTrace(loaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitErr, err := gmlake.RequestTraceFitError(loaded, fitted, len(reqs), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted mix: %d classes at %.1f req/s; fit error vs trace: rate %.1f%%, prompt mean %.1f%%, output mean %.1f%%\n",
+		len(fitted.Classes), fitted.Rate, 100*fitErr.RateErr, 100*fitErr.PromptMeanErr, 100*fitErr.OutputMeanErr)
+	stats := loaded.Stats()
+	for _, c := range stats.Classes {
+		fmt.Printf("  %-16s %6d reqs  %.2f req/s  prompt mean %4.0f  output mean %4.0f\n",
+			c.Class, c.Requests, c.RatePerSec, c.MeanPrompt, c.MeanOutput)
+	}
+	fmt.Println()
+	fmt.Println("the trace keys wire the same loop through configuration strings and gmlake-serve:")
+	fmt.Println("  trace_out:prod.jsonl            capture a run        (-trace-out)")
+	fmt.Println("  trace_in:prod.jsonl             replay it            (-trace-in)")
+	fmt.Println("  trace_in:prod.jsonl,trace_scale:2   replay at 2x rate (-trace-scale)")
+	fmt.Println("  trace_in:prod.jsonl,fit:true    serve the fitted mix (-fit)")
+	fmt.Println("and EmpiricalDist/TraceArrivalProcess feed captured samples straight into a")
+	fmt.Println("WorkloadMix when no parametric family fits.")
 }
 
 func gb(n int64) string { return fmt.Sprintf("%.2f GB", float64(n)/float64(gmlake.GiB)) }

@@ -90,6 +90,29 @@
 // MaxReplicas == 1 with stealing off) the cluster reproduces
 // ServeRequests exactly.
 //
+// # Request traces
+//
+// RequestTrace is a request-level serving trace — (arrival offset, class,
+// SLO, priority, prompt/output tokens) per request — persisted as
+// versioned JSONL or CSV (ReadRequestTrace / RequestTrace.WriteFile). A
+// RequestCapture installed as ServeConfig.OnComplete records every
+// completed request of a ServeRequests or ServeClusterRequests run back
+// into a trace, and RequestTrace.Replay turns a trace into the
+// byte-identical request stream (optionally rate-scaled, truncated or
+// looped), so generate→capture→replay round-trips exactly.
+// FitRequestTrace calibrates a WorkloadMix to a trace — class shares,
+// arrival burstiness (Poisson / Gamma CV / on-off duty cycles) and
+// length distributions — and RequestTraceFitError reports the moment-match
+// and KS-distance errors of any mix against a trace. EmpiricalDist and
+// TraceArrivalProcess plug captured length samples and arrival sequences
+// straight into a WorkloadMix without fitting a parametric family. The
+// corresponding configuration keys are trace_in, trace_out, trace_scale
+// and fit (see internal/conf), and cmd/gmlake-serve exposes them as
+// -trace-in, -trace-out, -trace-scale and -fit.
+//
+// (RequestTrace records serving requests; the unrelated allocator-event
+// traces of the paper's Figure 5 live in internal/trace.)
+//
 // # Quick start
 //
 //	sys := gmlake.NewSystem(80 * gmlake.GiB)
@@ -118,6 +141,7 @@ import (
 	"repro/internal/offload"
 	"repro/internal/parallel"
 	"repro/internal/recompute"
+	"repro/internal/reqtrace"
 	"repro/internal/safealloc"
 	"repro/internal/serve"
 	"repro/internal/servegen"
@@ -334,6 +358,25 @@ type (
 	// LengthDist is a prompt or output token-length distribution.
 	LengthDist = servegen.LengthDist
 
+	// RequestTrace is a request-level serving trace: capture, file
+	// round-trip (JSONL/CSV), replay and calibration (see the package
+	// comment's request-trace section).
+	RequestTrace = reqtrace.Trace
+	// RequestTraceRecord is one request of a RequestTrace.
+	RequestTraceRecord = reqtrace.Record
+	// RequestTraceStats summarizes a trace (aggregate and per-class rates,
+	// shares, token-length moments).
+	RequestTraceStats = reqtrace.Stats
+	// RequestCapture records completed requests from a serving run; install
+	// its Hook as ServeConfig.OnComplete.
+	RequestCapture = reqtrace.Capture
+	// TraceReplayOptions tunes RequestTrace.Replay (truncate/loop via N,
+	// rate scaling via Scale).
+	TraceReplayOptions = reqtrace.ReplayOptions
+	// TraceFitReport is the fit-error report of a mix against a trace:
+	// moment matches and per-class KS distances.
+	TraceFitReport = reqtrace.FitReport
+
 	// FragSnapshot holds an allocator's free blocks for fragmentation
 	// indices (FMFI-style).
 	FragSnapshot = fragstat.Snapshot
@@ -405,6 +448,46 @@ func ServeMixByName(name string) (WorkloadMix, error) { return servegen.MixByNam
 // multi-tenant stream; the same seed yields a byte-identical stream.
 func GenMixRequests(m WorkloadMix, n int, seed uint64) ([]ServeRequest, error) {
 	return m.Generate(n, seed)
+}
+
+// NewRequestCapture returns an empty request capture; install its Hook as
+// ServeConfig.OnComplete to record a run into a RequestTrace.
+func NewRequestCapture() *RequestCapture { return reqtrace.NewCapture() }
+
+// RequestTraceFromStream converts a request stream into a canonical
+// (arrival-sorted) trace.
+func RequestTraceFromStream(reqs []ServeRequest) RequestTrace {
+	return reqtrace.FromRequests(reqs)
+}
+
+// ReadRequestTrace reads and validates a request-trace file (JSONL or CSV,
+// sniffed from the content).
+func ReadRequestTrace(path string) (RequestTrace, error) { return reqtrace.ReadFile(path) }
+
+// FitRequestTrace calibrates a WorkloadMix to a trace: class shares,
+// arrival processes and token-length distributions recovered from the
+// observed requests. Measure the result with RequestTraceFitError.
+func FitRequestTrace(t RequestTrace) (WorkloadMix, error) { return reqtrace.Fit(t) }
+
+// RequestTraceFitError generates n requests from the mix and reports how
+// the synthetic stream deviates from the trace: moment matches (rate, mean
+// lengths) and per-class KS distances.
+func RequestTraceFitError(t RequestTrace, m WorkloadMix, n int, seed uint64) (TraceFitReport, error) {
+	return reqtrace.FitError(t, m, n, seed)
+}
+
+// EmpiricalDist returns the token-length distribution that draws from the
+// CDF of observed samples (clamped to [min, max] when nonzero) — the
+// nonparametric alternative to a fitted lognormal.
+func EmpiricalDist(samples []int, min, max int) LengthDist {
+	return servegen.Empirical(samples, min, max)
+}
+
+// TraceArrivalProcess returns the arrival process that replays recorded
+// arrival offsets (seconds), rescaled to a class's target rate and looped
+// past the recorded end.
+func TraceArrivalProcess(times []float64) ArrivalProcess {
+	return servegen.TraceArrivals(times)
 }
 
 // NewContiguousKV returns the pad-to-max KV-cache baseline.

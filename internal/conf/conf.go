@@ -54,6 +54,18 @@
 //	replica_caps:<a/b/…> per-replica capacity weights, slash-separated
 //	                    (e.g. replica_caps:2/1/1): load-aware dispatch
 //	                    divides a replica's load by its weight
+//
+// and the request-trace subsystem (internal/reqtrace, consumed by
+// cmd/gmlake-serve and the servetrace experiment):
+//
+//	trace_in:<path>     replay the request trace at <path> (JSONL or CSV)
+//	                    instead of generating a synthetic mix
+//	trace_out:<path>    capture the completed run back into a trace file
+//	trace_scale:<f>     rate-scale the replayed trace: 2 doubles the
+//	                    request rate (requires trace_in)
+//	fit:<bool>          calibrate: fit a servegen mix to the trace and
+//	                    serve the fitted mix instead of the replay, with a
+//	                    fit-error report (requires trace_in)
 package conf
 
 import (
@@ -94,6 +106,14 @@ type Config struct {
 	ServeMix  string  // named client mix ("" = none configured)
 	ServeRate float64 // aggregate requests/second override (0 = mix default)
 	BurstCV   float64 // bursty-class interarrival CV override (0 = mix default)
+
+	// Request-trace knobs (internal/reqtrace; consumed by the serving
+	// runners, ignored by Build). TraceScale and Fit require TraceIn —
+	// Parse rejects them without it.
+	TraceIn    string  // replay this trace file instead of a synthetic mix
+	TraceOut   string  // capture the completed run into this trace file
+	TraceScale float64 // replay rate multiplier (0 = recorded rate)
+	Fit        bool    // serve the mix fitted to TraceIn, with a fit report
 
 	// Serving-cluster knobs (consumed by the cluster runners, ignored by
 	// Build). Replicas 0 means unconfigured (callers treat it as 1);
@@ -277,6 +297,28 @@ func Parse(s string) (Config, error) {
 				return cfg, err
 			}
 			cfg.ReplicaCaps = caps
+		case "trace_in":
+			if val == "" {
+				return cfg, fmt.Errorf("conf: trace_in needs a file path")
+			}
+			cfg.TraceIn = val
+		case "trace_out":
+			if val == "" {
+				return cfg, fmt.Errorf("conf: trace_out needs a file path")
+			}
+			cfg.TraceOut = val
+		case "trace_scale":
+			f, err := parsePositiveFloat(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.TraceScale = f
+		case "fit":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return cfg, fmt.Errorf("conf: %s must be a bool, got %q", key, val)
+			}
+			cfg.Fit = b
 		case "parallel":
 			// Parsed as an integer, so "NaN", floats and junk are rejected
 			// outright; 0 is legal and means GOMAXPROCS.
@@ -287,6 +329,17 @@ func Parse(s string) (Config, error) {
 			cfg.Parallelism = int(n)
 		default:
 			return cfg, fmt.Errorf("conf: unknown key %q", key)
+		}
+	}
+	// Cross-key validation: the trace transforms are meaningless without a
+	// trace to transform, and silently ignoring them would hide a typo'd or
+	// forgotten trace_in.
+	if cfg.TraceIn == "" {
+		if cfg.Fit {
+			return cfg, fmt.Errorf("conf: fit requires trace_in")
+		}
+		if cfg.TraceScale > 0 {
+			return cfg, fmt.Errorf("conf: trace_scale requires trace_in")
 		}
 	}
 	return cfg, nil

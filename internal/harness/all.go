@@ -8,7 +8,8 @@ var Experiments = []string{
 	"figure10", "figure11", "figure12", "figure13", "figure14",
 	"headline", "extended", "ablations", "cluster",
 	"zero", "topology", "recompute", "offload", "streams",
-	"serving", "servemix", "servecluster", "serveelastic", "fragindex", "pipefrag",
+	"serving", "servemix", "servecluster", "serveelastic", "servetrace",
+	"fragindex", "pipefrag",
 }
 
 // RunExperiment executes one experiment by id and returns its tables.
@@ -61,6 +62,16 @@ func (e *Env) RunExperiment(id string) []*Table {
 		return e.ServeClusterExperiment()
 	case "serveelastic":
 		return e.ServeElasticExperiment()
+	case "servetrace":
+		ts, err := e.ServeTraceExperiment()
+		if err != nil {
+			// Trace paths come from user configuration: surface the load
+			// error as a rendered note rather than panicking the suite.
+			t := &Table{ID: "servetrace", Title: "request-trace replay and calibration"}
+			t.AddNote("error: %v", err)
+			return []*Table{t}
+		}
+		return ts
 	case "fragindex":
 		return []*Table{e.FragIndexExperiment()}
 	case "pipefrag":

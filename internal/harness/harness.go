@@ -66,6 +66,14 @@ type Env struct {
 	// by cell index so rendered tables are byte-identical to a sequential
 	// run. 0 means GOMAXPROCS; 1 forces sequential execution.
 	Parallelism int
+
+	// TraceIn, when set, points the servetrace experiment at a request
+	// trace file (internal/reqtrace JSONL or CSV) to replay and calibrate
+	// instead of the canonical synthetic mixes; TraceScale rate-scales the
+	// replay (0 = the recorded rate). A bad path surfaces as an error from
+	// the experiment, never a panic.
+	TraceIn    string
+	TraceScale float64
 }
 
 // NewEnv returns the default environment.

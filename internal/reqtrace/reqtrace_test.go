@@ -1,0 +1,219 @@
+package reqtrace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/servegen"
+)
+
+// genTrace is a captured mixed-bursty stream all the format tests share.
+func genTrace(t *testing.T, n int) Trace {
+	t.Helper()
+	reqs, err := servegen.MixedBursty().Generate(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromRequests(reqs)
+}
+
+// TestRequestsRoundTrip: FromRequests ∘ Requests is the identity on a
+// generated stream — the trace layer neither loses nor reorders anything.
+func TestRequestsRoundTrip(t *testing.T) {
+	reqs, err := servegen.MixedBursty().Generate(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FromRequests(reqs).Requests()
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatal("FromRequests∘Requests is not the identity on a generated stream")
+	}
+}
+
+// TestFileFormatsRoundTrip: JSONL and CSV both reproduce the trace exactly,
+// and Read sniffs either format.
+func TestFileFormatsRoundTrip(t *testing.T) {
+	tr := genTrace(t, 150)
+	for _, f := range []struct {
+		name  string
+		write func(Trace, *bytes.Buffer) error
+	}{
+		{"jsonl", func(tr Trace, b *bytes.Buffer) error { return tr.WriteJSONL(b) }},
+		{"csv", func(tr Trace, b *bytes.Buffer) error { return tr.WriteCSV(b) }},
+	} {
+		t.Run(f.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := f.write(tr, &buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tr) {
+				t.Fatalf("%s round trip altered the trace", f.name)
+			}
+			// Re-encoding the decoded trace is byte-identical.
+			var buf2 bytes.Buffer
+			if err := f.write(got, &buf2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatalf("%s re-encoding is not byte-identical", f.name)
+			}
+		})
+	}
+}
+
+// TestWriteFilePicksFormat: .csv paths write CSV, anything else JSONL, and
+// ReadFile loads both.
+func TestWriteFilePicksFormat(t *testing.T) {
+	tr := genTrace(t, 40)
+	dir := t.TempDir()
+	for _, name := range []string{"t.jsonl", "t.csv", "t.trace"} {
+		path := dir + "/" + name
+		if err := tr.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("%s: file round trip altered the trace", name)
+		}
+	}
+}
+
+// TestReadRejects covers the reader's failure modes: junk, newer versions,
+// malformed records and invalid traces, each with a clear error.
+func TestReadRejects(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"junk", "hello\n", "unrecognized trace format"},
+		{"newer-jsonl", `{"format":"reqtrace","version":99}` + "\n", "newer than supported"},
+		{"newer-csv", "#reqtrace v99\n", "newer than supported"},
+		{"bad-header", `{"format":"memtrace","version":1}` + "\n", "bad JSONL header"},
+		{"bad-record", `{"format":"reqtrace","version":1}` + "\n" + `{"arrival_ns":"x"}` + "\n", "line 2"},
+		{"empty-trace", `{"format":"reqtrace","version":1}` + "\n", "empty trace"},
+		{"negative-tokens", `{"format":"reqtrace","version":1}` + "\n" +
+			`{"arrival_ns":5,"prompt_tokens":-1,"output_tokens":4}` + "\n", "tokens"},
+		{"unsorted", `{"format":"reqtrace","version":1}` + "\n" +
+			`{"arrival_ns":5,"prompt_tokens":1,"output_tokens":1}` + "\n" +
+			`{"arrival_ns":4,"prompt_tokens":1,"output_tokens":1}` + "\n", "before record"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(c.in))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestReadFileMissing: a nonexistent path is a clear error naming the path.
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile("/nonexistent/trace.jsonl")
+	if err == nil || !strings.Contains(err.Error(), "/nonexistent/trace.jsonl") {
+		t.Fatalf("error %v does not name the missing path", err)
+	}
+}
+
+// TestStats: shares sum to 1, per-class rosters match the mix, and rates
+// are counts over the span.
+func TestStats(t *testing.T) {
+	tr := genTrace(t, 300)
+	s := tr.Stats()
+	if s.Requests != 300 {
+		t.Fatalf("requests %d", s.Requests)
+	}
+	if s.Span != tr.Records[len(tr.Records)-1].Arrival {
+		t.Fatalf("span %v", s.Span)
+	}
+	mix := servegen.MixedBursty()
+	if len(s.Classes) != len(mix.Classes) {
+		t.Fatalf("%d classes, mix has %d", len(s.Classes), len(mix.Classes))
+	}
+	var share float64
+	total := 0
+	for _, c := range s.Classes {
+		share += c.Share
+		total += c.Requests
+		if c.MinPrompt <= 0 || c.MaxPrompt < c.MinPrompt {
+			t.Fatalf("class %s prompt range [%d,%d]", c.Class, c.MinPrompt, c.MaxPrompt)
+		}
+		wantRate := float64(c.Requests) / s.Span.Seconds()
+		if diff := c.RatePerSec - wantRate; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("class %s rate %g, want %g", c.Class, c.RatePerSec, wantRate)
+		}
+	}
+	if total != 300 || share < 0.999 || share > 1.001 {
+		t.Fatalf("class totals %d, share sum %g", total, share)
+	}
+}
+
+// TestReplayOptions: zero options are the identity, N truncates and loops
+// (with the constant-period shift), and Scale rescales arrivals only.
+func TestReplayOptions(t *testing.T) {
+	tr := genTrace(t, 100)
+	orig := tr.Requests()
+
+	got, err := tr.Replay(ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Fatal("zero-option replay is not the identity")
+	}
+
+	short, err := tr.Replay(ReplayOptions{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) != 10 || !reflect.DeepEqual(short, orig[:10]) {
+		t.Fatal("truncating replay differs from the trace prefix")
+	}
+
+	long, err := tr.Replay(ReplayOptions{N: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := tr.Span()
+	period := span + span/time.Duration(len(tr.Records)-1)
+	for i := 100; i < 150; i++ {
+		want := tr.Records[i-100].Arrival + period
+		if long[i].ArrivalAt != want {
+			t.Fatalf("looped request %d arrives at %v, want %v", i, long[i].ArrivalAt, want)
+		}
+		if long[i].PromptLen != tr.Records[i-100].Prompt {
+			t.Fatalf("looped request %d lost its token counts", i)
+		}
+		if long[i].ID != i {
+			t.Fatalf("looped request %d has ID %d", i, long[i].ID)
+		}
+	}
+
+	fast, err := tr.Replay(ReplayOptions{Scale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast {
+		if fast[i].ArrivalAt != time.Duration(float64(orig[i].ArrivalAt)/2) {
+			t.Fatalf("request %d not rescaled", i)
+		}
+		if fast[i].PromptLen != orig[i].PromptLen || fast[i].OutputLen != orig[i].OutputLen {
+			t.Fatalf("request %d token counts scaled", i)
+		}
+	}
+
+	for _, bad := range []ReplayOptions{{N: -1}, {Scale: -2}} {
+		if _, err := tr.Replay(bad); err == nil {
+			t.Fatalf("replay accepted %+v", bad)
+		}
+	}
+}

@@ -38,6 +38,15 @@ type ServerConfig struct {
 	// behaviour). See (*server).rank for why aging keeps the O(log n)
 	// queue indexes.
 	Aging time.Duration
+
+	// OnComplete, when non-nil, is invoked once per request at the virtual
+	// instant its last token is generated — the capture hook
+	// internal/reqtrace uses to record a served workload back into a
+	// request trace. In a cluster every replica inherits the same hook, so
+	// the callback must not assume any cross-replica completion order
+	// (reqtrace canonicalizes by sorting on arrival). It must not mutate
+	// the server.
+	OnComplete func(Request)
 }
 
 // LatencySummary holds nearest-rank percentiles of a latency sample.
@@ -192,6 +201,7 @@ type server struct {
 	stepTime   time.Duration
 	prefillTok time.Duration
 	aging      time.Duration
+	onComplete func(Request)
 
 	now  time.Duration
 	rep  Report
@@ -273,6 +283,7 @@ func newEmptyServer(mgr CacheManager, cfg ServerConfig) (*server, error) {
 		stepTime:        cfg.StepTime,
 		prefillTok:      cfg.PrefillTokenTime,
 		aging:           cfg.Aging,
+		onComplete:      cfg.OnComplete,
 		classPreempt:    map[string]int64{},
 		classTokenSteps: map[string]float64{},
 	}
@@ -563,6 +574,9 @@ func (s *server) step(prefillTokens int64) error {
 			a.rec.done = s.now
 			s.removeFromBatch(a)
 			s.mgr.Release(a.handle)
+			if s.onComplete != nil {
+				s.onComplete(a.rec.req)
+			}
 		}
 	}
 	return nil

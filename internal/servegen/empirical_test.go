@@ -1,0 +1,156 @@
+package servegen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestEmpiricalSingleSample: a 1-sample distribution always returns that
+// sample, whatever the seed.
+func TestEmpiricalSingleSample(t *testing.T) {
+	d := Empirical([]int{137}, 0, 0)
+	if err := d.validate("test"); err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed < 4; seed++ {
+		rng := sim.NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			if v := d.sample(rng); v != 137 {
+				t.Fatalf("seed %d draw %d: got %d, want 137", seed, i, v)
+			}
+		}
+	}
+	if m := d.MeanTokens(); m != 137 {
+		t.Fatalf("MeanTokens = %g, want 137", m)
+	}
+}
+
+// TestEmpiricalAllIdentical: identical samples collapse to a deterministic
+// draw even though the CDF has many (tied) support points.
+func TestEmpiricalAllIdentical(t *testing.T) {
+	d := Empirical([]int{64, 64, 64, 64}, 0, 0)
+	rng := sim.NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if v := d.sample(rng); v != 64 {
+			t.Fatalf("draw %d: got %d, want 64", i, v)
+		}
+	}
+}
+
+// TestEmpiricalClamping: nonzero Min/Max clamp draws from below/above, and a
+// zero bound leaves that side open.
+func TestEmpiricalClamping(t *testing.T) {
+	samples := []int{1, 10, 100, 1000}
+	d := Empirical(samples, 8, 256)
+	rng := sim.NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 400; i++ {
+		v := d.sample(rng)
+		if v < 8 || v > 256 {
+			t.Fatalf("draw %d: %d outside clamp [8,256]", i, v)
+		}
+		seen[v] = true
+	}
+	// 1 clamps up to 8, 1000 down to 256; 10 and 100 pass through.
+	for _, want := range []int{8, 10, 100, 256} {
+		if !seen[want] {
+			t.Errorf("clamped support misses %d (saw %v)", want, seen)
+		}
+	}
+	lo := Empirical(samples, 0, 50) // only an upper clamp
+	rng = sim.NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if v := lo.sample(rng); v > 50 {
+			t.Fatalf("upper-only clamp leaked %d", v)
+		}
+	}
+}
+
+// TestEmpiricalDeterministicTieBreaking: the same seed draws the same
+// sequence, and permuting the input samples changes nothing — Empirical
+// sorts its copy, so ties and duplicates resolve identically.
+func TestEmpiricalDeterministicTieBreaking(t *testing.T) {
+	a := Empirical([]int{5, 9, 5, 2, 9, 9}, 0, 0)
+	b := Empirical([]int{9, 2, 9, 5, 9, 5}, 0, 0)
+	if !reflect.DeepEqual(a.Samples, b.Samples) {
+		t.Fatalf("sorted samples differ: %v vs %v", a.Samples, b.Samples)
+	}
+	draw := func(d LengthDist) []int {
+		rng := sim.NewRNG(42)
+		out := make([]int, 200)
+		for i := range out {
+			out[i] = d.sample(rng)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(draw(a), draw(b)) {
+		t.Fatal("permuted sample input changed the draw sequence")
+	}
+	if !reflect.DeepEqual(draw(a), draw(a)) {
+		t.Fatal("same seed drew different sequences")
+	}
+}
+
+// TestEmpiricalValidate rejects empty and non-positive samples and inverted
+// clamps.
+func TestEmpiricalValidate(t *testing.T) {
+	cases := []LengthDist{
+		{Kind: DistEmpirical},
+		Empirical([]int{0}, 0, 0),
+		Empirical([]int{-3, 5}, 0, 0),
+		Empirical([]int{5}, 10, 4),
+	}
+	for i, d := range cases {
+		if err := d.validate("test"); err == nil {
+			t.Errorf("case %d (%+v): validate accepted", i, d)
+		}
+	}
+}
+
+// TestTraceArrivalsReplay: recorded offsets replay rescaled so the looped
+// long-run rate hits the target, loop with a constant period, and consume
+// no randomness.
+func TestTraceArrivalsReplay(t *testing.T) {
+	rec := []float64{1, 2, 4, 8}
+	p := TraceArrivals(rec)
+	if err := p.validate("test"); err != nil {
+		t.Fatal(err)
+	}
+	// Loop period = span + mean gap = 8 + 8/3; the rescale delivers n0=4
+	// arrivals per scaled period, so at rate 1 the scale is 4/period.
+	period := 8 + 8.0/3
+	scale := 4 / period
+	got := p.arrivals(sim.NewRNG(7), 1, 4)
+	for i, at := range rec {
+		if diff := got[i] - at*scale; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("arrival %d = %g, want %g", i, got[i], at*scale)
+		}
+	}
+	// Looping: one full pass per period·scale = 4 seconds at rate 1 — the
+	// long-run rate is exactly the target.
+	got = p.arrivals(sim.NewRNG(7), 1, 6)
+	for i, want := range []float64{1 * scale, 2 * scale, 4 * scale, 8 * scale,
+		(1 + period) * scale, (2 + period) * scale} {
+		if diff := got[i] - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("looped arrival %d = %g, want %g", i, got[i], want)
+		}
+	}
+	if adv := got[4] - got[0]; adv < 4-1e-9 || adv > 4+1e-9 {
+		t.Fatalf("loop advances %g per pass, want 4s (rate 1, 4 arrivals)", adv)
+	}
+	// Determinism without randomness: two different seeds, same output.
+	a := p.arrivals(sim.NewRNG(1), 2, 10)
+	b := p.arrivals(sim.NewRNG(999), 2, 10)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("trace arrivals consumed randomness")
+	}
+	// Out-of-order and empty recordings are rejected.
+	if err := TraceArrivals(nil).validate("test"); err == nil {
+		t.Error("empty trace arrivals accepted")
+	}
+	if err := TraceArrivals([]float64{3, 1}).validate("test"); err == nil {
+		t.Error("out-of-order trace arrivals accepted")
+	}
+}

@@ -2,6 +2,7 @@ package servegen
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -265,7 +266,7 @@ func TestOverrides(t *testing.T) {
 			if c.Arrival.CV != 8 {
 				t.Fatalf("gamma class %s CV %.1f after override", c.Name, c.Arrival.CV)
 			}
-		} else if c.Arrival != base.Classes[i].Arrival {
+		} else if !reflect.DeepEqual(c.Arrival, base.Classes[i].Arrival) {
 			t.Fatalf("non-gamma class %s mutated by WithBurstCV", c.Name)
 		}
 	}

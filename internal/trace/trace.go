@@ -3,6 +3,12 @@
 // timestamp; the log supports the paper's Figure 5 stream statistics
 // (allocation count and mean size), CSV export, and deterministic replay
 // against a different allocator for differential testing.
+//
+// Naming note: this package records *allocator events* — the memory-level
+// view underneath a workload. The similarly named internal/reqtrace package
+// records *serving requests* (arrival, class, SLO, token counts) at the
+// inference-serving layer; the two trace layers observe different systems
+// and share nothing but the word.
 package trace
 
 import (

@@ -22,6 +22,15 @@
 #   elastic_p99_ratio          batch-class p99 E2E of the elastic fleet
 #                              divided by the static fleet's — the latency
 #                              price of those savings (acceptance: < 2)
+#   trace_replay_overhead      BenchmarkTraceReplay replay ns/request over
+#                              synthetic-generation ns/request — the cost of
+#                              producing a stream from a captured trace
+#                              (JSONL decode + replay) instead of generating
+#                              it
+#   fit_error                  BenchmarkTraceFit's aggregate moment-match
+#                              error (percent) of the mix fitted to a
+#                              4000-request trace — calibration quality over
+#                              PRs
 #
 # Usage:  scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh          # more iterations
@@ -29,10 +38,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-4}"
+PR="${PR:-5}"
 OUT="${1:-BENCH_${PR}.json}"
 BENCHTIME="${BENCHTIME:-2x}"
-PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
+PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -74,6 +83,12 @@ awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v fallback="$FALLBACK_
             if ($(i+1) == "batch-p99-ms") elasticp99[name] = $i
         }
     }
+    if (name ~ /^BenchmarkTraceReplay\/source=(synthetic|replay)$/) {
+        for (i = 5; i < NF; i += 2) if ($(i+1) == "ns/request") tracens[name] = $i
+    }
+    if (name == "BenchmarkTraceFit") {
+        for (i = 5; i < NF; i += 2) if ($(i+1) == "fit-err-pct") fiterr = $i
+    }
 }
 END {
     if (!gomaxprocs) gomaxprocs = fallback
@@ -102,6 +117,14 @@ END {
     ep99 = elasticp99["BenchmarkServeElastic/fleet=elastic"]
     if (sp99 && ep99) {
         printf "    \"elastic_p99_ratio\": %.2f,\n", ep99 / sp99
+    }
+    syn = tracens["BenchmarkTraceReplay/source=synthetic"]
+    rep = tracens["BenchmarkTraceReplay/source=replay"]
+    if (syn && rep) {
+        printf "    \"trace_replay_overhead\": %.2f,\n", rep / syn
+    }
+    if (fiterr != "") {
+        printf "    \"fit_error\": %.2f,\n", fiterr
     }
     printf "    \"serve_ns_per_request\": %s\n", (servens ? servens : "null")
     printf "  }\n"
