@@ -466,6 +466,45 @@ func BenchmarkServeStream(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
 }
 
+// BenchmarkServeScale is the million-request scale benchmark: one server at
+// a near-sustainable 2x mixed-bursty rate (the backlog stays bounded, so
+// the run measures steady-state serving rather than queue pathology) over
+// 1M and 10M requests. Beyond the streaming-quantile threshold the latency
+// digests hold a fixed number of sketch buckets however long the run, so
+// memory is flat in n; retained-samples vs sketched-samples is the report's
+// footprint proxy (raw samples held exactly versus samples absorbed into
+// fixed-size sketches). Reports ns per served request plus both counts.
+func BenchmarkServeScale(b *testing.B) {
+	mix := servegen.MixedBursty()
+	for _, requests := range []int{1_000_000, 10_000_000} {
+		// "=" rather than "-" before the count: scripts/bench.sh treats a
+		// trailing "-<digits>" as go test's GOMAXPROCS suffix.
+		b.Run(fmt.Sprintf("requests=%d", requests), func(b *testing.B) {
+			reqs, err := mix.WithRate(mix.Rate*2).Generate(requests, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var retained, sketched int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drv := newBenchDriver(4 * sim.GiB)
+				mgr := serve.NewChunkedKV(caching.New(drv), model.OPT1_3B, 64)
+				rep, err := serve.Serve(reqs, mgr, serve.ServerConfig{MaxBatch: 32})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Served != requests {
+					b.Fatalf("served %d of %d", rep.Served, requests)
+				}
+				retained, sketched = rep.RetainedSamples, rep.SketchedSamples
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
+			b.ReportMetric(float64(retained), "retained-samples")
+			b.ReportMetric(float64(sketched), "sketched-samples")
+		})
+	}
+}
+
 // BenchmarkServeCluster prices the multi-replica cluster on the same 10x
 // overloaded mixed-bursty stream at 1→8 replicas under join-shortest-queue
 // dispatch and 2s priority aging. It reports ns per served request (the

@@ -39,6 +39,7 @@ func main() {
 		par      = flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
 		traceIn  = flag.String("trace-in", "", "servetrace: replay this request-trace file instead of the canonical mixes")
 		traceSc  = flag.Float64("trace-scale", 0, "servetrace: rate multiplier for the replayed trace (needs -trace-in)")
+		exactSmp = flag.Int("exact-samples", 0, "serving latency-digest exact-retention threshold (0 = serve default; negative = sketch from the first sample)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 	env.Parallelism = *par
 	env.TraceIn = *traceIn
 	env.TraceScale = *traceSc
+	env.ExactSamples = *exactSmp
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -93,6 +93,7 @@ func main() {
 		replicas = flag.Int("replicas", 0, "replica servers behind the cluster queue (0 = conf's replicas key or 1)")
 		dispatch = flag.String("dispatch", "", "cluster dispatch policy: round-robin, jsq, least-kv (default conf's dispatch key or round-robin)")
 		aging    = flag.Duration("aging", 0, "priority-aging rate, e.g. 2s (0 = conf's aging key or off)")
+		exactSmp = flag.Int("exact-samples", 0, "latency-digest exact-retention threshold (0 = conf's exact_samples key or the serve default; negative = sketch from the first sample)")
 		minRep   = flag.Int("min-replicas", 0, "autoscaler floor (0 = conf's min_replicas key)")
 		maxRep   = flag.Int("max-replicas", 0, "autoscaler ceiling; > 0 enables queue-depth autoscaling (0 = conf's max_replicas key)")
 		scaleUp  = flag.Int("scale-up", 0, "queued backlog per active replica that spawns one more (0 = conf's scale_up key or 4)")
@@ -153,6 +154,9 @@ func main() {
 	}
 	if *aging > 0 {
 		cfg.Aging = *aging
+	}
+	if *exactSmp != 0 {
+		cfg.ExactSamples = *exactSmp
 	}
 	if *minRep > 0 {
 		cfg.MinReplicas = *minRep
@@ -260,7 +264,7 @@ func main() {
 
 	// The cluster configuration: replica i's capacity weight scales its
 	// dispatch share, its batch limit and its device memory together.
-	clusterCfg := cfg.Cluster(serve.ServerConfig{MaxBatch: *batch, Aging: cfg.Aging})
+	clusterCfg := cfg.Cluster(serve.ServerConfig{MaxBatch: *batch, Aging: cfg.Aging, ExactSamples: cfg.ExactSamples})
 	for i := range clusterCfg.Overrides {
 		w := clusterCfg.Overrides[i].Capacity
 		if w > 0 && w != 1 {

@@ -28,6 +28,12 @@
 // original report exactly, and fitting it recovers a calibrated mix with a
 // quantified fit error.
 //
+// A closing section contrasts the two latency-reporting modes: exact
+// nearest-rank percentiles (the default while a digest holds at most
+// exact_samples raw values) versus the fixed-size streaming quantile
+// sketch the digests spill into at million-request scale — same stream,
+// near-identical percentiles, flat memory.
+//
 // # Request-trace file format
 //
 // A request trace stores one record per request — arrival offset
@@ -290,6 +296,37 @@ func main() {
 	fmt.Println("  trace_in:prod.jsonl,fit:true    serve the fitted mix (-fit)")
 	fmt.Println("and EmpiricalDist/TraceArrivalProcess feed captured samples straight into a")
 	fmt.Println("WorkloadMix when no parametric family fits.")
+	fmt.Println()
+
+	// Streaming percentiles: every latency table above was exact — each
+	// digest retains raw samples and applies the exact nearest-rank rule
+	// up to ServeConfig.ExactSamples values (default
+	// gmlake.DefaultServeExactSamples = 8192, so small runs like this one
+	// render byte-identically to the historical tables). One sample past
+	// the threshold the digest spills into a fixed-size deterministic
+	// quantile sketch, so a 10M-request run keeps a few thousand buckets
+	// instead of millions of samples, within a ~1% relative rank-error
+	// bound. ExactSamples: -1 forces the sketch path from the first
+	// sample — on the same stream its percentiles land next to the exact
+	// ones, and the retained/sketched sample counts show the footprint
+	// trade directly. The conf key is exact_samples:<n>
+	// (-exact-samples on gmlake-serve and gmlake-bench).
+	serveWith := func(exactSamples int) gmlake.ServeReport {
+		sys := gmlake.NewSystem(capacity)
+		mgr := gmlake.NewChunkedKV(gmlake.New(sys.Driver), cfg, 64)
+		cfg := srvCfg
+		cfg.ExactSamples = exactSamples
+		rep, err := gmlake.ServeRequests(reqs, mgr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+	exactRep, sketchRep := serveWith(0), serveWith(-1)
+	fmt.Printf("exact digests (default): E2E p50/p99 %v/%v, %d raw samples retained, %d sketched\n",
+		exactRep.E2E.P50, exactRep.E2E.P99, exactRep.RetainedSamples, exactRep.SketchedSamples)
+	fmt.Printf("sketch-only (exact_samples:-1): E2E p50/p99 %v/%v, %d raw samples retained, %d sketched\n",
+		sketchRep.E2E.P50, sketchRep.E2E.P99, sketchRep.RetainedSamples, sketchRep.SketchedSamples)
 }
 
 func gb(n int64) string { return fmt.Sprintf("%.2f GB", float64(n)/float64(gmlake.GiB)) }

@@ -52,12 +52,18 @@
 //	replicas:<n>        replica servers behind the cluster admission queue
 //	dispatch:<policy>   cluster dispatch: round-robin, jsq, least-kv
 //	aging:<dur>         priority-aging rate (one level per <dur> of wait)
+//	exact_samples:<n>   latency-digest exact-retention threshold (0 =
+//	                    DefaultServeExactSamples, negative = sketch-only)
 //
 // ServeRequests runs a stream under continuous batching with SLO-aware
 // admission and preemption, and its ServeReport breaks TTFT and end-to-end
 // latency percentiles, preemptions and KV-cache occupancy down per client
 // class (ServeClassReport) — the per-SLO-class view a multi-tenant
-// operator actually monitors.
+// operator actually monitors. Latency percentiles are exact nearest-rank
+// while a digest holds at most ServeConfig.ExactSamples values; past that
+// the digest spills into a fixed-size deterministic mergeable quantile
+// sketch (internal/quantile), so million-request runs keep flat memory at
+// a bounded relative rank error instead of retaining every sample.
 //
 // # Multi-replica serving cluster
 //
@@ -331,7 +337,10 @@ type (
 	// ServeClassReport is the per-client-class (per-SLO-class) slice of a
 	// serving run: latency percentiles, preemptions, KV occupancy.
 	ServeClassReport = serve.ClassReport
-	// LatencySummary holds p50/p95/p99 of a latency sample.
+	// LatencySummary holds p50/p95/p99 of a latency sample: exact
+	// nearest-rank up to ServeConfig.ExactSamples values per digest,
+	// sketch-backed (within a documented relative rank-error bound)
+	// beyond it.
 	LatencySummary = serve.LatencySummary
 	// ServeClusterConfig tunes the multi-replica serving cluster,
 	// including the elastic autoscaler (MinReplicas/MaxReplicas), the
@@ -510,6 +519,14 @@ func NewChunkedKV(alloc MemoryAllocator, cfg ModelConfig, chunkTokens int) *serv
 func ServeRequests(reqs []ServeRequest, mgr KVCacheManager, cfg ServeConfig) (ServeReport, error) {
 	return serve.Serve(reqs, mgr, cfg)
 }
+
+// DefaultServeExactSamples is the default ServeConfig.ExactSamples: a
+// latency digest keeps raw samples and reports exact nearest-rank
+// percentiles up to this many values, then spills to a mergeable
+// deterministic quantile sketch (internal/quantile) whose memory is fixed
+// regardless of run length. Set ExactSamples negative to sketch from the
+// first sample, or higher to keep exactness on longer runs.
+const DefaultServeExactSamples = serve.DefaultExactSamples
 
 // Cluster dispatch policies.
 const (

@@ -35,6 +35,11 @@
 //	aging:<dur>         priority-aging rate, e.g. aging:2s — a waiting
 //	                    request gains one priority level per <dur> of
 //	                    queue wait; 0 disables aging
+//	exact_samples:<n>   exact-retention threshold of the latency digests:
+//	                    up to n raw samples per digest are summarized by
+//	                    the exact nearest-rank rule before spilling into
+//	                    a fixed-size quantile sketch (0 = the default
+//	                    8192; negative = sketch from the first sample)
 //
 // the elastic heterogeneous fleet (PR 4):
 //
@@ -121,6 +126,10 @@ type Config struct {
 	Replicas int
 	Dispatch serve.DispatchPolicy
 	Aging    time.Duration
+	// ExactSamples is the latency digests' exact-retention threshold
+	// (serve.ServerConfig.ExactSamples): 0 means the serve default,
+	// negative sketches from the first sample.
+	ExactSamples int
 
 	// Elastic-fleet knobs (see the package comment). MaxReplicas > 0
 	// enables queue-depth autoscaling; Steal enables work-stealing
@@ -255,6 +264,12 @@ func Parse(s string) (Config, error) {
 				return cfg, fmt.Errorf("conf: %s must be a non-negative duration (e.g. 2s), got %q", key, val)
 			}
 			cfg.Aging = d
+		case "exact_samples":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("conf: %s must be an integer (negative = sketch-only), got %q", key, val)
+			}
+			cfg.ExactSamples = int(n)
 		case "min_replicas":
 			n, err := parsePositive(key, val)
 			if err != nil {

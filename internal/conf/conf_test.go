@@ -242,6 +242,30 @@ func TestParseClusterKeys(t *testing.T) {
 	}
 }
 
+func TestParseExactSamples(t *testing.T) {
+	cfg, err := Parse("backend:gmlake,serve_mix:mixed,exact_samples:500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ExactSamples != 500 {
+		t.Fatalf("exact_samples = %d", cfg.ExactSamples)
+	}
+	// Negative means sketch-only, zero means the serve default: both valid.
+	cfg, err = Parse("backend:caching,exact_samples:-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ExactSamples != -1 {
+		t.Fatalf("exact_samples = %d", cfg.ExactSamples)
+	}
+	if cfg, err = Parse("backend:caching"); err != nil || cfg.ExactSamples != 0 {
+		t.Fatalf("exact_samples default: %d, %v", cfg.ExactSamples, err)
+	}
+	if _, err := Parse("exact_samples:lots"); err == nil {
+		t.Fatal("accepted non-integer exact_samples")
+	}
+}
+
 func TestParseClusterKeyErrors(t *testing.T) {
 	for _, s := range []string{
 		"replicas:0",       // cluster needs at least one replica

@@ -1,0 +1,63 @@
+package container
+
+// Heap is a binary min-heap over a strict-weak less ordering — the event
+// spine of the cluster scheduler. Compared to container/heap it needs no
+// interface boxing and no external slice management: Push and Pop are
+// O(log n) on a flat slice.
+type Heap[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements held.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts v.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Peek returns the minimum without removing it. It panics on an empty heap;
+// guard with Len.
+func (h *Heap[T]) Peek() T { return h.items[0] }
+
+// Pop removes and returns the minimum. It panics on an empty heap; guard
+// with Len.
+func (h *Heap[T]) Pop() T {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release references for the garbage collector
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < last && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

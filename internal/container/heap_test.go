@@ -1,0 +1,81 @@
+package container
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestHeapSortsArbitraryStreams pushes deterministic pseudo-random values
+// in several interleavings and checks Pop drains them in sorted order.
+func TestHeapSortsArbitraryStreams(t *testing.T) {
+	state := uint64(42)
+	next := func() int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % 10_000)
+	}
+	for _, n := range []int{0, 1, 2, 7, 100, 4096} {
+		h := NewHeap[int](func(a, b int) bool { return a < b })
+		want := make([]int, n)
+		for i := range want {
+			want[i] = next()
+			h.Push(want[i])
+		}
+		sort.Ints(want)
+		if h.Len() != n {
+			t.Fatalf("n=%d: Len %d", n, h.Len())
+		}
+		for i, w := range want {
+			if got := h.Peek(); got != w {
+				t.Fatalf("n=%d: peek %d = %d, want %d", n, i, got, w)
+			}
+			if got := h.Pop(); got != w {
+				t.Fatalf("n=%d: pop %d = %d, want %d", n, i, got, w)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("n=%d: %d left after drain", n, h.Len())
+		}
+	}
+}
+
+// TestHeapInterleavedPushPop mixes pushes and pops: after any prefix the
+// popped values must be the overall minima seen so far.
+func TestHeapInterleavedPushPop(t *testing.T) {
+	h := NewHeap[int](func(a, b int) bool { return a < b })
+	h.Push(5)
+	h.Push(3)
+	if got := h.Pop(); got != 3 {
+		t.Fatalf("pop = %d, want 3", got)
+	}
+	h.Push(1)
+	h.Push(4)
+	for _, want := range []int{1, 4, 5} {
+		if got := h.Pop(); got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestHeapTieOrdering: with a composite key the secondary field must break
+// ties, mirroring the scheduler's (time, replica-index) ordering.
+func TestHeapTieOrdering(t *testing.T) {
+	type ev struct{ at, idx int }
+	h := NewHeap[ev](func(a, b ev) bool {
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.idx < b.idx
+	})
+	h.Push(ev{10, 3})
+	h.Push(ev{10, 1})
+	h.Push(ev{5, 9})
+	h.Push(ev{10, 2})
+	want := []ev{{5, 9}, {10, 1}, {10, 2}, {10, 3}}
+	for _, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop = %+v, want %+v", got, w)
+		}
+	}
+}

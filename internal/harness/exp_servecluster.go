@@ -83,7 +83,7 @@ func (e *Env) serveClusterScaling() *Table {
 		rep, err := serve.ServeCluster(c.reqs, e.clusterMgrFactory(), serve.ClusterConfig{
 			Replicas: c.replicas,
 			Dispatch: c.dispatch,
-			Server:   serve.ServerConfig{MaxBatch: serveMixMaxBatch},
+			Server:   serve.ServerConfig{MaxBatch: serveMixMaxBatch, ExactSamples: e.ExactSamples},
 		})
 		key := []string{c.mix.Name, fmt.Sprint(c.replicas), string(c.dispatch)}
 		if err != nil {
@@ -138,7 +138,7 @@ func (e *Env) serveClusterAging() *Table {
 		rep, err := serve.ServeCluster(reqs, e.clusterMgrFactory(), serve.ClusterConfig{
 			Replicas: 2,
 			Dispatch: serve.DispatchJSQ,
-			Server:   serve.ServerConfig{MaxBatch: serveClusterAgingBatch, Aging: aging},
+			Server:   serve.ServerConfig{MaxBatch: serveClusterAgingBatch, Aging: aging, ExactSamples: e.ExactSamples},
 		})
 		label := "off"
 		if aging > 0 {

@@ -27,8 +27,8 @@ type serveElasticFleet struct {
 	cfg  serve.ClusterConfig
 }
 
-func serveElasticFleets() []serveElasticFleet {
-	server := serve.ServerConfig{MaxBatch: serveElasticBatch}
+func serveElasticFleets(exactSamples int) []serveElasticFleet {
+	server := serve.ServerConfig{MaxBatch: serveElasticBatch, ExactSamples: exactSamples}
 	return []serveElasticFleet{
 		{"static-4", serve.ClusterConfig{
 			Replicas: serveElasticMaxFleet, Dispatch: serve.DispatchJSQ, Server: server}},
@@ -74,7 +74,7 @@ func (e *Env) serveElasticScaling() *Table {
 		if err != nil {
 			panic("harness: " + err.Error())
 		}
-		for _, f := range serveElasticFleets() {
+		for _, f := range serveElasticFleets(e.ExactSamples) {
 			cells = append(cells, cell{mix: mix, reqs: reqs, fleet: f})
 		}
 	}
@@ -88,7 +88,7 @@ func (e *Env) serveElasticScaling() *Table {
 	// Rows are assembled after the join so each elastic row can report its
 	// savings against the static fleet of the same mix — the first cell of
 	// each mix's block by construction.
-	fleets := serveElasticFleets()
+	fleets := serveElasticFleets(e.ExactSamples)
 	for i, rep := range reports {
 		c := cells[i]
 		static := reports[i-i%len(fleets)]
@@ -139,7 +139,7 @@ func (e *Env) serveElasticHetero() *Table {
 		rep, err := serve.ServeCluster(reqs, newMgr(), serve.ClusterConfig{
 			Replicas: 2,
 			Dispatch: d,
-			Server:   serve.ServerConfig{MaxBatch: serveElasticBatch},
+			Server:   serve.ServerConfig{MaxBatch: serveElasticBatch, ExactSamples: e.ExactSamples},
 			Overrides: []serve.ReplicaOverride{
 				{Capacity: 2, MaxBatch: 2 * serveElasticBatch},
 			},

@@ -70,7 +70,7 @@ func (e *Env) ServeMixExperiment() *Table {
 		Header: []string{"mix", "policy", "pool", "class", "SLO",
 			"served", "TTFT p50", "TTFT p95", "TTFT p99", "e2e p50", "e2e p99", "preempt", "KV share"},
 	}
-	srvCfg := serve.ServerConfig{MaxBatch: serveMixMaxBatch}
+	srvCfg := serve.ServerConfig{MaxBatch: serveMixMaxBatch, ExactSamples: e.ExactSamples}
 
 	// Cells: one continuous-batching run per mix × policy. The request
 	// streams are generated up front (once per mix, shared read-only) so

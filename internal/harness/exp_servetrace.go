@@ -107,7 +107,7 @@ func (e *Env) serveTraceCell(name string, reqs []serve.Request) serveTraceResult
 		r := e.newServeRig(AllocCaching)
 		mgr := serve.NewChunkedKV(r.alloc, model.OPT1_3B, serveMixChunkTokens)
 		rep, err := serve.Serve(stream, mgr, serve.ServerConfig{
-			MaxBatch: serveMixMaxBatch, OnComplete: hook,
+			MaxBatch: serveMixMaxBatch, OnComplete: hook, ExactSamples: e.ExactSamples,
 		})
 		if err != nil {
 			panic("harness: servetrace " + name + ": " + err.Error())

@@ -26,7 +26,7 @@ func (e *Env) ServingExperiment() *Table {
 		panic("harness: " + err.Error())
 	}
 	cfg := model.OPT1_3B
-	srvCfg := serve.ServerConfig{MaxBatch: 12}
+	srvCfg := serve.ServerConfig{MaxBatch: 12, ExactSamples: e.ExactSamples}
 
 	// Cells: one serving run per policy × pool; each cell owns its rig and
 	// manager and renders its row.

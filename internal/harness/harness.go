@@ -74,6 +74,13 @@ type Env struct {
 	// the experiment, never a panic.
 	TraceIn    string
 	TraceScale float64
+
+	// ExactSamples is the serving experiments' latency-digest exact-
+	// retention threshold (serve.ServerConfig.ExactSamples): 0 keeps the
+	// serve default — large enough that every canonical experiment stays
+	// on the exact nearest-rank path and tables render byte-identically —
+	// and a negative value sketches from the first sample.
+	ExactSamples int
 }
 
 // NewEnv returns the default environment.

@@ -40,7 +40,7 @@ func TestServeElasticExperimentDeterministic(t *testing.T) {
 // fleet records steals.
 func TestServeElasticScalingBehaviour(t *testing.T) {
 	tbl := NewEnv().serveElasticScaling()
-	fleets := serveElasticFleets()
+	fleets := serveElasticFleets(0)
 	if len(tbl.Rows)%len(fleets) != 0 {
 		t.Fatalf("%d rows for %d fleets", len(tbl.Rows), len(fleets))
 	}

@@ -200,3 +200,37 @@ func findClass(s Stats, name string) *ClassStats {
 	}
 	return nil
 }
+
+// TestFitExtremeCVGammaShortHorizonFitsAsOnOff pins the known-limitation
+// documented in fitArrival: an extreme-CV Gamma (bursty) arrival stream on
+// a short horizon clumps into few dense bursts, passes the on-off duty
+// cycle screen — which runs before the CV families — and fits as on-off
+// rather than Gamma. This is the currently accepted misread (see
+// ROADMAP's real-trace item); when fitArrival learns to tell heavy-tailed
+// gaps from a duty cycle, flip the expected Kind here to ArrivalGamma.
+func TestFitExtremeCVGammaShortHorizonFitsAsOnOff(t *testing.T) {
+	mix := servegen.Mix{
+		Name: "extreme", Rate: 5,
+		Classes: []servegen.ClientClass{{
+			Name: "c", SLO: servegen.SLOStandard, Share: 1,
+			Arrival: servegen.Bursty(4.0),
+			Prompt:  servegen.Uniform(32, 256),
+			Output:  servegen.Uniform(16, 128),
+		}},
+	}
+	// Short horizon: a few hundred requests, as in the trap's statement.
+	reqs, err := mix.Generate(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(FromRequests(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Classes[0].Arrival
+	if got.Kind != servegen.ArrivalOnOff {
+		t.Fatalf("extreme-CV Gamma on a short horizon fitted as %+v — "+
+			"if fitArrival was fixed to recognize heavy-tailed gaps, update "+
+			"this regression test and the known-limitation comment", got)
+	}
+}

@@ -1,0 +1,75 @@
+package reqtrace
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzReadTrace throws arbitrary bytes at Read. The contract under fuzzing:
+// Read never panics, and whenever it accepts an input the returned trace is
+// valid (Read runs Validate before returning — ordering, non-negative
+// arrivals, positive token counts) and survives a JSONL re-write/re-read
+// with every numeric field intact. Malformed headers, out-of-order
+// arrivals and bad token counts must surface as errors, never as panics
+// or as invalid traces.
+//
+// Seeds: the checked-in Azure-styled sample, its CSV rendering, and a few
+// minimal hand-written valid and near-valid inputs so mutation starts on
+// both sides of every validation boundary.
+func FuzzReadTrace(f *testing.F) {
+	sample, err := os.ReadFile("testdata/azure_llm_sample.jsonl")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sample)
+
+	tr, err := Read(bytes.NewReader(sample))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := tr.WriteCSV(&csvBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(csvBuf.Bytes())
+
+	f.Add([]byte("{\"format\":\"reqtrace\",\"version\":1}\n{\"arrival_ns\":0,\"prompt_tokens\":1,\"output_tokens\":1}\n"))
+	f.Add([]byte("#reqtrace v1\narrival_ns,class,slo,priority,prompt_tokens,output_tokens\n0,chat,interactive,2,120,64\n"))
+	f.Add([]byte("{\"format\":\"reqtrace\",\"version\":99}\n"))                                                                                                                        // newer than supported
+	f.Add([]byte("#reqtrace v1\nwrong,header\n"))                                                                                                                                      // bad CSV header
+	f.Add([]byte("{\"format\":\"reqtrace\",\"version\":1}\n{\"arrival_ns\":5,\"prompt_tokens\":1,\"output_tokens\":1}\n{\"arrival_ns\":3,\"prompt_tokens\":1,\"output_tokens\":1}\n")) // out of order
+	f.Add([]byte("plain text"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Read validates before returning, so acceptance implies validity.
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid trace: %v", verr)
+		}
+		// An accepted trace re-writes and re-reads cleanly. String fields
+		// may be canonicalized (JSON sanitizes invalid UTF-8), but record
+		// count and every numeric field round-trip exactly.
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatalf("re-write of an accepted trace failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read of a re-written trace failed: %v", err)
+		}
+		if len(back.Records) != len(tr.Records) {
+			t.Fatalf("round trip kept %d of %d records", len(back.Records), len(tr.Records))
+		}
+		for i, r := range tr.Records {
+			b := back.Records[i]
+			if b.Arrival != r.Arrival || b.Priority != r.Priority ||
+				b.Prompt != r.Prompt || b.Output != r.Output {
+				t.Fatalf("record %d round-tripped %+v as %+v", i, r, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package reqtrace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestStatsEdgeCases hardens Stats against the degenerate shapes a capture
+// can legitimately produce: the zero-length trace a capture that saw no
+// completions yields, and the single-record trace whose span — last arrival
+// offset — is zero, which must not divide through to Inf or NaN rates.
+func TestStatsEdgeCases(t *testing.T) {
+	finite := func(t *testing.T, label string, v float64) {
+		t.Helper()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v", label, v)
+		}
+	}
+	checkFinite := func(t *testing.T, s Stats) {
+		t.Helper()
+		finite(t, "RatePerSec", s.RatePerSec)
+		finite(t, "MeanPrompt", s.MeanPrompt)
+		finite(t, "MeanOutput", s.MeanOutput)
+		for _, c := range s.Classes {
+			finite(t, c.Class+".RatePerSec", c.RatePerSec)
+			finite(t, c.Class+".Share", c.Share)
+			finite(t, c.Class+".MeanPrompt", c.MeanPrompt)
+			finite(t, c.Class+".MeanOutput", c.MeanOutput)
+		}
+	}
+
+	for _, tc := range []struct {
+		name  string
+		trace Trace
+		reqs  int
+		span  time.Duration
+		rate  float64
+	}{
+		{name: "empty", trace: Trace{}},
+		{
+			// One record arriving at offset 0: span 0, so no rate is
+			// computable — it must report 0, not +Inf.
+			name: "single-at-zero",
+			trace: Trace{Records: []Record{
+				{Arrival: 0, Class: "chat", SLO: "interactive", Prompt: 120, Output: 64},
+			}},
+			reqs: 1,
+		},
+		{
+			// One record at a positive offset: the span is that offset and
+			// the rate is finite.
+			name: "single-late",
+			trace: Trace{Records: []Record{
+				{Arrival: 2 * time.Second, Prompt: 8, Output: 4},
+			}},
+			reqs: 1, span: 2 * time.Second, rate: 0.5,
+		},
+		{
+			// All records at the same instant: positive count, zero span.
+			name: "simultaneous",
+			trace: Trace{Records: []Record{
+				{Arrival: 0, Prompt: 10, Output: 5},
+				{Arrival: 0, Prompt: 30, Output: 15},
+			}},
+			reqs: 2,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.trace.Stats()
+			checkFinite(t, s)
+			if s.Requests != tc.reqs {
+				t.Errorf("Requests = %d, want %d", s.Requests, tc.reqs)
+			}
+			if s.Span != tc.span {
+				t.Errorf("Span = %v, want %v", s.Span, tc.span)
+			}
+			if s.RatePerSec != tc.rate {
+				t.Errorf("RatePerSec = %g, want %g", s.RatePerSec, tc.rate)
+			}
+		})
+	}
+
+	// The single-record class row carries the degenerate moments exactly.
+	s := Trace{Records: []Record{
+		{Arrival: 0, Class: "chat", SLO: "interactive", Prompt: 120, Output: 64},
+	}}.Stats()
+	if len(s.Classes) != 1 {
+		t.Fatalf("classes = %d", len(s.Classes))
+	}
+	c := s.Classes[0]
+	if c.Share != 1 || c.MeanPrompt != 120 || c.MeanOutput != 64 ||
+		c.MinPrompt != 120 || c.MaxPrompt != 120 || c.RatePerSec != 0 {
+		t.Errorf("single-record class row %+v", c)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/container"
 )
 
 // DispatchPolicy names a cluster-level dispatch policy: how the admission
@@ -187,6 +189,21 @@ type clusterReplica struct {
 	assigned         int
 	stolen           int
 	dispatchedTokens int64
+
+	// eventSeq versions the replica's entry in the scheduler's event heap:
+	// every touch bumps it, so events pushed earlier become stale and are
+	// discarded on pop instead of being searched for and removed (lazy
+	// invalidation).
+	eventSeq uint64
+}
+
+// repEvent is one replica's pending next-event entry in the global heap.
+// The ordering (time, then replica index) reproduces the old scan's
+// tie-break: among simultaneous events the lowest-index replica runs first.
+type repEvent struct {
+	at  time.Duration
+	ri  int
+	seq uint64
 }
 
 // clusterSched is the cluster scheduler: the admission queue, the fleet and
@@ -200,6 +217,14 @@ type clusterSched struct {
 	qi       int
 	fleet    []*clusterReplica
 	rr       int // round-robin cursor over active replicas
+
+	// events is the single global event spine: one (next-event time,
+	// replica) entry per replica with work, min-ordered by (time, index).
+	// Advancing the co-simulation is an O(log fleet) pop instead of the old
+	// O(fleet) scan of every replica's clock per event — on large fleets
+	// the scan was exactly the lock-step polling the event-driven design
+	// exists to avoid. Entries are invalidated lazily via eventSeq.
+	events *container.Heap[repEvent]
 
 	elastic      bool
 	minReplicas  int
@@ -355,6 +380,12 @@ func newClusterSched(reqs []Request, newMgr func(int) CacheManager, cfg ClusterC
 		upDepth:     cfg.ScaleUpDepth,
 		downDepth:   cfg.ScaleDownDepth,
 		cooldown:    cfg.ScaleCooldown,
+		events: container.NewHeap[repEvent](func(a, b repEvent) bool {
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			return a.ri < b.ri
+		}),
 	}
 	if c.minReplicas == 0 {
 		c.minReplicas = 1
@@ -606,23 +637,46 @@ func (c *clusterSched) trySteal() bool {
 	c.fleet[thief].dispatchedTokens += tokens
 	c.fleet[thief].srv.acceptStolen(w, c.now)
 	c.fleet[thief].stolen++
+	c.touch(victim)
+	c.touch(thief)
 	return true
 }
 
-// run drives the co-simulation to completion.
+// touch re-registers replica ri in the event heap after anything that can
+// change its next-event time (a dispatch, a step, a steal). The previous
+// entry — if any — becomes stale via the sequence bump; a fresh entry is
+// pushed only when the replica still has work. Every replica therefore has
+// at most one live entry, keyed by its current nextEventTime.
+func (c *clusterSched) touch(ri int) {
+	r := c.fleet[ri]
+	r.eventSeq++
+	if t, ok := r.srv.nextEventTime(); ok {
+		c.events.Push(repEvent{at: t, ri: ri, seq: r.eventSeq})
+	}
+}
+
+// nextEvent returns the earliest live replica event without consuming it,
+// discarding stale entries; ri == -1 means every replica is idle.
+func (c *clusterSched) nextEvent() (tRep time.Duration, ri int) {
+	for c.events.Len() > 0 {
+		ev := c.events.Peek()
+		r := c.fleet[ev.ri]
+		if ev.seq != r.eventSeq || r.state == replicaStopped {
+			c.events.Pop() // stale: superseded or the replica retired
+			continue
+		}
+		return ev.at, ev.ri
+	}
+	return 0, -1
+}
+
+// run drives the co-simulation to completion: pop the earliest event from
+// the global spine (ties to the lowest replica index, so the schedule is
+// the old scan's, event for event), interleave due arrivals, and re-touch
+// exactly the replicas each event mutated.
 func (c *clusterSched) run() (ClusterReport, error) {
 	for {
-		// The earliest replica event; ties go to the lowest index so the
-		// schedule is deterministic.
-		tRep, ri := time.Duration(0), -1
-		for i, r := range c.fleet {
-			if r.state == replicaStopped {
-				continue
-			}
-			if t, ok := r.srv.nextEventTime(); ok && (ri == -1 || t < tRep) {
-				tRep, ri = t, i
-			}
-		}
+		tRep, ri := c.nextEvent()
 		// Dispatch an arrival when it is due at or before the next replica
 		// event — the policy then sees every replica's state as of the
 		// arrival instant, exactly like admission sees arrivals that
@@ -636,6 +690,7 @@ func (c *clusterSched) run() (ClusterReport, error) {
 			c.fleet[r].assigned++
 			c.fleet[r].dispatchedTokens += int64(req.TotalTokens())
 			c.qi++
+			c.touch(r)
 			continue
 		}
 		if ri == -1 {
@@ -644,11 +699,12 @@ func (c *clusterSched) run() (ClusterReport, error) {
 		c.advance(tRep)
 		c.autoscale()
 		if c.cfg.Steal && c.trySteal() {
-			continue // fleet state changed; re-derive the earliest event
+			continue // fleet state changed; the steal re-touched both sides
 		}
 		if _, err := c.fleet[ri].srv.runOnce(); err != nil {
 			return c.seal(fmt.Errorf("serve: replica %d: %w", ri, err))
 		}
+		c.touch(ri)
 	}
 	return c.seal(nil)
 }
@@ -708,20 +764,41 @@ func (c *clusterSched) seal(err error) (ClusterReport, error) {
 	return rep, err
 }
 
-// mergeReports builds the cluster-level Report from the replicas' raw
-// per-request records: percentiles of the merged samples, never averages of
-// per-replica percentiles. undispatched requests (present only when a
-// failed run sealed early) join the class roster without samples.
+// mergeReports builds the cluster-level Report by merging the replicas'
+// streaming latency digests: percentiles of the union of per-request
+// samples, never averages of per-replica percentiles. While the combined
+// sample count of a digest fits the exact-retention threshold the union
+// stays raw and the merged percentiles are exact (byte-identical to the old
+// record concatenation); past it the union lives in a mergeable quantile
+// sketch, whose bucket-wise merge makes the result independent of replica
+// order. undispatched requests (present only when a failed run sealed
+// early) join the class roster without samples. Replicas must already be
+// finished: finish seals each replica's digests, including the unfinished-
+// request walk this merge relies on.
 func mergeReports(replicas []*server, undispatched []Request) Report {
 	var m Report
 	var steps int
 	var wasteSum, batchSum float64
-	var recs []*track
+	// The fleet shares one ExactSamples setting (per-replica overrides
+	// cover capacity, batch and aging only), so replica 0's limit is the
+	// cluster's.
+	limit := replicas[0].exactSamples
+	merged := map[string]*classAgg{}
+	ensure := func(name, slo string) *classAgg {
+		a := merged[name]
+		if a == nil {
+			a = newClassAgg(slo, limit)
+			merged[name] = a
+		}
+		return a
+	}
+	allTTFT, allE2E := newLatDigest(limit), newLatDigest(limit)
 	preempt := map[string]int64{}
-	tokenSteps := map[string]float64{}
+	tokenSteps := map[string]*float64{}
 	var totalTokenSteps float64
 	for i := range undispatched {
-		recs = append(recs, &track{req: undispatched[i]})
+		rec := track{req: undispatched[i]}
+		ensure(rec.class(), rec.req.SLO)
 	}
 	for _, s := range replicas {
 		m.Served += s.rep.Served
@@ -736,12 +813,30 @@ func mergeReports(replicas []*server, undispatched []Request) Report {
 		steps += s.rep.Steps
 		wasteSum += s.wasteSum
 		batchSum += s.batchSum
-		recs = append(recs, s.recs...)
+		names := make([]string, 0, len(s.classes))
+		for name := range s.classes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a := s.classes[name]
+			dst := ensure(name, a.slo)
+			dst.served += a.served
+			dst.ttft.merge(a.ttft)
+			dst.e2e.merge(a.e2e)
+		}
+		allTTFT.merge(s.allTTFT)
+		allE2E.merge(s.allE2E)
 		for c, n := range s.classPreempt {
 			preempt[c] += n
 		}
 		for c, t := range s.classTokenSteps {
-			tokenSteps[c] += t
+			b := tokenSteps[c]
+			if b == nil {
+				b = new(float64)
+				tokenSteps[c] = b
+			}
+			*b += *t
 		}
 		totalTokenSteps += s.totalTokenSteps
 	}
@@ -750,9 +845,9 @@ func mergeReports(replicas []*server, undispatched []Request) Report {
 		m.MeanWaste = wasteSum / float64(steps)
 		m.MeanBatch = batchSum / float64(steps)
 	}
-	m.Classes = classReports(recs, steps, preempt, tokenSteps, totalTokenSteps)
-	allTTFT, allE2E := latencySamples(recs)
-	m.TTFT = summarize(allTTFT)
-	m.E2E = summarize(allE2E)
+	m.Classes = classRows(merged, steps, preempt, tokenSteps, totalTokenSteps)
+	m.TTFT = allTTFT.summary()
+	m.E2E = allE2E.summary()
+	m.RetainedSamples, m.SketchedSamples = digestFootprint(merged, allTTFT, allE2E)
 	return m
 }

@@ -285,7 +285,7 @@ func TestClusterMergePercentilesFromRawSamples(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i, l := range latencies {
-			s.recs = append(s.recs, &track{
+			s.recordCompletion(&track{
 				req:        Request{ID: i, Class: "c"},
 				hasFirst:   true,
 				firstToken: l,

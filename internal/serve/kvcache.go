@@ -222,15 +222,20 @@ type ChunkedKV struct {
 	alloc       memalloc.Allocator
 	perToken    int64
 	chunkTokens int
-	next        SeqHandle
-	sequences   map[SeqHandle]*chunkSeq
-	usedBytes   int64
-	logicalTok  int64
+	// sequences is a slot table — handle = slot index + 1 — and free is
+	// the LIFO of released slots. Reusing slots keeps the table at the
+	// live-sequence count (not the stream length) and turns the per-token
+	// Append's handle resolution from a map probe into an index, the
+	// hottest lookup of a long serving run.
+	sequences  []chunkSeq
+	free       []SeqHandle
+	usedBytes  int64
+	logicalTok int64
 }
 
 type chunkSeq struct {
 	bufs      []*memalloc.Buffer
-	tokens    int
+	tokens    int // 0 marks a vacant slot: live sequences hold ≥ 1 prompt token
 	capTokens int // token capacity across all chunks
 }
 
@@ -243,8 +248,20 @@ func NewChunkedKV(alloc memalloc.Allocator, cfg model.Config, chunkTokens int) *
 		alloc:       alloc,
 		perToken:    KVBytesPerToken(cfg),
 		chunkTokens: chunkTokens,
-		sequences:   make(map[SeqHandle]*chunkSeq),
 	}
+}
+
+// seq resolves a handle to its live slot, nil for unknown or released
+// handles.
+func (c *ChunkedKV) seq(h SeqHandle) *chunkSeq {
+	if h <= 0 || int(h) > len(c.sequences) {
+		return nil
+	}
+	s := &c.sequences[h-1]
+	if s.tokens == 0 {
+		return nil
+	}
+	return s
 }
 
 // Name implements CacheManager.
@@ -266,21 +283,28 @@ func (c *ChunkedKV) Admit(r Request) (SeqHandle, error) {
 	if r.PromptLen <= 0 {
 		return 0, fmt.Errorf("serve: request %d has %d prompt tokens", r.ID, r.PromptLen)
 	}
-	s := &chunkSeq{}
+	var h SeqHandle
+	if n := len(c.free); n > 0 {
+		h = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		c.sequences = append(c.sequences, chunkSeq{})
+		h = SeqHandle(len(c.sequences))
+	}
+	s := &c.sequences[h-1]
 	if err := c.grow(s, r.PromptLen); err != nil {
+		c.free = append(c.free, h)
 		return 0, err
 	}
 	s.tokens = r.PromptLen
-	c.next++
-	c.sequences[c.next] = s
 	c.logicalTok += int64(r.PromptLen)
-	return c.next, nil
+	return h, nil
 }
 
 // Append implements CacheManager.
 func (c *ChunkedKV) Append(h SeqHandle) error {
-	s, ok := c.sequences[h]
-	if !ok {
+	s := c.seq(h)
+	if s == nil {
 		return fmt.Errorf("serve: unknown sequence %d", h)
 	}
 	if s.tokens == s.capTokens {
@@ -303,13 +327,14 @@ func (c *ChunkedKV) release(s *chunkSeq) {
 
 // Release implements CacheManager.
 func (c *ChunkedKV) Release(h SeqHandle) {
-	s, ok := c.sequences[h]
-	if !ok {
+	s := c.seq(h)
+	if s == nil {
 		return
 	}
 	c.release(s)
 	c.logicalTok -= int64(s.tokens)
-	delete(c.sequences, h)
+	*s = chunkSeq{}
+	c.free = append(c.free, h)
 }
 
 // UsedBytes implements CacheManager.

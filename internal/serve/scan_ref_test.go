@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// runScan is the pre-heap scheduler loop, kept verbatim as the differential
+// oracle for the global event spine: per event it scans every replica for
+// the minimum next-event time (ties to the lowest index) instead of popping
+// the heap. Any divergence between run and runScan on the same input is a
+// scheduler bug, not a modeling change.
+func (c *clusterSched) runScan() (ClusterReport, error) {
+	for {
+		tRep, ri := time.Duration(0), -1
+		for i, r := range c.fleet {
+			if r.state == replicaStopped {
+				continue
+			}
+			if t, ok := r.srv.nextEventTime(); ok && (ri == -1 || t < tRep) {
+				tRep, ri = t, i
+			}
+		}
+		if c.qi < len(c.queue) && (ri == -1 || c.reqs[c.queue[c.qi]].ArrivalAt <= tRep) {
+			req := c.reqs[c.queue[c.qi]]
+			c.advance(req.ArrivalAt)
+			c.autoscale()
+			r := c.pick()
+			c.fleet[r].srv.addRequest(req, int64(c.queue[c.qi]))
+			c.fleet[r].assigned++
+			c.fleet[r].dispatchedTokens += int64(req.TotalTokens())
+			c.qi++
+			continue
+		}
+		if ri == -1 {
+			break
+		}
+		c.advance(tRep)
+		c.autoscale()
+		if c.cfg.Steal && c.trySteal() {
+			continue
+		}
+		if _, err := c.fleet[ri].srv.runOnce(); err != nil {
+			return c.seal(fmt.Errorf("serve: replica %d: %w", ri, err))
+		}
+		c.touch(ri)
+	}
+	return c.seal(nil)
+}
+
+// burstyStream clusters arrivals into waves with an always-first-token mix
+// of priorities — the shape that exercises simultaneous replica events
+// (heap tie-breaking) and elastic scale decisions.
+func burstyStream(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		wave := i / 8
+		r := Request{ID: i, PromptLen: 48 + (i*29)%128, OutputLen: 6 + (i*17)%30,
+			ArrivalAt: time.Duration(wave) * 900 * time.Millisecond}
+		switch i % 4 {
+		case 0:
+			r.Class, r.SLO, r.Priority = "batch", "batch", 0
+		case 1:
+			r.Class, r.SLO, r.Priority = "agent", "interactive", 1
+		default:
+			r.Class, r.SLO, r.Priority = "chat", "interactive", 2
+		}
+		reqs[i] = r
+	}
+	return reqs
+}
+
+// TestClusterHeapMatchesScanLoop is the differential acceptance test for
+// the event-heap scheduler: across streams × dispatch policies × static/
+// elastic fleets × stealing × heterogeneous overrides, the heap-driven run
+// must produce a ClusterReport byte-identical (reflect.DeepEqual) to the
+// old full-scan loop, error paths included.
+func TestClusterHeapMatchesScanLoop(t *testing.T) {
+	streams := map[string][]Request{
+		"mixed-120":  mixedStream(120),
+		"bursty-160": burstyStream(160),
+	}
+	// An unservable request arriving late: both loops must fail identically
+	// and seal identical partial reports.
+	errStream := []Request{
+		{ID: 0, Class: "ok", PromptLen: 16, OutputLen: 4},
+		{ID: 1, Class: "ok", PromptLen: 16, OutputLen: 4},
+		{ID: 2, Class: "huge", PromptLen: 100000, OutputLen: 4, ArrivalAt: 5 * time.Second},
+	}
+
+	configs := map[string]ClusterConfig{
+		"static-rr": {Replicas: 3, Dispatch: DispatchRoundRobin,
+			Server: ServerConfig{MaxBatch: 3}},
+		"static-jsq": {Replicas: 4, Dispatch: DispatchJSQ,
+			Server: ServerConfig{MaxBatch: 2}},
+		"static-leastkv-aging": {Replicas: 3, Dispatch: DispatchLeastKV,
+			Server: ServerConfig{MaxBatch: 3, Aging: 2 * time.Second}},
+		"static-steal": {Replicas: 4, Dispatch: DispatchRoundRobin, Steal: true,
+			Server: ServerConfig{MaxBatch: 2}},
+		"hetero-override-steal": {Replicas: 3, Dispatch: DispatchJSQ, Steal: true,
+			Server: ServerConfig{MaxBatch: 2},
+			Overrides: []ReplicaOverride{
+				{Capacity: 2, MaxBatch: 6},
+				{Aging: time.Second},
+			}},
+		"elastic": {MinReplicas: 1, MaxReplicas: 4, Dispatch: DispatchJSQ,
+			ScaleUpDepth: 3, ScaleCooldown: 200 * time.Millisecond,
+			Server: ServerConfig{MaxBatch: 2}},
+		"elastic-steal": {MinReplicas: 1, MaxReplicas: 5, Dispatch: DispatchLeastKV,
+			Steal: true, ScaleUpDepth: 2, ScaleDownDepth: 1,
+			Server: ServerConfig{MaxBatch: 2, Aging: 3 * time.Second}},
+	}
+
+	run := func(reqs []Request, cfg ClusterConfig, scan bool) (ClusterReport, error) {
+		c, err := newClusterSched(reqs, chunkedFactory(sim.GiB/2), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scan {
+			return c.runScan()
+		}
+		return c.run()
+	}
+
+	for sname, reqs := range streams {
+		for cname, cfg := range configs {
+			want, wantErr := run(reqs, cfg, true)
+			got, gotErr := run(reqs, cfg, false)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s/%s: scan err %v, heap err %v", sname, cname, wantErr, gotErr)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: heap scheduler diverged from scan loop:\nscan: %+v\nheap: %+v",
+					sname, cname, want, got)
+			}
+		}
+	}
+
+	// Error path: a hard admission failure must seal identically.
+	cfg := ClusterConfig{Replicas: 2, Dispatch: DispatchRoundRobin, Server: ServerConfig{MaxBatch: 2}}
+	mk := func() (ClusterReport, error, ClusterReport, error) {
+		a, errA := func() (ClusterReport, error) {
+			c, err := newClusterSched(errStream, chunkedFactory(sim.GiB/4), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c.runScan()
+		}()
+		b, errB := func() (ClusterReport, error) {
+			c, err := newClusterSched(errStream, chunkedFactory(sim.GiB/4), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c.run()
+		}()
+		return a, errA, b, errB
+	}
+	want, wantErr, got, gotErr := mk()
+	if wantErr == nil || gotErr == nil {
+		t.Fatalf("expected both loops to fail: scan %v, heap %v", wantErr, gotErr)
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Fatalf("error mismatch: scan %q, heap %q", wantErr, gotErr)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("error-path reports diverged:\nscan: %+v\nheap: %+v", want, got)
+	}
+}

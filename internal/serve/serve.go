@@ -11,6 +11,24 @@
 // sequence through an ordinary allocator — so running it over the caching
 // allocator versus GMLake shows the pool-level fragmentation GMLake removes
 // on a workload vLLM's technique does not touch.
+//
+// # Latency reporting: exact, then sketched
+//
+// Every latency distribution a report renders (TTFT and E2E, aggregate and
+// per class) streams through a digest that retains raw samples and applies
+// the exact nearest-rank percentile rule up to
+// ServerConfig.ExactSamples values (DefaultExactSamples when zero, so
+// ordinary runs render byte-identical to the historical exact tables).
+// One sample past the threshold the digest spills into a fixed-size
+// deterministic mergeable quantile sketch (internal/quantile) and stays
+// O(1) in memory from then on: a 10M-request run holds a few thousand
+// sketch buckets instead of tens of millions of samples, at the sketch's
+// documented relative rank-error bound. Whether a digest is exact or
+// sketched is a pure function of its total sample count, so cluster
+// union-merges agree with a single-stream digest regardless of merge
+// order. Report.RetainedSamples and Report.SketchedSamples expose the
+// split — the memory-footprint proxy the scale benchmark tracks. Negative
+// ExactSamples sketches from the first sample.
 package serve
 
 import (

@@ -47,6 +47,16 @@ type ServerConfig struct {
 	// (reqtrace canonicalizes by sorting on arrival). It must not mutate
 	// the server.
 	OnComplete func(Request)
+
+	// ExactSamples is the exact-retention threshold of every latency digest
+	// (aggregate and per-class TTFT/E2E): up to this many raw samples are
+	// retained and summarized by the exact nearest-rank rule; one more and
+	// the digest spills into a fixed-size mergeable quantile sketch
+	// (internal/quantile, 1% relative error), keeping memory flat however
+	// long the run. 0 means DefaultExactSamples — large enough that the
+	// existing experiment tables stay byte-identical — and a negative value
+	// sketches from the first sample.
+	ExactSamples int
 }
 
 // LatencySummary holds nearest-rank percentiles of a latency sample.
@@ -120,6 +130,14 @@ type Report struct {
 	TTFT, E2E LatencySummary
 	// Classes is the per-client-class breakdown, sorted by class name.
 	Classes []ClassReport
+
+	// RetainedSamples counts the raw latency samples the report's digests
+	// (aggregate and per-class) still hold exactly; SketchedSamples counts
+	// the samples absorbed into fixed-size quantile sketches instead. Their
+	// split is the run's metrics-memory story: retained samples cost O(1)
+	// memory each, sketched samples cost nothing beyond the sketch.
+	RetainedSamples int64
+	SketchedSamples int64
 }
 
 // Utilization returns peak logical / peak used.
@@ -170,6 +188,9 @@ type active struct {
 	// node is the sequence's handle in the victim-ordered running index;
 	// nil once the sequence has left the batch.
 	node *container.Node[*active]
+	// tokenBox is the server's boxed per-class token-steps accumulator,
+	// resolved once at admission so the per-step add skips the map.
+	tokenBox *float64
 	// evicted marks a sequence preempted during the current decode step so
 	// the step loop never touches it again.
 	evicted bool
@@ -186,9 +207,10 @@ type waiting struct {
 }
 
 // server is the continuous-batching loop with its indexed queues. The
-// pending set is split by arrival: `future` orders not-yet-arrived requests
-// by (ArrivalAt, ticket) so promotion and the idle-jump are O(log n), and
-// `ready` orders arrived-unadmitted requests by (aged rank desc, ticket asc)
+// pending set is split by arrival: `future` is a flat cursor over
+// not-yet-arrived requests in (ArrivalAt, ticket) order (see arrivalQueue)
+// so promotion and the idle-jump are O(1) peeks, and `ready` is a tree
+// ordering arrived-unadmitted requests by (aged rank desc, ticket asc)
 // — the aged rank is the static priority when aging is off — so the
 // admission candidate is its minimum. The running batch keeps a
 // slice for deterministic step order plus `victims`, a tree ordered by
@@ -203,17 +225,28 @@ type server struct {
 	aging      time.Duration
 	onComplete func(Request)
 
-	now  time.Duration
-	rep  Report
-	recs []*track
+	now time.Duration
+	rep Report
 
-	future  *container.Tree[waiting]
+	// Latency aggregation is streaming: completions feed the per-class and
+	// aggregate digests the moment they happen, so no per-request record
+	// outlives its request and report memory is bounded by ExactSamples,
+	// not by the stream length.
+	exactSamples int
+	classes      map[string]*classAgg
+	allTTFT      *latDigest
+	allE2E       *latDigest
+
+	future  arrivalQueue
 	ready   *container.Tree[waiting]
 	nextTkt int64
 
 	running  []*active
 	victims  *container.Tree[*active]
 	admitSeq int64
+	// batchScratch is step's reusable snapshot buffer of the running
+	// batch — one live allocation instead of one per decode step.
+	batchScratch []*active
 
 	// doneTokens is the total tokens (prompt+output) of completed
 	// requests — the cluster dispatcher's O(1) source for outstanding
@@ -222,8 +255,11 @@ type server struct {
 
 	batchSum, wasteSum float64
 	classPreempt       map[string]int64
-	classTokenSteps    map[string]float64
-	totalTokenSteps    float64
+	// classTokenSteps accumulates per-class KV token-steps in boxed cells
+	// so the per-step hot loop adds through a pointer cached on the active
+	// sequence instead of hashing the class name every step.
+	classTokenSteps map[string]*float64
+	totalTokenSteps float64
 }
 
 // rank is a request's effective scheduling priority with aging applied,
@@ -277,6 +313,7 @@ func newEmptyServer(mgr CacheManager, cfg ServerConfig) (*server, error) {
 	if cfg.StepTime < 0 || cfg.PrefillTokenTime < 0 || cfg.Aging < 0 {
 		return nil, fmt.Errorf("serve: negative durations in config %+v", cfg)
 	}
+	limit := resolveExactSamples(cfg.ExactSamples)
 	s := &server{
 		mgr:             mgr,
 		maxBatch:        cfg.MaxBatch,
@@ -284,15 +321,13 @@ func newEmptyServer(mgr CacheManager, cfg ServerConfig) (*server, error) {
 		prefillTok:      cfg.PrefillTokenTime,
 		aging:           cfg.Aging,
 		onComplete:      cfg.OnComplete,
+		exactSamples:    limit,
+		classes:         map[string]*classAgg{},
+		allTTFT:         newLatDigest(limit),
+		allE2E:          newLatDigest(limit),
 		classPreempt:    map[string]int64{},
-		classTokenSteps: map[string]float64{},
+		classTokenSteps: map[string]*float64{},
 	}
-	s.future = container.NewTree[waiting](func(a, b waiting) bool {
-		if a.rec.req.ArrivalAt != b.rec.req.ArrivalAt {
-			return a.rec.req.ArrivalAt < b.rec.req.ArrivalAt
-		}
-		return a.seq < b.seq
-	})
 	s.ready = container.NewTree[waiting](func(a, b waiting) bool {
 		if ra, rb := s.rank(a.rec), s.rank(b.rec); ra != rb {
 			return ra > rb
@@ -314,10 +349,8 @@ func newServer(reqs []Request, mgr CacheManager, cfg ServerConfig) (*server, err
 	if err != nil {
 		return nil, err
 	}
-	s.recs = make([]*track, len(reqs))
-	for i, r := range reqs {
-		s.recs[i] = &track{req: r}
-		s.enqueue(s.recs[i])
+	for _, r := range reqs {
+		s.enqueue(&track{req: r})
 	}
 	return s, nil
 }
@@ -331,10 +364,9 @@ func newServer(reqs []Request, mgr CacheManager, cfg ServerConfig) (*server, err
 // one.
 func (s *server) addRequest(req Request, ticket int64) {
 	rec := &track{req: req}
-	s.recs = append(s.recs, rec)
 	w := waiting{rec: rec, seq: ticket}
 	if req.ArrivalAt > s.now {
-		s.future.Insert(w)
+		s.future.push(w)
 	} else {
 		s.ready.Insert(w)
 	}
@@ -368,12 +400,6 @@ func (s *server) stealWorstReady() (waiting, bool) {
 	}
 	w := n.Value
 	s.ready.Delete(n)
-	for i := len(s.recs) - 1; i >= 0; i-- {
-		if s.recs[i] == w.rec {
-			s.recs = append(s.recs[:i], s.recs[i+1:]...)
-			break
-		}
-	}
 	return w, true
 }
 
@@ -385,9 +411,8 @@ func (s *server) acceptStolen(w waiting, at time.Duration) {
 	if at > s.now {
 		s.now = at
 	}
-	s.recs = append(s.recs, w.rec)
 	if w.rec.req.ArrivalAt > s.now {
-		s.future.Insert(w)
+		s.future.push(w)
 	} else {
 		s.ready.Insert(w)
 	}
@@ -399,24 +424,26 @@ func (s *server) enqueue(rec *track) {
 	w := waiting{rec: rec, seq: s.nextTkt}
 	s.nextTkt++
 	if rec.req.ArrivalAt > s.now {
-		s.future.Insert(w)
+		s.future.push(w)
 	} else {
 		s.ready.Insert(w)
 	}
 }
 
 // promoteArrivals moves every request whose arrival time has passed from
-// the future index into the ready index, keeping its ticket.
+// the future queue into the ready index, keeping its ticket.
 func (s *server) promoteArrivals() {
-	for n := s.future.Min(); n != nil && n.Value.rec.req.ArrivalAt <= s.now; n = s.future.Min() {
-		w := n.Value
-		s.future.Delete(n)
-		s.ready.Insert(w)
+	for {
+		w, ok := s.future.min()
+		if !ok || w.rec.req.ArrivalAt > s.now {
+			return
+		}
+		s.ready.Insert(s.future.popMin())
 	}
 }
 
 // pendingLen is the size of the whole pending set.
-func (s *server) pendingLen() int { return s.future.Len() + s.ready.Len() }
+func (s *server) pendingLen() int { return s.future.len() + s.ready.Len() }
 
 // admit fills the batch with arrived requests while memory lasts: highest
 // priority first, FIFO within a priority. It returns the prompt tokens
@@ -445,6 +472,7 @@ func (s *server) admit() (prefillTokens int64, err error) {
 		s.ready.Delete(n)
 		s.admitSeq++
 		a := &active{rec: rec, handle: h, remaining: rec.req.OutputLen, admitOrder: s.admitSeq}
+		a.tokenBox = s.tokenCell(rec.class())
 		a.node = s.victims.Insert(a)
 		s.running = append(s.running, a)
 		prefillTokens += int64(rec.req.PromptLen)
@@ -455,13 +483,13 @@ func (s *server) admit() (prefillTokens int64, err error) {
 // jumpToNextArrival advances the idle server's clock to the next pending
 // arrival.
 func (s *server) jumpToNextArrival() error {
-	n := s.future.Min()
-	if n == nil {
+	w, ok := s.future.min()
+	if !ok {
 		// Unreachable: an arrived request on an idle server is either
 		// admitted or fails hard in admit.
 		return fmt.Errorf("serve: idle with %d arrived requests unadmitted", s.ready.Len())
 	}
-	if at := n.Value.rec.req.ArrivalAt; at > s.now {
+	if at := w.rec.req.ArrivalAt; at > s.now {
 		s.now = at
 	}
 	return nil
@@ -525,7 +553,8 @@ func (s *server) step(prefillTokens int64) error {
 	// started, in batch order; preemptions during the step mark their
 	// victims evicted rather than re-indexing a live slice, so every
 	// survivor is appended exactly once and no slot is stepped twice.
-	batch := append(make([]*active, 0, len(s.running)), s.running...)
+	batch := append(s.batchScratch[:0], s.running...)
+	s.batchScratch = batch
 	for _, a := range batch {
 		if a.evicted || a.remaining == 0 {
 			continue
@@ -566,12 +595,13 @@ func (s *server) step(prefillTokens int64) error {
 			a.rec.firstToken = s.now
 		}
 		tokens := a.rec.req.PromptLen + (a.rec.req.OutputLen - a.remaining)
-		s.classTokenSteps[a.rec.class()] += float64(tokens)
+		*a.tokenBox += float64(tokens)
 		s.totalTokenSteps += float64(tokens)
 		if a.remaining == 0 {
 			s.rep.Served++
 			s.doneTokens += int64(tokens)
 			a.rec.done = s.now
+			s.recordCompletion(a.rec)
 			s.removeFromBatch(a)
 			s.mgr.Release(a.handle)
 			if s.onComplete != nil {
@@ -582,40 +612,101 @@ func (s *server) step(prefillTokens int64) error {
 	return nil
 }
 
+// tokenCell returns the class's boxed token-steps accumulator, creating it
+// on first sight. The box, not the map slot, is what admitted sequences
+// cache: it never moves, so the cached pointer survives map growth.
+func (s *server) tokenCell(name string) *float64 {
+	b := s.classTokenSteps[name]
+	if b == nil {
+		b = new(float64)
+		s.classTokenSteps[name] = b
+	}
+	return b
+}
+
+// classFor returns the streaming aggregation of rec's class, creating the
+// roster entry on first sight.
+func (s *server) classFor(rec *track) *classAgg {
+	name := rec.class()
+	a := s.classes[name]
+	if a == nil {
+		a = newClassAgg(rec.req.SLO, s.exactSamples)
+		s.classes[name] = a
+	}
+	return a
+}
+
+// recordCompletion feeds one completed request into the per-class and
+// aggregate latency digests — the streaming replacement for retaining the
+// request's record until the end of the run. Completion implies a first
+// token (step sets it before checking remaining), so the request contributes
+// one TTFT and one E2E sample, under the same eligibility rule the old
+// record scan applied.
+func (s *server) recordCompletion(rec *track) {
+	a := s.classFor(rec)
+	a.served++
+	ttft := rec.firstToken - rec.req.ArrivalAt
+	e2e := rec.done - rec.req.ArrivalAt
+	a.ttft.add(ttft)
+	a.e2e.add(e2e)
+	s.allTTFT.add(ttft)
+	s.allE2E.add(e2e)
+}
+
+// recordUnfinished folds a request the run never completed into the roster:
+// the class row exists (served count and samples untouched), and a request
+// preempted after streaming its first token still contributes its TTFT —
+// exactly what the old scan over retained records reported after a failed
+// run.
+func (s *server) recordUnfinished(rec *track) {
+	s.classFor(rec)
+	if rec.hasFirst {
+		ttft := rec.firstToken - rec.req.ArrivalAt
+		s.classFor(rec).ttft.add(ttft)
+		s.allTTFT.add(ttft)
+	}
+}
+
 // finish seals the report: duration, step means, per-class rows and latency
-// percentiles. On a completed run every request contributes one TTFT and one
-// E2E sample. After a failed run (a request that fits nowhere, a stuck
-// decode) it seals what is known — requests that produced a first token
-// contribute TTFT, completed requests contribute E2E and the served counts —
-// so an error-path Report never carries zeroed Duration, Classes or
-// percentile fields for the work that did happen.
+// percentiles. On a completed run every request contributed one TTFT and one
+// E2E sample as it completed. After a failed run (a request that fits
+// nowhere, a stuck decode) it seals what is known — the pending and running
+// requests still on the server join the class roster, those that produced a
+// first token contribute TTFT — so an error-path Report never carries zeroed
+// Duration, Classes or percentile fields for the work that did happen.
+// finish must be called at most once: sealing feeds the digests.
 func (s *server) finish() {
 	if s.rep.Steps > 0 {
 		s.rep.MeanWaste = s.wasteSum / float64(s.rep.Steps)
 		s.rep.MeanBatch = s.batchSum / float64(s.rep.Steps)
 	}
 	s.rep.Duration = s.now
-	s.rep.Classes = classReports(s.recs, s.rep.Steps, s.classPreempt, s.classTokenSteps, s.totalTokenSteps)
-	allTTFT, allE2E := latencySamples(s.recs)
-	s.rep.TTFT = summarize(allTTFT)
-	s.rep.E2E = summarize(allE2E)
+	walk := func(n *container.Node[waiting]) bool {
+		s.recordUnfinished(n.Value.rec)
+		return true
+	}
+	s.future.ascend(func(w waiting) { s.recordUnfinished(w.rec) })
+	s.ready.Ascend(walk)
+	for _, a := range s.running {
+		s.recordUnfinished(a.rec)
+	}
+	s.rep.Classes = classRows(s.classes, s.rep.Steps, s.classPreempt, s.classTokenSteps, s.totalTokenSteps)
+	s.rep.TTFT = s.allTTFT.summary()
+	s.rep.E2E = s.allE2E.summary()
+	s.rep.RetainedSamples, s.rep.SketchedSamples = digestFootprint(s.classes, s.allTTFT, s.allE2E)
 }
 
-// latencySamples collects the raw TTFT and E2E samples of a record set
-// under the shared eligibility rule: a request contributes TTFT once it
-// produced a first token and E2E once it completed. finish and the
-// cluster's report merge both draw from it, so replica-level and
-// cluster-level percentiles can never disagree about who counts.
-func latencySamples(recs []*track) (ttft, e2e []time.Duration) {
-	for _, rec := range recs {
-		if rec.hasFirst {
-			ttft = append(ttft, rec.firstToken-rec.req.ArrivalAt)
-		}
-		if rec.done > 0 {
-			e2e = append(e2e, rec.done-rec.req.ArrivalAt)
-		}
+// digestFootprint sums the retained-versus-sketched sample split over a
+// report's digests (aggregate plus per-class) — the peak-RSS proxy the
+// scale benchmark records.
+func digestFootprint(classes map[string]*classAgg, allTTFT, allE2E *latDigest) (retained, sketched int64) {
+	retained = allTTFT.retained() + allE2E.retained()
+	sketched = allTTFT.sketched() + allE2E.sketched()
+	for _, a := range classes {
+		retained += a.ttft.retained() + a.e2e.retained()
+		sketched += a.ttft.sketched() + a.e2e.sketched()
 	}
-	return ttft, e2e
+	return retained, sketched
 }
 
 // nextEventTime is when the server can next make progress: now when it has
@@ -626,8 +717,8 @@ func (s *server) nextEventTime() (at time.Duration, ok bool) {
 	if len(s.running) > 0 || s.ready.Len() > 0 {
 		return s.now, true
 	}
-	if n := s.future.Min(); n != nil {
-		at = n.Value.rec.req.ArrivalAt
+	if w, ok := s.future.min(); ok {
+		at = w.rec.req.ArrivalAt
 		if at < s.now {
 			at = s.now
 		}
@@ -705,55 +796,36 @@ func Serve(reqs []Request, mgr CacheManager, cfg ServerConfig) (Report, error) {
 	return s.run()
 }
 
-// classReports aggregates per-request records into sorted per-class rows.
-// Every record contributes its class to the roster, but only requests that
-// produced a first token feed the TTFT samples and only completed ones feed
-// the E2E samples and the served count, so the rows stay truthful when a
-// run is sealed mid-failure.
-func classReports(recs []*track, steps int, preempt map[string]int64, tokenSteps map[string]float64, totalTokenSteps float64) []ClassReport {
-	type agg struct {
-		slo    string
-		served int
-		ttft   []time.Duration
-		e2e    []time.Duration
-	}
-	byClass := map[string]*agg{}
-	for _, rec := range recs {
-		c := rec.class()
-		a := byClass[c]
-		if a == nil {
-			a = &agg{slo: rec.req.SLO}
-			byClass[c] = a
-		}
-		if rec.hasFirst {
-			a.ttft = append(a.ttft, rec.firstToken-rec.req.ArrivalAt)
-		}
-		if rec.done > 0 {
-			a.served++
-			a.e2e = append(a.e2e, rec.done-rec.req.ArrivalAt)
-		}
-	}
-	names := make([]string, 0, len(byClass))
-	for name := range byClass {
+// classRows renders the streaming per-class aggregations into sorted rows.
+// The roster is exactly the set of classes that fed a digest (completions
+// plus finish's walk over unfinished requests), so the rows stay truthful
+// when a run is sealed mid-failure.
+func classRows(classes map[string]*classAgg, steps int, preempt map[string]int64, tokenSteps map[string]*float64, totalTokenSteps float64) []ClassReport {
+	names := make([]string, 0, len(classes))
+	for name := range classes {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	out := make([]ClassReport, 0, len(names))
 	for _, name := range names {
-		a := byClass[name]
+		a := classes[name]
 		cr := ClassReport{
 			Class:       name,
 			SLO:         a.slo,
 			Served:      a.served,
 			Preemptions: preempt[name],
-			TTFT:        summarize(a.ttft),
-			E2E:         summarize(a.e2e),
+			TTFT:        a.ttft.summary(),
+			E2E:         a.e2e.summary(),
+		}
+		var ts float64
+		if b := tokenSteps[name]; b != nil {
+			ts = *b
 		}
 		if steps > 0 {
-			cr.MeanKVTokens = tokenSteps[name] / float64(steps)
+			cr.MeanKVTokens = ts / float64(steps)
 		}
 		if totalTokenSteps > 0 {
-			cr.KVShare = tokenSteps[name] / totalTokenSteps
+			cr.KVShare = ts / totalTokenSteps
 		}
 		out = append(out, cr)
 	}

@@ -330,13 +330,23 @@ func TestTTFTPreservedAcrossPreemption(t *testing.T) {
 		if !more {
 			break
 		}
-		for _, rec := range s.recs {
+		// Visit every live track (the server retains no per-request records
+		// after completion): the running batch plus both pending indexes.
+		seeFirst := func(rec *track) {
 			if rec.hasFirst {
 				if _, ok := firstSeen[rec]; !ok {
 					firstSeen[rec] = rec.firstToken
 				}
 			}
 		}
+		for _, a := range s.running {
+			seeFirst(a.rec)
+		}
+		s.ready.Ascend(func(n *container.Node[waiting]) bool {
+			seeFirst(n.Value.rec)
+			return true
+		})
+		s.future.ascend(func(w waiting) { seeFirst(w.rec) })
 		// A record with a first token sitting in the pending set again was
 		// preempted after it started streaming.
 		s.ready.Ascend(func(n *container.Node[waiting]) bool {

@@ -31,6 +31,14 @@
 #                              error (percent) of the mix fitted to a
 #                              4000-request trace — calibration quality over
 #                              PRs
+#   scale_ns_per_request       BenchmarkServeScale's ns/request on the
+#                              10M-request stream — steady-state serving
+#                              cost at million-request scale
+#   scale_retained_samples     raw latency samples still held at the end of
+#                              the 10M-request run — the memory-flatness
+#                              proxy (0 once every digest has spilled into
+#                              its fixed-size sketch; the pre-sketch code
+#                              retained all 10M)
 #
 # Usage:  scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh          # more iterations
@@ -38,10 +46,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-5}"
+PR="${PR:-6}"
 OUT="${1:-BENCH_${PR}.json}"
 BENCHTIME="${BENCHTIME:-2x}"
-PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
+PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeScale$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -89,6 +97,12 @@ awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v fallback="$FALLBACK_
     if (name == "BenchmarkTraceFit") {
         for (i = 5; i < NF; i += 2) if ($(i+1) == "fit-err-pct") fiterr = $i
     }
+    if (name == "BenchmarkServeScale/requests=10000000") {
+        for (i = 5; i < NF; i += 2) {
+            if ($(i+1) == "ns/request") scalens = $i
+            if ($(i+1) == "retained-samples") scaleretained = $i
+        }
+    }
 }
 END {
     if (!gomaxprocs) gomaxprocs = fallback
@@ -125,6 +139,10 @@ END {
     }
     if (fiterr != "") {
         printf "    \"fit_error\": %.2f,\n", fiterr
+    }
+    if (scalens != "") {
+        printf "    \"scale_ns_per_request\": %s,\n", scalens
+        printf "    \"scale_retained_samples\": %s,\n", scaleretained
     }
     printf "    \"serve_ns_per_request\": %s\n", (servens ? servens : "null")
     printf "  }\n"
