@@ -606,6 +606,64 @@ func BenchmarkServeElastic(b *testing.B) {
 	}
 }
 
+// BenchmarkServeFaults prices serving under replica crashes: the
+// 10x-overloaded mixed-bursty stream on a 4-replica fleet at four fault
+// intensities (fault-free, then MTTF 8s/4s/2s with MTTR 400ms), retries:3
+// with exponential backoff and a 120s deadline. Each variant reports
+// goodput as a percentage of the offered load and the capacity-weighted
+// availability; scripts/bench.sh charts them as goodput_under_faults and
+// availability in BENCH_*.json. Faults come from seeded streams, so every
+// iteration replays the identical fault history.
+func BenchmarkServeFaults(b *testing.B) {
+	const (
+		requests = 2000
+		fleet    = 4
+	)
+	mix := servegen.MixedBursty()
+	reqs, err := mix.WithRate(mix.Rate*10).Generate(requests, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		mttf time.Duration
+	}{
+		{"faults=none", 0},
+		{"faults=mttf8s", 8 * time.Second},
+		{"faults=mttf4s", 4 * time.Second},
+		{"faults=mttf2s", 2 * time.Second},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := serve.ClusterConfig{
+				Replicas: fleet,
+				Dispatch: serve.DispatchJSQ,
+				Server:   serve.ServerConfig{MaxBatch: 32, Timeout: 120 * time.Second},
+				Recovery: serve.RecoveryConfig{Retries: 3, Backoff: 2},
+			}
+			if v.mttf > 0 {
+				cfg.Faults = serve.FaultConfig{MTTF: v.mttf, MTTR: 400 * time.Millisecond, Seed: 7}
+			}
+			var rep serve.ClusterReport
+			for i := 0; i < b.N; i++ {
+				rep, err = serve.ServeCluster(reqs, func(int) serve.CacheManager {
+					return serve.NewChunkedKV(caching.New(newBenchDriver(4*sim.GiB)), model.OPT1_3B, 64)
+				}, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if v.mttf == 0 && rep.Goodput != requests {
+				b.Fatalf("fault-free goodput %d of %d", rep.Goodput, requests)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
+			b.ReportMetric(100*float64(rep.Goodput)/float64(requests), "goodput-pct")
+			b.ReportMetric(100*rep.Availability, "avail-pct")
+			b.ReportMetric(float64(rep.Crashes), "crashes")
+		})
+	}
+}
+
 // BenchmarkTraceReplay prices request-stream production: generating the
 // 10x-overloaded mixed-bursty stream synthetically versus replaying it from
 // a captured request trace (decode from in-memory JSONL bytes + replay —

@@ -15,11 +15,15 @@
 //	gmlake-serve -mix chat-heavy -trace-out captured.jsonl -policy chunked
 //	gmlake-serve -trace-in captured.jsonl -trace-scale 2 -policy chunked
 //	gmlake-serve -trace-in prod.csv -fit -policy chunked
+//	gmlake-serve -replicas 3 -mttf 2s -mttr 400ms -timeout 30s -retries 3 -policy chunked
+//	gmlake-serve -replicas 2 -fault-plan "crash@t=12s:r1/restart@t=14s:r1" -timeout 30s -retries 1 -shed -policy chunked
 //
 // The workload keys (serve_mix, serve_rate, burst_cv, parallel), the
 // cluster keys (replicas, dispatch, aging, min_replicas, max_replicas,
 // scale_up, scale_down, scale_cooldown, steal, replica_caps) and the
-// request-trace keys (trace_in, trace_out, trace_scale, fit) ride in the
+// request-trace keys (trace_in, trace_out, trace_scale, fit) and the
+// fault keys (mttf, mttr, fault_plan, timeout, retries, backoff,
+// retry_budget, shed) ride in the
 // same PYTORCH_CUDA_ALLOC_CONF-style string that selects the pool
 // allocator; the corresponding flags are shorthands for the same knobs.
 //
@@ -48,6 +52,17 @@
 // 1, and the load-aware policies (jsq, least-kv) divide each replica's
 // observed load by its weight so the big replica absorbs proportionally
 // more demand.
+//
+// With -mttf/-mttr (or a scripted -fault-plan) the cluster injects replica
+// crashes: a crashed replica loses its KV cache and in-flight sequences,
+// leaves dispatch, and rejoins empty after its restart. Queued requests it
+// held are re-dispatched for free; in-flight ones are retried up to
+// -retries times with exponential -backoff (recompute from scratch — TTFT
+// survives only if the first token had already streamed), bounded per
+// class by -retry-budget. -timeout sets a per-request deadline (goodput
+// counts only in-deadline completions) and -shed rejects requests at
+// admission once the deadline is provably unreachable. The fault seed is
+// the workload seed, so one -seed pins the whole run, faults included.
 //
 // Runs are deterministic: one seed, one request stream, whatever the
 // policy — scaling and stealing decisions happen at event boundaries of
@@ -105,6 +120,14 @@ func main() {
 		traceOut = flag.String("trace-out", "", "capture the completed run into this trace file")
 		traceSc  = flag.Float64("trace-scale", 0, "rate multiplier for the replayed trace (0 = recorded rate; needs -trace-in)")
 		fit      = flag.Bool("fit", false, "calibrate a mix to the trace and serve it, with a fit-error report (needs -trace-in)")
+		mttf     = flag.Duration("mttf", 0, "mean time to failure per replica, exponential (0 = conf's mttf key or no faults; needs -mttr)")
+		mttr     = flag.Duration("mttr", 0, "mean time to restart after a crash (needs -mttf)")
+		faultPl  = flag.String("fault-plan", "", "scripted crash/restart schedule, e.g. crash@t=12s:r1/restart@t=14s:r1 (excludes -mttf)")
+		timeoutF = flag.Duration("timeout", 0, "per-request deadline from arrival; late completions miss, not goodput (0 = conf's timeout key or none)")
+		retries  = flag.Int("retries", 0, "re-dispatch attempts per crashed in-flight request (0 = conf's retries key or none; needs a timeout)")
+		backoffF = flag.Float64("backoff", 0, "exponential retry-backoff multiplier >= 1 (0 = conf's backoff key or 2)")
+		rBudget  = flag.Int("retry-budget", 0, "total retries one client class may consume (0 = conf's retry_budget key or unlimited)")
+		shedF    = flag.Bool("shed", false, "deadline-aware admission shedding of provably-late requests (needs a timeout)")
 	)
 	flag.Parse()
 	nVisited := false
@@ -120,8 +143,11 @@ func main() {
 	if *replicas < 0 || *minRep < 0 || *maxRep < 0 || *scaleUp < 0 || *scaleDn < 0 {
 		fatal(fmt.Errorf("replica and scaling counts must be >= 0"))
 	}
-	if *aging < 0 || *cooldown < 0 {
+	if *aging < 0 || *cooldown < 0 || *mttf < 0 || *mttr < 0 || *timeoutF < 0 {
 		fatal(fmt.Errorf("durations must be >= 0"))
+	}
+	if *retries < 0 || *rBudget < 0 {
+		fatal(fmt.Errorf("-retries and -retry-budget must be >= 0"))
 	}
 
 	if *list {
@@ -195,6 +221,54 @@ func main() {
 	if *fit {
 		cfg.Fit = true
 	}
+	if *mttf > 0 {
+		cfg.MTTF = *mttf
+	}
+	if *mttr > 0 {
+		cfg.MTTR = *mttr
+	}
+	if *faultPl != "" {
+		plan, err := serve.ParseFaultPlan(*faultPl)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.FaultPlan = plan
+	}
+	if *timeoutF > 0 {
+		cfg.Timeout = *timeoutF
+	}
+	if *retries > 0 {
+		cfg.Retries = *retries
+	}
+	if *backoffF > 0 {
+		cfg.Backoff = *backoffF
+	}
+	if *rBudget > 0 {
+		cfg.RetryBudget = *rBudget
+	}
+	if *shedF {
+		cfg.Shed = true
+	}
+	// Flags bypass conf.Parse, so re-assert its cross-key contracts on the
+	// merged configuration.
+	if (cfg.MTTF > 0) != (cfg.MTTR > 0) {
+		fatal(fmt.Errorf("-mttf and -mttr must be set together"))
+	}
+	if len(cfg.FaultPlan) > 0 && cfg.MTTF > 0 {
+		fatal(fmt.Errorf("-fault-plan and -mttf/-mttr are mutually exclusive"))
+	}
+	if cfg.Retries > 0 && cfg.Timeout == 0 {
+		fatal(fmt.Errorf("-retries needs -timeout (unbounded retries need a deadline)"))
+	}
+	if cfg.Backoff > 0 && cfg.Retries == 0 {
+		fatal(fmt.Errorf("-backoff needs -retries"))
+	}
+	if cfg.RetryBudget > 0 && cfg.Retries == 0 {
+		fatal(fmt.Errorf("-retry-budget needs -retries"))
+	}
+	if cfg.Shed && cfg.Timeout == 0 {
+		fatal(fmt.Errorf("-shed needs -timeout"))
+	}
 	if cfg.TraceIn == "" && (cfg.Fit || cfg.TraceScale > 0) {
 		fatal(fmt.Errorf("-fit and -trace-scale need -trace-in"))
 	}
@@ -265,6 +339,8 @@ func main() {
 	// The cluster configuration: replica i's capacity weight scales its
 	// dispatch share, its batch limit and its device memory together.
 	clusterCfg := cfg.Cluster(serve.ServerConfig{MaxBatch: *batch, Aging: cfg.Aging, ExactSamples: cfg.ExactSamples})
+	// One seed pins the workload and the fault process together.
+	clusterCfg.Faults.Seed = *seed
 	for i := range clusterCfg.Overrides {
 		w := clusterCfg.Overrides[i].Capacity
 		if w > 0 && w != 1 {
@@ -284,6 +360,12 @@ func main() {
 	fleetMax := clusterCfg.Replicas
 	if clusterCfg.MaxReplicas > 0 {
 		fleetMax = clusterCfg.MaxReplicas
+	}
+	// Reject configuration mistakes (a fault plan targeting a replica the
+	// fleet can never have, bad recovery knobs, ...) before any policy runs,
+	// so they read as config errors rather than per-policy serving failures.
+	if err := clusterCfg.Validate(); err != nil {
+		fatal(err)
 	}
 
 	newAlloc := func(i int) memalloc.Allocator {
@@ -322,7 +404,31 @@ func main() {
 	if len(cfg.ReplicaCaps) > 0 {
 		capsStr = fmt.Sprintf(", caps %v", cfg.ReplicaCaps)
 	}
-	fmt.Printf("cluster: %s, dispatch %s, aging %s%s%s\n\n", fleetStr, dispatchPolicy, agingStr, stealStr, capsStr)
+	fmt.Printf("cluster: %s, dispatch %s, aging %s%s%s\n", fleetStr, dispatchPolicy, agingStr, stealStr, capsStr)
+	if clusterCfg.Faults.Enabled() || cfg.Timeout > 0 {
+		faultStr := "none"
+		if cfg.MTTF > 0 {
+			faultStr = fmt.Sprintf("mttf %v, mttr %v", cfg.MTTF, cfg.MTTR)
+		} else if len(cfg.FaultPlan) > 0 {
+			faultStr = fmt.Sprintf("scripted plan, %d events", len(cfg.FaultPlan))
+		}
+		deadlineStr := "none"
+		if cfg.Timeout > 0 {
+			deadlineStr = cfg.Timeout.String()
+			if cfg.Shed {
+				deadlineStr += " with shedding"
+			}
+		}
+		retryStr := "none"
+		if cfg.Retries > 0 {
+			retryStr = fmt.Sprintf("%d with backoff", cfg.Retries)
+			if cfg.RetryBudget > 0 {
+				retryStr += fmt.Sprintf(", budget %d/class", cfg.RetryBudget)
+			}
+		}
+		fmt.Printf("faults: %s; deadline %s; retries %s\n", faultStr, deadlineStr, retryStr)
+	}
+	fmt.Println()
 
 	policies := []string{"contiguous", "paged", "chunked"}
 	if *policy != "all" {
@@ -496,6 +602,11 @@ func printReport(policy string, rep serve.ClusterReport, stats []memalloc.Stats)
 	fmt.Printf("== %s: served %d in %s virtual, mean batch %.1f, %d preemptions, mean pool util %.1f%%\n",
 		policy, rep.Served, rep.Duration.Round(time.Millisecond), rep.MeanBatch,
 		rep.Preemptions, 100*util)
+	if rep.Crashes > 0 || rep.DeadlineMisses > 0 || rep.Shed > 0 {
+		fmt.Printf("   faults: %d crashes, %d restarts, %d retries, %d lost; goodput %d, %d deadline misses, %d shed, availability %.1f%%\n",
+			rep.Crashes, rep.Restarts, rep.Retries, rep.Lost,
+			rep.Goodput, rep.DeadlineMisses, rep.Shed, 100*rep.Availability)
+	}
 	if rep.Spawns > 0 || rep.Drains > 0 {
 		fmt.Printf("   elastic fleet: peak %d replicas, %d spawns, %d drains, %.1f replica-seconds\n",
 			rep.PeakReplicas, rep.Spawns, rep.Drains, rep.ReplicaSeconds.Seconds())

@@ -22,6 +22,13 @@
 // drain-on-idle, work-stealing re-dispatch of queued requests, and
 // capacity-weighted dispatch for heterogeneous replicas.
 //
+// A fault-injection section crashes a replica mid-decode on a scripted
+// schedule and walks through what recovery does: queued requests
+// re-dispatch for free, in-flight ones retry with recompute-from-scratch
+// cost (TTFT surviving only if the first token had streamed), deadlines
+// split completions into goodput and misses, and admission shedding
+// rejects provably-late requests up front.
+//
 // The final section closes the specify→observe→calibrate loop with request
 // traces: a capture hook records every completed request, the trace
 // round-trips through a file byte-identically, replaying it reproduces the
@@ -233,6 +240,63 @@ func main() {
 	fmt.Println("a heterogeneous fleet adds per-replica overrides: ServeReplicaOverride{Capacity: 2,")
 	fmt.Println("MaxBatch: 8} makes replica 0 a double-size instance, and jsq/least-kv divide its")
 	fmt.Println("observed load by the weight so it legitimately absorbs twice the demand.")
+	fmt.Println()
+
+	// Fault injection: the same overloaded stream on a 3-replica fleet,
+	// with replica 1 crashing mid-run on a scripted schedule and restarting
+	// two seconds later. Everything replica 1 held at the crash instant is
+	// affected, but not equally:
+	//
+	//   - queued requests (dispatched to replica 1 but not yet admitted)
+	//     lost nothing but their place in line — the cluster re-dispatches
+	//     them immediately, keeping their arrival-order ticket, at no
+	//     retry cost;
+	//   - in-flight requests (decoding when the KV cache vanished) must
+	//     recompute from scratch on another replica. Each consumes one of
+	//     Recovery.Retries attempts, re-entering dispatch after an
+	//     exponential-backoff delay. Their TTFT is preserved only if the
+	//     first token had already streamed to the client — the same
+	//     contract preemption honours; E2E always stretches.
+	//
+	// With Retries: 0 the in-flight requests would instead be abandoned
+	// and counted in Lost. The deadline (Timeout) bounds end-to-end
+	// latency across retries: a completion past its deadline still counts
+	// as served, but not as goodput. Shed goes one step further and
+	// rejects a request at admission the moment its minimum service time
+	// cannot fit inside what remains of the deadline, freeing the batch
+	// slot for a request that can still make it.
+	plan, err := gmlake.ParseServeFaultPlan("crash@t=6s:r1/restart@t=8s:r1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, recov := range []gmlake.ServeRecoveryConfig{
+		{},           // abandon crashed in-flight work
+		{Retries: 3}, // retry it, default 50ms delay doubling per attempt
+	} {
+		rep, err := gmlake.ServeClusterRequests(overload, newMgr, gmlake.ServeClusterConfig{
+			Replicas: 3,
+			Dispatch: gmlake.DispatchJSQ,
+			Server:   gmlake.ServeConfig{MaxBatch: 4, Timeout: 60 * time.Second, Shed: true},
+			Faults:   gmlake.ServeFaultConfig{Plan: plan},
+			Recovery: recov,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "no retries"
+		if recov.Retries > 0 {
+			label = fmt.Sprintf("retries %d", recov.Retries)
+		}
+		fmt.Printf("crash@6s r1, restart@8s (%s): served %d, goodput %d, %d retries, %d lost, %d shed, %d misses, availability %.1f%%\n",
+			label, rep.Served, rep.Goodput, rep.Retries, rep.Lost, rep.Shed,
+			rep.DeadlineMisses, 100*rep.Availability)
+	}
+	fmt.Println()
+	fmt.Println("faults fire only at event boundaries of the co-simulation, so a faulty run is")
+	fmt.Println("exactly as deterministic as a fault-free one: same seed and plan, byte-identical")
+	fmt.Println("report. Seeded MTTF/MTTR streams (ServeFaultConfig{MTTF, MTTR, Seed}) replace the")
+	fmt.Println("script for statistical fault processes; the conf keys are mttf, mttr, fault_plan,")
+	fmt.Println("timeout, retries, backoff, retry_budget and shed (same flags on gmlake-serve).")
 	fmt.Println()
 
 	// Request traces: capture → file → replay → calibrate. A capture hook

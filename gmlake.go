@@ -119,6 +119,27 @@
 // (RequestTrace records serving requests; the unrelated allocator-event
 // traces of the paper's Figure 5 live in internal/trace.)
 //
+// # Fault injection and recovery
+//
+// A cluster run can inject deterministic replica faults
+// (ServeClusterConfig.Faults, a ServeFaultConfig): a crash loses the
+// replica's KV cache and in-flight sequences, removes it from dispatch,
+// and a later restart returns it empty. Faults come from a seeded
+// MTTF/MTTR process or a scripted plan (ParseServeFaultPlan,
+// ServeFaultEvent), and fire only at event boundaries of the
+// co-simulation, so faulty runs replay byte-identically from one seed.
+// ServeRecoveryConfig bounds crash recovery: queued requests displaced by
+// a crash re-dispatch for free, in-flight ones retry with recompute-from-
+// scratch cost under capped retries, exponential backoff and a per-class
+// retry budget (exhausted requests count as Lost). ServeConfig.Timeout
+// sets a per-request deadline — completions past it are deadline misses,
+// not goodput — and ServeConfig.Shed rejects requests at admission once
+// the deadline is provably unreachable. Reports grow Crashes, Restarts,
+// DeadlineMisses, Shed and Goodput; ServeClusterReport adds Retries, Lost
+// and capacity-weighted Availability. The corresponding configuration keys
+// are mttf, mttr, fault_plan, timeout, retries, backoff, retry_budget and
+// shed, and cmd/gmlake-serve exposes them as flags of the same names.
+//
 // # Quick start
 //
 //	sys := gmlake.NewSystem(80 * gmlake.GiB)
@@ -356,6 +377,17 @@ type (
 	ServeClusterReport = serve.ClusterReport
 	// DispatchPolicy assigns cluster arrivals to replicas.
 	DispatchPolicy = serve.DispatchPolicy
+	// ServeFaultConfig injects deterministic replica crashes and restarts
+	// into a cluster run (seeded MTTF/MTTR streams or a scripted plan).
+	ServeFaultConfig = serve.FaultConfig
+	// ServeFaultEvent is one scripted crash or restart.
+	ServeFaultEvent = serve.FaultEvent
+	// ServeFaultKind classifies a fault event (ServeFaultCrash,
+	// ServeFaultRestart).
+	ServeFaultKind = serve.FaultKind
+	// ServeRecoveryConfig bounds crash recovery: retries, backoff and the
+	// per-class retry budget.
+	ServeRecoveryConfig = serve.RecoveryConfig
 
 	// WorkloadMix is a multi-tenant serving workload: an aggregate request
 	// rate decomposed over heterogeneous client classes.
@@ -534,6 +566,17 @@ const (
 	DispatchJSQ        = serve.DispatchJSQ
 	DispatchLeastKV    = serve.DispatchLeastKV
 )
+
+// Scripted fault-event kinds.
+const (
+	ServeFaultCrash   = serve.FaultCrash
+	ServeFaultRestart = serve.FaultRestart
+)
+
+// ParseServeFaultPlan parses a scripted fault schedule of '/'-separated
+// events like "crash@t=12s:r1/restart@t=14s:r1" into a plan for
+// ServeFaultConfig.Plan.
+func ParseServeFaultPlan(s string) ([]ServeFaultEvent, error) { return serve.ParseFaultPlan(s) }
 
 // ServeClusterRequests runs requests on a multi-replica serving cluster;
 // newMgr builds replica i's cache manager (each replica needs its own

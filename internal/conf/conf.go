@@ -60,6 +60,28 @@
 //	                    (e.g. replica_caps:2/1/1): load-aware dispatch
 //	                    divides a replica's load by its weight
 //
+// the fault-injection and recovery knobs (PR 7, consumed by the cluster
+// runners):
+//
+//	mttf:<dur>          mean time to failure per replica (exponential,
+//	                    seeded); requires mttr
+//	mttr:<dur>          mean time to restart after a crash; requires mttf
+//	fault_plan:<plan>   scripted crash/restart schedule, '/'-separated
+//	                    events like crash@t=12s:r1/restart@t=14s:r1;
+//	                    mutually exclusive with mttf/mttr
+//	timeout:<dur>       per-request deadline from arrival; completions
+//	                    past it count as deadline misses, not goodput
+//	retries:<n>         re-dispatch attempts per crashed in-flight
+//	                    request (requires timeout — unbounded retries
+//	                    with no deadline would mask every crash)
+//	backoff:<f>         exponential retry-backoff multiplier, >= 1
+//	                    (requires retries)
+//	retry_budget:<n>    total retries one client class may consume
+//	                    (requires retries)
+//	shed:<bool>         deadline-aware admission shedding: reject
+//	                    requests that provably cannot meet the deadline
+//	                    (requires timeout)
+//
 // and the request-trace subsystem (internal/reqtrace, consumed by
 // cmd/gmlake-serve and the servetrace experiment):
 //
@@ -142,6 +164,22 @@ type Config struct {
 	ScaleCooldown  time.Duration
 	Steal          bool
 	ReplicaCaps    []float64
+
+	// Fault-injection and recovery knobs (consumed by the cluster
+	// runners, ignored by Build). MTTF/MTTR arm the seeded per-replica
+	// crash/restart process (both or neither); FaultPlan is the scripted
+	// alternative. Timeout is the per-request deadline; Retries, Backoff
+	// and RetryBudget shape crash recovery (all require Timeout — Parse
+	// rejects retry knobs with no deadline bounding them); Shed rejects
+	// provably-late requests at admission (requires Timeout).
+	MTTF        time.Duration
+	MTTR        time.Duration
+	FaultPlan   []serve.FaultEvent
+	Timeout     time.Duration
+	Retries     int
+	Backoff     float64
+	RetryBudget int
+	Shed        bool
 
 	// Parallelism bounds the worker pool of consumers that sweep
 	// independent cells (the experiment engine, policy comparisons).
@@ -312,6 +350,54 @@ func Parse(s string) (Config, error) {
 				return cfg, err
 			}
 			cfg.ReplicaCaps = caps
+		case "mttf":
+			d, err := parsePositiveDuration(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.MTTF = d
+		case "mttr":
+			d, err := parsePositiveDuration(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.MTTR = d
+		case "fault_plan":
+			plan, err := serve.ParseFaultPlan(val)
+			if err != nil {
+				return cfg, fmt.Errorf("conf: %w", err)
+			}
+			cfg.FaultPlan = plan
+		case "timeout":
+			d, err := parsePositiveDuration(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Timeout = d
+		case "retries":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Retries = int(n)
+		case "backoff":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 1 {
+				return cfg, fmt.Errorf("conf: %s must be a finite number >= 1, got %q", key, val)
+			}
+			cfg.Backoff = f
+		case "retry_budget":
+			n, err := parsePositive(key, val)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.RetryBudget = int(n)
+		case "shed":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return cfg, fmt.Errorf("conf: %s must be a bool, got %q", key, val)
+			}
+			cfg.Shed = b
 		case "trace_in":
 			if val == "" {
 				return cfg, fmt.Errorf("conf: trace_in needs a file path")
@@ -357,7 +443,36 @@ func Parse(s string) (Config, error) {
 			return cfg, fmt.Errorf("conf: trace_scale requires trace_in")
 		}
 	}
+	// Fault knobs: an MTTF with no MTTR (or vice versa) is an incomplete
+	// fault process, a scripted plan alongside one is ambiguous, and retry/
+	// shed knobs without the keys they modulate would silently do nothing.
+	if (cfg.MTTF > 0) != (cfg.MTTR > 0) {
+		return cfg, fmt.Errorf("conf: mttf and mttr must be set together")
+	}
+	if len(cfg.FaultPlan) > 0 && cfg.MTTF > 0 {
+		return cfg, fmt.Errorf("conf: fault_plan and mttf/mttr are mutually exclusive")
+	}
+	if cfg.Retries > 0 && cfg.Timeout == 0 {
+		return cfg, fmt.Errorf("conf: retries requires timeout (unbounded retries need a deadline)")
+	}
+	if cfg.Backoff > 0 && cfg.Retries == 0 {
+		return cfg, fmt.Errorf("conf: backoff requires retries")
+	}
+	if cfg.RetryBudget > 0 && cfg.Retries == 0 {
+		return cfg, fmt.Errorf("conf: retry_budget requires retries")
+	}
+	if cfg.Shed && cfg.Timeout == 0 {
+		return cfg, fmt.Errorf("conf: shed requires timeout")
+	}
 	return cfg, nil
+}
+
+func parsePositiveDuration(key, val string) (time.Duration, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("conf: %s must be a positive duration (e.g. 30s), got %q", key, val)
+	}
+	return d, nil
 }
 
 func parsePositive(key, val string) (int64, error) {
@@ -405,6 +520,20 @@ func (c Config) Cluster(server serve.ServerConfig) serve.ClusterConfig {
 	}
 	for _, w := range c.ReplicaCaps {
 		cc.Overrides = append(cc.Overrides, serve.ReplicaOverride{Capacity: w})
+	}
+	cc.Faults = serve.FaultConfig{MTTF: c.MTTF, MTTR: c.MTTR, Plan: c.FaultPlan}
+	cc.Recovery = serve.RecoveryConfig{
+		Retries:     c.Retries,
+		Backoff:     c.Backoff,
+		RetryBudget: c.RetryBudget,
+	}
+	// The deadline knobs ride on the per-replica server config; an explicit
+	// value already set by the caller wins over the conf string.
+	if cc.Server.Timeout == 0 {
+		cc.Server.Timeout = c.Timeout
+	}
+	if !cc.Server.Shed {
+		cc.Server.Shed = c.Shed
 	}
 	return cc
 }

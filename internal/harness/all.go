@@ -9,6 +9,7 @@ var Experiments = []string{
 	"headline", "extended", "ablations", "cluster",
 	"zero", "topology", "recompute", "offload", "streams",
 	"serving", "servemix", "servecluster", "serveelastic", "servetrace",
+	"servefault",
 	"fragindex", "pipefrag",
 }
 
@@ -62,6 +63,8 @@ func (e *Env) RunExperiment(id string) []*Table {
 		return e.ServeClusterExperiment()
 	case "serveelastic":
 		return e.ServeElasticExperiment()
+	case "servefault":
+		return e.ServeFaultExperiment()
 	case "servetrace":
 		ts, err := e.ServeTraceExperiment()
 		if err != nil {

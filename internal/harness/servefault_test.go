@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/servegen"
+)
+
+// TestServeFaultDeterministicParallel: the fault experiment's acceptance
+// criterion — seeded fault injection must render byte-identical tables at
+// Parallelism=1 and Parallelism=8, because faults fire from per-replica
+// streams that depend only on the configuration, never on engine timing.
+func TestServeFaultDeterministicParallel(t *testing.T) {
+	ids := []string{"servefault"}
+	seq := renderExperiments(t, 1, ids)
+	par := renderExperiments(t, 8, ids)
+	if seq != par {
+		t.Fatalf("servefault diverged across parallelism:\n--- parallelism 1 ---\n%s\n--- parallelism 8 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "avail") || !strings.Contains(seq, "goodput") {
+		t.Fatalf("servefault table missing goodput/availability columns:\n%s", seq)
+	}
+}
+
+// TestServeFaultChaosSmoke is the CI chaos gate: an aggressive fault rate
+// over the full fleet must terminate, seal a coherent report, and never
+// panic or deadlock — whatever the crash/restart interleaving does to the
+// dispatch queue.
+func TestServeFaultChaosSmoke(t *testing.T) {
+	reqs, err := servegen.MixedBursty().Generate(80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEnv()
+	for _, seed := range []uint64{1, 2, 3} {
+		rep, err := serve.ServeCluster(reqs, e.clusterMgrFactory(), serve.ClusterConfig{
+			Replicas: serveFaultFleet,
+			Dispatch: serve.DispatchJSQ,
+			Server:   serve.ServerConfig{MaxBatch: serveFaultBatch, Timeout: 60 * time.Second},
+			Faults:   serve.FaultConfig{MTTF: time.Second, MTTR: 300 * time.Millisecond, Seed: seed},
+			Recovery: serve.RecoveryConfig{Retries: 5, Backoff: 2},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Crashes == 0 {
+			t.Fatalf("seed %d: chaos run saw no crashes", seed)
+		}
+		if rep.Availability <= 0 || rep.Availability >= 1 {
+			t.Fatalf("seed %d: availability %v outside (0,1)", seed, rep.Availability)
+		}
+		if rep.Goodput > rep.Served {
+			t.Fatalf("seed %d: goodput %d > served %d", seed, rep.Goodput, rep.Served)
+		}
+	}
+}

@@ -124,6 +124,18 @@ type ClusterConfig struct {
 	// one — to the idle replica. Dispatch stops being decide-once at
 	// arrival. Stealing works on static and elastic fleets alike.
 	Steal bool
+
+	// Faults injects deterministic replica crash/restart events (the zero
+	// value injects none and leaves every fault-handling path inert). A
+	// crashed replica loses its KV cache and in-flight sequences, leaves
+	// dispatch, and rejoins empty at its restart event. See FaultConfig.
+	Faults FaultConfig
+	// Recovery is the crash-retry policy for in-flight requests lost to a
+	// crash: bounded retries with exponential backoff and a per-class
+	// retry budget. The zero value abandons crashed in-flight work (it is
+	// counted in ClusterReport.Lost); queued requests on a crashed replica
+	// are always re-dispatched free of charge. See RecoveryConfig.
+	Recovery RecoveryConfig
 }
 
 // ClusterReport summarizes one cluster serving run.
@@ -163,6 +175,20 @@ type ClusterReport struct {
 	// the sum over replicas of their spawn-to-drain (or spawn-to-end)
 	// spans — the fleet cost an autoscaler exists to shrink.
 	ReplicaSeconds time.Duration
+
+	// Retries counts granted re-dispatches of requests that were decoding
+	// on a replica when it crashed; Lost counts the ones abandoned because
+	// the retry cap or their class's retry budget was exhausted (queued
+	// requests displaced by a crash are re-dispatched without consuming
+	// either, and appear in neither counter — nor in Assigned, which only
+	// records arrival-time dispatch decisions).
+	Retries int
+	Lost    int
+	// Availability is the capacity-weighted fraction of provisioned
+	// replica time the fleet was actually up:
+	// 1 − Σᵢ capᵢ·downᵢ / Σᵢ capᵢ·spanᵢ, the down and busy spans both on
+	// the virtual clock. Exactly 1 on a zero-fault run.
+	Availability float64
 }
 
 // replicaState tracks one replica's place in the elastic fleet lifecycle.
@@ -172,6 +198,7 @@ const (
 	replicaActive   replicaState = iota // receives dispatches
 	replicaDraining                     // serving out its backlog, no new work
 	replicaStopped                      // drained and out of the fleet
+	replicaDown                         // crashed: empty, out of dispatch, awaiting restart
 )
 
 // clusterReplica is one replica server plus the scheduler-side bookkeeping
@@ -189,6 +216,12 @@ type clusterReplica struct {
 	assigned         int
 	stolen           int
 	dispatchedTokens int64
+
+	// downSince opens the current outage on the cluster clock (valid while
+	// state == replicaDown); downTotal accumulates closed outages — the
+	// numerator of the availability metric.
+	downSince time.Duration
+	downTotal time.Duration
 
 	// eventSeq versions the replica's entry in the scheduler's event heap:
 	// every touch bumps it, so events pushed earlier become stale and are
@@ -237,6 +270,39 @@ type clusterSched struct {
 	spawns       int
 	drains       int
 	peakReplicas int
+
+	// Fault-injection and recovery state. faults is nil on a zero-fault
+	// run, which keeps every fault path below unreachable and the schedule
+	// byte-identical to the pre-fault scheduler.
+	faults     *faultSource
+	retryDelay time.Duration
+	backoff    float64
+	// pool holds crash-displaced requests awaiting re-dispatch (and
+	// arrivals that landed while every replica was down), ordered by
+	// (eligible-at, insertion order).
+	pool    *container.Heap[redispatch]
+	poolSeq uint64
+	// attempts counts granted retries per lifetime record; classRetries
+	// charges them against the per-class retry budget.
+	attempts     map[*track]int
+	classRetries map[string]int
+	retries      int
+	lost         int
+}
+
+// redispatch is one request waiting in the scheduler's re-dispatch pool:
+// its lifetime record, the FIFO ticket it keeps when it was merely queued
+// (hasTicket; a retried in-flight request instead draws a fresh ticket from
+// its destination, like a preemption requeue), and the earliest cluster
+// instant it may re-enter dispatch — the displacement instant itself for
+// queued requests and parked arrivals, crash time plus exponential backoff
+// for granted retries.
+type redispatch struct {
+	rec       *track
+	ticket    int64
+	hasTicket bool
+	at        time.Duration
+	seq       uint64 // FIFO tie-break among equal eligibility instants
 }
 
 // resolveOverride returns replica i's override (zero value past the slice).
@@ -258,6 +324,16 @@ func (cfg ClusterConfig) serverConfig(i int) ServerConfig {
 		sc.Aging = o.Aging
 	}
 	return sc
+}
+
+// Validate checks the full cluster configuration without running anything.
+// ServeCluster performs the same checks; callers that assemble a
+// configuration from user input (flags, conf strings) can call Validate
+// first to report configuration mistakes as such, rather than as serving
+// failures.
+func (cfg ClusterConfig) Validate() error {
+	_, _, err := cfg.validate()
+	return err
 }
 
 // validate checks the whole configuration up front — including every
@@ -298,6 +374,20 @@ func (cfg ClusterConfig) validate() (initial, fleetMax int, err error) {
 	if len(cfg.Overrides) > fleetMax {
 		return 0, 0, fmt.Errorf("serve: %d replica overrides for a fleet of at most %d",
 			len(cfg.Overrides), fleetMax)
+	}
+	// Fleet-uniform server knobs, checked here so Validate is a complete
+	// pre-flight (newEmptyServer re-checks them at each spawn).
+	if cfg.Server.Timeout < 0 {
+		return 0, 0, fmt.Errorf("serve: negative request timeout %v", cfg.Server.Timeout)
+	}
+	if cfg.Server.Shed && cfg.Server.Timeout == 0 {
+		return 0, 0, fmt.Errorf("serve: shed needs a timeout to shed against")
+	}
+	if err := cfg.Faults.validate(fleetMax); err != nil {
+		return 0, 0, err
+	}
+	if err := cfg.Recovery.validate(); err != nil {
+		return 0, 0, err
 	}
 	for i := 0; i < fleetMax; i++ {
 		o := cfg.resolveOverride(i)
@@ -361,13 +451,28 @@ func ServeCluster(reqs []Request, newMgr func(replica int) CacheManager, cfg Clu
 }
 
 func newClusterSched(reqs []Request, newMgr func(int) CacheManager, cfg ClusterConfig) (*clusterSched, error) {
-	initial, _, err := cfg.validate()
+	initial, fleetMax, err := cfg.validate()
 	if err != nil {
 		return nil, err
 	}
 	dispatch, err := ParseDispatch(string(cfg.Dispatch))
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Faults.Enabled() && cfg.Server.OnComplete != nil {
+		// Exactly-once completion guarantee under faults: the capture hook
+		// fires on the final completion only, even if a request is ever
+		// retried or re-dispatched along the way, deduplicated by request
+		// ID. Zero-fault runs keep the caller's hook untouched.
+		inner := cfg.Server.OnComplete
+		fired := map[int]bool{}
+		cfg.Server.OnComplete = func(r Request) {
+			if fired[r.ID] {
+				return
+			}
+			fired[r.ID] = true
+			inner(r)
+		}
 	}
 
 	c := &clusterSched{
@@ -398,6 +503,25 @@ func newClusterSched(reqs []Request, newMgr func(int) CacheManager, cfg ClusterC
 	}
 	if c.cooldown == 0 {
 		c.cooldown = DefaultScaleCooldown
+	}
+	if cfg.Faults.Enabled() {
+		c.faults = newFaultSource(cfg.Faults, fleetMax)
+		c.pool = container.NewHeap[redispatch](func(a, b redispatch) bool {
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			return a.seq < b.seq
+		})
+		c.attempts = map[*track]int{}
+		c.classRetries = map[string]int{}
+		c.retryDelay = cfg.Recovery.RetryDelay
+		if c.retryDelay == 0 {
+			c.retryDelay = DefaultRetryDelay
+		}
+		c.backoff = cfg.Recovery.Backoff
+		if c.backoff == 0 {
+			c.backoff = DefaultBackoff
+		}
 	}
 
 	// The cluster admission queue: input indexes in arrival-time order,
@@ -471,7 +595,7 @@ func (c *clusterSched) autoscale() {
 	if c.scaled && c.now-c.lastScale < c.cooldown {
 		return
 	}
-	active, backlog := 0, 0
+	active, backlog := 0, c.poolLen()
 	for _, r := range c.fleet {
 		if r.state == replicaStopped {
 			continue
@@ -661,8 +785,8 @@ func (c *clusterSched) nextEvent() (tRep time.Duration, ri int) {
 	for c.events.Len() > 0 {
 		ev := c.events.Peek()
 		r := c.fleet[ev.ri]
-		if ev.seq != r.eventSeq || r.state == replicaStopped {
-			c.events.Pop() // stale: superseded or the replica retired
+		if ev.seq != r.eventSeq || r.state == replicaStopped || r.state == replicaDown {
+			c.events.Pop() // stale: superseded, or the replica retired or crashed
 			continue
 		}
 		return ev.at, ev.ri
@@ -670,21 +794,59 @@ func (c *clusterSched) nextEvent() (tRep time.Duration, ri int) {
 	return 0, -1
 }
 
-// run drives the co-simulation to completion: pop the earliest event from
-// the global spine (ties to the lowest replica index, so the schedule is
-// the old scan's, event for event), interleave due arrivals, and re-touch
-// exactly the replicas each event mutated.
+// run drives the co-simulation to completion: pop the earliest event —
+// fault injection, an eligible re-dispatch, an arrival, or a replica step —
+// advance the monotonic cluster clock to it, and re-touch exactly the
+// replicas it mutated. On a zero-fault configuration the fault and pool
+// branches are unreachable (c.faults is nil) and the loop is the pre-fault
+// scheduler, event for event.
 func (c *clusterSched) run() (ClusterReport, error) {
 	for {
 		tRep, ri := c.nextEvent()
+		if ri == -1 && c.qi >= len(c.queue) && c.poolLen() == 0 {
+			break // drained; fault events past the last work are moot
+		}
+		haveArr := c.qi < len(c.queue)
+		var tArr time.Duration
+		if haveArr {
+			tArr = c.reqs[c.queue[c.qi]].ArrivalAt
+		}
+		// Fault events fire first at any boundary they precede or share:
+		// a crash at t kills the replica before the arrival at t lands.
+		if c.faults != nil && c.injectFault(tRep, ri, tArr, haveArr) {
+			continue
+		}
+		// An eligible pool entry precedes arrivals and steps at its
+		// instant: displaced requests are older than anything arriving now.
+		// The pool is gated on a dispatch target existing; while every
+		// replica is down it waits for the restart that the fault branch
+		// above will eventually inject.
+		if c.poolLen() > 0 && c.activeCount() > 0 {
+			e := c.pool.Peek()
+			if (!haveArr || e.at <= tArr) && (ri == -1 || e.at <= tRep) {
+				c.pool.Pop()
+				c.advance(e.at)
+				c.autoscale()
+				c.redispatchOne(e)
+				continue
+			}
+		}
 		// Dispatch an arrival when it is due at or before the next replica
 		// event — the policy then sees every replica's state as of the
 		// arrival instant, exactly like admission sees arrivals that
 		// landed during the previous decode step.
-		if c.qi < len(c.queue) && (ri == -1 || c.reqs[c.queue[c.qi]].ArrivalAt <= tRep) {
+		if haveArr && (ri == -1 || tArr <= tRep) {
 			req := c.reqs[c.queue[c.qi]]
 			c.advance(req.ArrivalAt)
 			c.autoscale()
+			if c.faults != nil && c.activeCount() == 0 {
+				// Every replica is down (or draining): park the arrival in
+				// the pool — no retry consumed — until a restart or a
+				// scale-up restores a dispatch target.
+				c.poolPush(&track{req: req}, int64(c.queue[c.qi]), true, req.ArrivalAt)
+				c.qi++
+				continue
+			}
 			r := c.pick()
 			c.fleet[r].srv.addRequest(req, int64(c.queue[c.qi]))
 			c.fleet[r].assigned++
@@ -694,7 +856,9 @@ func (c *clusterSched) run() (ClusterReport, error) {
 			continue
 		}
 		if ri == -1 {
-			break // drained: no arrivals left, every replica idle
+			// Work remains only in a blocked pool, and no fault event is
+			// pending to unblock it (a scripted plan ran dry).
+			return c.seal(fmt.Errorf("serve: %d request(s) stranded in the re-dispatch pool with no active replica and no pending restart", c.poolLen()))
 		}
 		c.advance(tRep)
 		c.autoscale()
@@ -707,6 +871,148 @@ func (c *clusterSched) run() (ClusterReport, error) {
 		c.touch(ri)
 	}
 	return c.seal(nil)
+}
+
+// injectFault applies the next pending fault event iff it is due at or
+// before every other actionable event — the event-boundary injection
+// contract: faults never interrupt a decode step, they land between steps,
+// so a faulty run is exactly as deterministic as a fault-free one. Returns
+// whether an event was consumed.
+func (c *clusterSched) injectFault(tRep time.Duration, ri int, tArr time.Duration, haveArr bool) bool {
+	fe, ok := c.faults.peek()
+	if !ok {
+		return false
+	}
+	if haveArr && tArr < fe.At {
+		return false
+	}
+	if ri != -1 && tRep < fe.At {
+		return false
+	}
+	if c.poolLen() > 0 && c.activeCount() > 0 && c.pool.Peek().at < fe.At {
+		return false
+	}
+	c.faults.pop()
+	c.advance(fe.At)
+	c.applyFault(fe)
+	c.autoscale()
+	return true
+}
+
+// applyFault routes one fault event. Crashes only touch replicas that are
+// up (active or draining); restarts only touch crashed ones; anything else
+// — including events aimed at replicas the autoscaler never spawned — is a
+// no-op, so MTTF streams and scripted plans stay valid whatever the fleet
+// actually did.
+func (c *clusterSched) applyFault(fe FaultEvent) {
+	if fe.Replica >= len(c.fleet) {
+		return
+	}
+	r := c.fleet[fe.Replica]
+	switch fe.Kind {
+	case FaultCrash:
+		if r.state == replicaActive || r.state == replicaDraining {
+			c.crashReplica(fe.Replica)
+		}
+	case FaultRestart:
+		if r.state == replicaDown {
+			c.restartReplica(fe.Replica)
+		}
+	}
+}
+
+// crashReplica kills replica ri at the current cluster instant. The server
+// tears down its KV and batch (recompute semantics — see (*server).crash);
+// displaced queued requests re-enter dispatch through the pool immediately
+// and for free, while in-flight ones must win a retry grant — bounded per
+// request and per class — or be abandoned as lost. Either way the
+// replica's outstanding-KV gauge drains to zero, keeping load-aware
+// dispatch honest about the survivors.
+func (c *clusterSched) crashReplica(ri int) {
+	r := c.fleet[ri]
+	inflight, queued := r.srv.crash(c.now)
+	r.state = replicaDown
+	r.downSince = c.now
+	r.eventSeq++ // its pending heap entry, if any, is now stale
+	for _, w := range queued {
+		r.dispatchedTokens -= int64(w.rec.req.TotalTokens())
+		c.poolPush(w.rec, w.seq, true, c.now)
+	}
+	for _, rec := range inflight {
+		r.dispatchedTokens -= int64(rec.req.TotalTokens())
+		if k, ok := c.grantRetry(rec); ok {
+			delay := time.Duration(float64(c.retryDelay) * math.Pow(c.backoff, float64(k-1)))
+			c.poolPush(rec, 0, false, c.now+delay)
+		} else {
+			c.lost++
+			// The request dies with the replica that was serving it: it
+			// joins that replica's roster (keeping its TTFT if it had
+			// already streamed), like any other unfinished request.
+			r.srv.recordUnfinished(rec)
+		}
+	}
+}
+
+// restartReplica brings a crashed replica back, empty, into dispatch at
+// the current cluster instant, closing its outage span. A replica that
+// crashed while draining rejoins as active — its backlog died with it —
+// and the autoscaler is free to drain it again.
+func (c *clusterSched) restartReplica(ri int) {
+	r := c.fleet[ri]
+	r.downTotal += c.now - r.downSince
+	r.state = replicaActive
+	r.srv.restart(c.now)
+	r.eventSeq++
+}
+
+// grantRetry charges one retry for rec against the per-request cap and its
+// class's budget, returning the 1-based attempt number when granted.
+func (c *clusterSched) grantRetry(rec *track) (int, bool) {
+	if c.cfg.Recovery.Retries <= 0 {
+		return 0, false
+	}
+	k := c.attempts[rec]
+	if k >= c.cfg.Recovery.Retries {
+		return 0, false
+	}
+	if b := c.cfg.Recovery.RetryBudget; b > 0 && c.classRetries[rec.class()] >= b {
+		return 0, false
+	}
+	c.attempts[rec] = k + 1
+	c.classRetries[rec.class()]++
+	c.retries++
+	return k + 1, true
+}
+
+// poolPush parks a request in the re-dispatch pool.
+func (c *clusterSched) poolPush(rec *track, ticket int64, hasTicket bool, at time.Duration) {
+	c.poolSeq++
+	c.pool.Push(redispatch{rec: rec, ticket: ticket, hasTicket: hasTicket, at: at, seq: c.poolSeq})
+}
+
+// poolLen is the re-dispatch pool's size (0 when faults are disabled).
+func (c *clusterSched) poolLen() int {
+	if c.pool == nil {
+		return 0
+	}
+	return c.pool.Len()
+}
+
+// redispatchOne sends one pool entry to the replica the dispatch policy
+// picks at the current instant — a late dispatch decision for displaced
+// queued requests and parked arrivals (which keep their FIFO ticket), a
+// recompute requeue for retried in-flight ones (which draw a fresh ticket
+// at the destination). Callers guarantee an active replica exists.
+func (c *clusterSched) redispatchOne(e redispatch) {
+	ri := c.pick()
+	r := c.fleet[ri]
+	if e.hasTicket {
+		r.srv.acceptStolen(waiting{rec: e.rec, seq: e.ticket}, c.now)
+	} else {
+		r.srv.acceptRedispatch(e.rec, c.now)
+	}
+	r.dispatchedTokens += int64(e.rec.req.TotalTokens())
+	c.touch(ri)
 }
 
 // seal finalizes every replica and assembles the cluster report. All slices
@@ -738,12 +1044,22 @@ func (c *clusterSched) seal(err error) (ClusterReport, error) {
 			makespan = r.srv.now
 		}
 	}
+	var weightedSpan, weightedDown float64
 	for i, r := range c.fleet {
 		r.srv.finish()
 		rep.Replicas[i] = r.srv.rep
 		rep.Assigned[i] = r.assigned
 		rep.Stolen[i] = r.stolen
 		servers[i] = r.srv
+		if r.state == replicaDown {
+			// The outage was still open at the end of the run: it spans to
+			// the cluster makespan, like the busy span closed below.
+			end := makespan
+			if end < r.downSince {
+				end = r.downSince
+			}
+			r.downTotal += end - r.downSince
+		}
 		if r.state != replicaStopped {
 			end := makespan
 			if end < r.spawnAt {
@@ -753,12 +1069,25 @@ func (c *clusterSched) seal(err error) (ClusterReport, error) {
 			r.state = replicaStopped
 		}
 		rep.ReplicaSeconds += r.busy
+		weightedSpan += r.capacity * float64(r.busy)
+		weightedDown += r.capacity * float64(r.downTotal)
+	}
+	rep.Retries = c.retries
+	rep.Lost = c.lost
+	rep.Availability = 1
+	if weightedSpan > 0 {
+		rep.Availability = 1 - weightedDown/weightedSpan
 	}
 	// Requests never released from the cluster queue (the run failed
-	// first) still belong in the merged roster, unserved.
-	undispatched := make([]Request, 0, len(c.queue)-c.qi)
+	// first) still belong in the merged roster, unserved — as do requests
+	// stranded in the re-dispatch pool (error paths only: a completed run
+	// drains it).
+	undispatched := make([]Request, 0, len(c.queue)-c.qi+c.poolLen())
 	for _, idx := range c.queue[c.qi:] {
 		undispatched = append(undispatched, c.reqs[idx])
+	}
+	for c.poolLen() > 0 {
+		undispatched = append(undispatched, c.pool.Pop().rec.req)
 	}
 	rep.Report = mergeReports(servers, undispatched)
 	return rep, err
@@ -807,6 +1136,11 @@ func mergeReports(replicas []*server, undispatched []Request) Report {
 		m.AdmitFailures += s.rep.AdmitFailures
 		m.BlockedSteps += s.rep.BlockedSteps
 		m.Preemptions += s.rep.Preemptions
+		m.Crashes += s.rep.Crashes
+		m.Restarts += s.rep.Restarts
+		m.DeadlineMisses += s.rep.DeadlineMisses
+		m.Shed += s.rep.Shed
+		m.Goodput += s.rep.Goodput
 		if s.rep.Duration > m.Duration {
 			m.Duration = s.rep.Duration
 		}

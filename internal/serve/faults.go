@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FaultKind classifies one fault-plan event.
+type FaultKind int
+
+const (
+	// FaultCrash kills a replica: its KV cache and in-flight sequences are
+	// lost, queued requests are displaced, and it leaves dispatch.
+	FaultCrash FaultKind = iota
+	// FaultRestart brings a crashed replica back, empty, into dispatch.
+	FaultRestart
+)
+
+// String names the kind in fault-plan syntax ("crash", "restart").
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultRestart:
+		return "restart"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultEvent is one scripted replica fault on the cluster's virtual clock.
+type FaultEvent struct {
+	At      time.Duration
+	Kind    FaultKind
+	Replica int
+}
+
+// FaultConfig injects deterministic replica crash/restart events into a
+// cluster run. The zero value injects nothing. Faults come from exactly one
+// of two sources:
+//
+//   - MTTF/MTTR (both must be set together): each replica draws an
+//     independent, seeded alternating sequence of exponential time-to-crash
+//     (mean MTTF) and time-to-restart (mean MTTR) intervals, starting at
+//     t=0. The streams depend only on Seed and the replica index, so the
+//     same configuration replays the same fault history byte for byte.
+//   - Plan: an explicit scripted schedule (see ParseFaultPlan), for
+//     reproducing one specific failure scenario.
+//
+// Events are injected only at event boundaries of the co-simulation (see
+// the package comment's failure-model section), so faulty runs stay as
+// deterministic as fault-free ones. A crash aimed at a replica that is
+// already down (or was never spawned) is a no-op, as is a restart of a
+// replica that is up.
+type FaultConfig struct {
+	// MTTF is the mean time to failure of one replica (exponential).
+	MTTF time.Duration
+	// MTTR is the mean time to restart after a crash (exponential).
+	MTTR time.Duration
+	// Seed seeds the per-replica fault streams (MTTF mode only).
+	Seed uint64
+	// Plan is the scripted schedule; mutually exclusive with MTTF/MTTR.
+	Plan []FaultEvent
+}
+
+// Enabled reports whether the configuration injects any faults.
+func (fc FaultConfig) Enabled() bool { return fc.MTTF > 0 || len(fc.Plan) > 0 }
+
+// validate checks the configuration against the largest fleet the run could
+// instantiate. Scripted plans must alternate crash/restart per replica,
+// starting with a crash — two crashes in a row would be aimed at a replica
+// that is already down, a silent no-op hiding a mistyped schedule.
+func (fc FaultConfig) validate(fleetMax int) error {
+	if fc.MTTF < 0 || fc.MTTR < 0 {
+		return fmt.Errorf("serve: negative mttf/mttr %v/%v", fc.MTTF, fc.MTTR)
+	}
+	if (fc.MTTF > 0) != (fc.MTTR > 0) {
+		return fmt.Errorf("serve: mttf and mttr must be set together (got %v/%v)", fc.MTTF, fc.MTTR)
+	}
+	if len(fc.Plan) > 0 && fc.MTTF > 0 {
+		return fmt.Errorf("serve: scripted fault plan and mttf/mttr are mutually exclusive")
+	}
+	last := map[int]FaultKind{}
+	seenAt := map[int]time.Duration{}
+	for _, e := range sortedPlan(fc.Plan) {
+		if e.At < 0 {
+			return fmt.Errorf("serve: fault event %v at negative time %v", e.Kind, e.At)
+		}
+		if e.Kind != FaultCrash && e.Kind != FaultRestart {
+			return fmt.Errorf("serve: unknown fault kind %d", int(e.Kind))
+		}
+		if e.Replica < 0 || e.Replica >= fleetMax {
+			return fmt.Errorf("serve: fault event targets replica %d of a fleet of at most %d", e.Replica, fleetMax)
+		}
+		want := FaultCrash
+		if k, ok := last[e.Replica]; ok {
+			if at := seenAt[e.Replica]; at == e.At {
+				return fmt.Errorf("serve: two fault events for replica %d at %v", e.Replica, e.At)
+			}
+			if k == FaultCrash {
+				want = FaultRestart
+			}
+		}
+		if e.Kind != want {
+			return fmt.Errorf("serve: fault plan for replica %d: %v at %v, expected %v (crash/restart must alternate, starting with crash)",
+				e.Replica, e.Kind, e.At, want)
+		}
+		last[e.Replica] = e.Kind
+		seenAt[e.Replica] = e.At
+	}
+	return nil
+}
+
+// sortedPlan returns the plan ordered by (time, replica) — the injection
+// order. Alternation per replica guarantees a replica never has two events
+// at one instant, so the order is total.
+func sortedPlan(plan []FaultEvent) []FaultEvent {
+	out := append([]FaultEvent(nil), plan...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Replica < out[j].Replica
+	})
+	return out
+}
+
+// ParseFaultPlan parses a scripted fault schedule of '/'-separated events:
+//
+//	crash@t=12s:r1/restart@t=13s:r1/crash@t=20s:r0
+//
+// Each event is <kind>@t=<duration>:r<replica>, kind one of "crash" or
+// "restart". Empty segments are skipped. The parsed plan is not validated
+// against a fleet size here — ClusterConfig validation does that, with the
+// actual fleet bound in hand.
+func ParseFaultPlan(s string) ([]FaultEvent, error) {
+	var plan []FaultEvent
+	for _, part := range strings.Split(s, "/") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("serve: fault event %q is not <kind>@t=<time>:r<replica>", part)
+		}
+		var kind FaultKind
+		switch kindStr {
+		case "crash":
+			kind = FaultCrash
+		case "restart":
+			kind = FaultRestart
+		default:
+			return nil, fmt.Errorf("serve: unknown fault kind %q in %q (crash, restart)", kindStr, part)
+		}
+		tStr, rStr, ok := strings.Cut(rest, ":")
+		if !ok || !strings.HasPrefix(tStr, "t=") || !strings.HasPrefix(rStr, "r") {
+			return nil, fmt.Errorf("serve: fault event %q is not <kind>@t=<time>:r<replica>", part)
+		}
+		at, err := time.ParseDuration(strings.TrimPrefix(tStr, "t="))
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("serve: fault time in %q must be a non-negative duration", part)
+		}
+		ri, err := strconv.Atoi(strings.TrimPrefix(rStr, "r"))
+		if err != nil || ri < 0 {
+			return nil, fmt.Errorf("serve: fault replica in %q must be a non-negative integer", part)
+		}
+		plan = append(plan, FaultEvent{At: at, Kind: kind, Replica: ri})
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("serve: empty fault plan %q", s)
+	}
+	return plan, nil
+}
+
+// Crash-retry defaults (see RecoveryConfig).
+const (
+	DefaultRetryDelay = 50 * time.Millisecond
+	DefaultBackoff    = 2.0
+)
+
+// RecoveryConfig tunes how the cluster recovers requests that were decoding
+// on a replica when it crashed. Queued (not yet admitted) requests on a
+// crashed replica are always re-dispatched immediately and consume no retry
+// — they lost nothing but their place in line. Deadlines and admission
+// shedding are per-server knobs (ServerConfig.Timeout, ServerConfig.Shed);
+// this struct is the cluster-level retry policy.
+type RecoveryConfig struct {
+	// Retries caps re-dispatch attempts per crashed in-flight request.
+	// 0 means no retry: work lost to a crash is abandoned (and counted in
+	// ClusterReport.Lost).
+	Retries int
+	// RetryDelay is the base backoff before a retry re-enters dispatch
+	// (0 = DefaultRetryDelay). Retry k of a request waits
+	// RetryDelay·Backoff^(k−1) after the crash.
+	RetryDelay time.Duration
+	// Backoff is the exponential backoff multiplier, >= 1
+	// (0 = DefaultBackoff).
+	Backoff float64
+	// RetryBudget caps the total retries any one client class may consume
+	// across the run — a noisy class that keeps landing on crashing
+	// replicas cannot monopolize recovery capacity. 0 means unlimited.
+	RetryBudget int
+}
+
+func (rc RecoveryConfig) validate() error {
+	if rc.Retries < 0 {
+		return fmt.Errorf("serve: negative retries %d", rc.Retries)
+	}
+	if rc.RetryDelay < 0 {
+		return fmt.Errorf("serve: negative retry delay %v", rc.RetryDelay)
+	}
+	if rc.Backoff != 0 && (rc.Backoff < 1 || math.IsNaN(rc.Backoff) || math.IsInf(rc.Backoff, 0)) {
+		return fmt.Errorf("serve: backoff %v must be >= 1", rc.Backoff)
+	}
+	if rc.RetryBudget < 0 {
+		return fmt.Errorf("serve: negative retry budget %d", rc.RetryBudget)
+	}
+	return nil
+}
+
+// faultSource is the merged, time-ordered feed of fault events for one run:
+// either the sorted scripted plan behind a cursor, or one lazily generated
+// alternating crash/restart stream per potential replica. peek and pop are
+// deterministic functions of the configuration, never of scheduler state.
+type faultSource struct {
+	plan   []FaultEvent
+	cursor int
+
+	streams    []faultStream
+	mttf, mttr time.Duration
+}
+
+// faultStream is one replica's pending next event plus the generator that
+// produces its successors.
+type faultStream struct {
+	rng  *sim.RNG
+	next FaultEvent
+}
+
+// newFaultSource builds the feed for a fleet of at most fleetMax replicas.
+// In MTTF mode every potential replica gets its own stream seeded from
+// (Seed, replica index), so the fault history of replica i does not depend
+// on how many replicas the autoscaler actually spawned.
+func newFaultSource(fc FaultConfig, fleetMax int) *faultSource {
+	if len(fc.Plan) > 0 {
+		return &faultSource{plan: sortedPlan(fc.Plan)}
+	}
+	f := &faultSource{mttf: fc.MTTF, mttr: fc.MTTR, streams: make([]faultStream, fleetMax)}
+	for i := range f.streams {
+		rng := sim.NewRNG(fc.Seed + 0x9e3779b97f4a7c15*uint64(i+1))
+		f.streams[i] = faultStream{
+			rng:  rng,
+			next: FaultEvent{At: expDur(rng, fc.MTTF), Kind: FaultCrash, Replica: i},
+		}
+	}
+	return f
+}
+
+// earliest returns the stream index holding the earliest pending event,
+// ties to the lowest replica index.
+func (f *faultSource) earliest() int {
+	best := 0
+	for i := 1; i < len(f.streams); i++ {
+		if f.streams[i].next.At < f.streams[best].next.At {
+			best = i
+		}
+	}
+	return best
+}
+
+// peek returns the next fault event without consuming it. MTTF streams are
+// endless, so ok is false only for an exhausted scripted plan.
+func (f *faultSource) peek() (FaultEvent, bool) {
+	if f.streams == nil {
+		if f.cursor >= len(f.plan) {
+			return FaultEvent{}, false
+		}
+		return f.plan[f.cursor], true
+	}
+	return f.streams[f.earliest()].next, true
+}
+
+// pop consumes the next fault event; in MTTF mode the popped stream draws
+// its successor (a restart after a crash, the next crash after a restart).
+func (f *faultSource) pop() FaultEvent {
+	if f.streams == nil {
+		e := f.plan[f.cursor]
+		f.cursor++
+		return e
+	}
+	st := &f.streams[f.earliest()]
+	e := st.next
+	if e.Kind == FaultCrash {
+		st.next = FaultEvent{At: e.At + expDur(st.rng, f.mttr), Kind: FaultRestart, Replica: e.Replica}
+	} else {
+		st.next = FaultEvent{At: e.At + expDur(st.rng, f.mttf), Kind: FaultCrash, Replica: e.Replica}
+	}
+	return e
+}
+
+// expDur draws an exponential duration with the given mean via the inverse
+// CDF, floored at 1ns so consecutive events never collapse onto one
+// instant.
+func expDur(rng *sim.RNG, mean time.Duration) time.Duration {
+	d := time.Duration(-math.Log(1-rng.Float64()) * float64(mean))
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
+}

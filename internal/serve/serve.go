@@ -29,6 +29,31 @@
 // order. Report.RetainedSamples and Report.SketchedSamples expose the
 // split — the memory-footprint proxy the scale benchmark tracks. Negative
 // ExactSamples sketches from the first sample.
+//
+// # Failure model and the event-boundary determinism contract
+//
+// A cluster run can inject replica faults (ClusterConfig.Faults): a crash
+// loses the replica's KV cache and every in-flight sequence, removes it
+// from dispatch, and a later restart returns it empty. Faults come from a
+// seeded MTTF/MTTR process or a scripted plan (ParseFaultPlan), and are
+// injected only at event boundaries of the co-simulation — between decode
+// steps, never inside one — so a faulty run is exactly as deterministic as
+// a fault-free one: same seed and plan, byte-identical report, at any test
+// parallelism. A crash that falls mid-step on a replica's clock takes
+// effect at the next boundary the scheduler reaches.
+//
+// Recovery mirrors the preemption semantics: queued requests displaced by
+// a crash are re-dispatched immediately (a late dispatch decision, FIFO
+// ticket kept), while in-flight sequences are retried with recompute-from-
+// scratch cost under ClusterConfig.Recovery's bounded retries, exponential
+// backoff and per-class retry budget — their TTFT survives only if the
+// first token had already streamed. Requests denied a retry are Lost.
+// Request deadlines (ServerConfig.Timeout) bound end-to-end latency across
+// retries; deadline-aware admission shedding (ServerConfig.Shed) rejects
+// requests that provably cannot meet them. Reports grow Crashes, Restarts,
+// DeadlineMisses, Shed and Goodput, and ClusterReport adds Retries, Lost
+// and capacity-weighted Availability — all merged across replicas exactly
+// like the existing counters and digests.
 package serve
 
 import (

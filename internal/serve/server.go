@@ -39,6 +39,27 @@ type ServerConfig struct {
 	// queue indexes.
 	Aging time.Duration
 
+	// Timeout is the per-request completion deadline, measured from the
+	// request's arrival: a request whose last token has not streamed by
+	// ArrivalAt+Timeout has missed its SLO. The deadline is absolute — it
+	// does not reset on preemption or crash re-dispatch. Expired requests
+	// are aborted lazily (a queued one when admission next considers it, a
+	// decoding one at the end of the step that crossed its deadline) and
+	// counted in Report.DeadlineMisses; completions past the deadline
+	// still count as Served but not as Goodput. 0 disables deadlines:
+	// every completion is goodput.
+	Timeout time.Duration
+
+	// Shed enables deadline-aware admission shedding (requires Timeout):
+	// when admission considers a request whose remaining slack cannot
+	// cover even its minimum service time — PrefillTokenTime·PromptLen +
+	// StepTime·OutputLen, the cost of running it alone on an idle server —
+	// the request is rejected up front (Report.Shed) instead of burning
+	// decode steps on a provably missed deadline. Graceful degradation
+	// under overload: survivors' goodput rises because doomed requests
+	// stop competing for the batch.
+	Shed bool
+
 	// OnComplete, when non-nil, is invoked once per request at the virtual
 	// instant its last token is generated — the capture hook
 	// internal/reqtrace uses to record a served workload back into a
@@ -123,6 +144,20 @@ type Report struct {
 	BlockedSteps  int64
 
 	Preemptions int64 // sequences evicted mid-decode and requeued
+
+	// Failure and SLO accounting (PR 7). Crashes and Restarts count fault
+	// events applied to this server (always zero outside a faulty cluster
+	// run). DeadlineMisses counts requests that blew their Timeout —
+	// aborted while queued or decoding, or completed late. Shed counts
+	// requests rejected by deadline-aware admission shedding
+	// (ServerConfig.Shed). Goodput counts completions within their
+	// deadline — with Timeout unset it equals Served, and it never
+	// exceeds Served.
+	Crashes        int
+	Restarts       int
+	DeadlineMisses int64
+	Shed           int64
+	Goodput        int
 
 	// Duration is the virtual makespan of the run.
 	Duration time.Duration
@@ -223,6 +258,8 @@ type server struct {
 	stepTime   time.Duration
 	prefillTok time.Duration
 	aging      time.Duration
+	timeout    time.Duration
+	shed       bool
 	onComplete func(Request)
 
 	now time.Duration
@@ -310,8 +347,11 @@ func newEmptyServer(mgr CacheManager, cfg ServerConfig) (*server, error) {
 	if cfg.MaxBatch <= 0 {
 		return nil, fmt.Errorf("serve: max batch %d", cfg.MaxBatch)
 	}
-	if cfg.StepTime < 0 || cfg.PrefillTokenTime < 0 || cfg.Aging < 0 {
+	if cfg.StepTime < 0 || cfg.PrefillTokenTime < 0 || cfg.Aging < 0 || cfg.Timeout < 0 {
 		return nil, fmt.Errorf("serve: negative durations in config %+v", cfg)
+	}
+	if cfg.Shed && cfg.Timeout == 0 {
+		return nil, fmt.Errorf("serve: shed needs a timeout to shed against")
 	}
 	limit := resolveExactSamples(cfg.ExactSamples)
 	s := &server{
@@ -320,6 +360,8 @@ func newEmptyServer(mgr CacheManager, cfg ServerConfig) (*server, error) {
 		stepTime:        cfg.StepTime,
 		prefillTok:      cfg.PrefillTokenTime,
 		aging:           cfg.Aging,
+		timeout:         cfg.Timeout,
+		shed:            cfg.Shed,
 		onComplete:      cfg.OnComplete,
 		exactSamples:    limit,
 		classes:         map[string]*classAgg{},
@@ -418,6 +460,59 @@ func (s *server) acceptStolen(w waiting, at time.Duration) {
 	}
 }
 
+// acceptRedispatch hands the server a request re-dispatched after a replica
+// crash. Recompute-from-scratch semantics, mirroring evict's requeue: the
+// sequence draws a fresh FIFO ticket (putting it behind everything already
+// waiting here), its full decode will be regenerated, and the lifetime
+// record keeps its first-token time — TTFT is preserved exactly when the
+// request had already streamed before the crash.
+func (s *server) acceptRedispatch(rec *track, at time.Duration) {
+	if at > s.now {
+		s.now = at
+	}
+	s.enqueue(rec)
+}
+
+// crash models the replica's host dying at cluster instant at: every
+// decoding sequence and queued request leaves the server and the cache
+// manager releases all KV. The returned slices — inflight in batch order,
+// queued in (rank, then arrival) order — are the scheduler's to re-dispatch
+// or abandon; the server itself keeps its report, digests and clock, ready
+// to be restarted empty.
+func (s *server) crash(at time.Duration) (inflight []*track, queued []waiting) {
+	if at > s.now {
+		s.now = at
+	}
+	for _, a := range s.running {
+		s.victims.Delete(a.node)
+		a.node = nil
+		s.mgr.Release(a.handle)
+		inflight = append(inflight, a.rec)
+	}
+	s.running = s.running[:0]
+	for {
+		n := s.ready.Min()
+		if n == nil {
+			break
+		}
+		queued = append(queued, n.Value)
+		s.ready.Delete(n)
+	}
+	for s.future.len() > 0 {
+		queued = append(queued, s.future.popMin())
+	}
+	s.rep.Crashes++
+	return inflight, queued
+}
+
+// restart reopens a crashed server, empty, at cluster instant at.
+func (s *server) restart(at time.Duration) {
+	if at > s.now {
+		s.now = at
+	}
+	s.rep.Restarts++
+}
+
 // enqueue adds rec to the pending set with a fresh FIFO ticket, routing it
 // by arrival time.
 func (s *server) enqueue(rec *track) {
@@ -445,10 +540,37 @@ func (s *server) promoteArrivals() {
 // pendingLen is the size of the whole pending set.
 func (s *server) pendingLen() int { return s.future.len() + s.ready.Len() }
 
+// deadline is rec's absolute completion deadline; meaningful only when a
+// timeout is configured.
+func (s *server) deadline(rec *track) time.Duration {
+	return rec.req.ArrivalAt + s.timeout
+}
+
+// minServiceTime is the provable floor on rec's remaining service: the cost
+// of prefilling its prompt and decoding every output token alone on an idle
+// server. Queueing, batching and preemption only add to it.
+func (s *server) minServiceTime(rec *track) time.Duration {
+	return time.Duration(rec.req.PromptLen)*s.prefillTok + time.Duration(rec.req.OutputLen)*s.stepTime
+}
+
+// drop removes a request that will never be served (expired or shed) from
+// the run's outstanding work: its tokens count as done so a cluster
+// dispatcher's outstanding-KV gauge (dispatched − done) drains to zero, and
+// it joins the class roster — with its TTFT, if it ever streamed a first
+// token — exactly like any other unfinished request.
+func (s *server) drop(rec *track) {
+	s.doneTokens += int64(rec.req.TotalTokens())
+	s.recordUnfinished(rec)
+}
+
 // admit fills the batch with arrived requests while memory lasts: highest
-// priority first, FIFO within a priority. It returns the prompt tokens
-// prefilled by the admissions for this step's cost, and an error when a
-// request cannot fit even on an idle server.
+// priority first, FIFO within a priority. With a timeout configured, each
+// candidate is first checked against its deadline — already expired ones
+// are aborted, and with shedding on, ones whose remaining slack cannot
+// cover their minimum service time are rejected — so a doomed request
+// never occupies a batch slot. It returns the prompt tokens prefilled by
+// the admissions for this step's cost, and an error when a request cannot
+// fit even on an idle server.
 func (s *server) admit() (prefillTokens int64, err error) {
 	s.promoteArrivals()
 	for len(s.running) < s.maxBatch {
@@ -457,6 +579,20 @@ func (s *server) admit() (prefillTokens int64, err error) {
 			break
 		}
 		rec := n.Value.rec
+		if s.timeout > 0 {
+			if s.now > s.deadline(rec) {
+				s.ready.Delete(n)
+				s.rep.DeadlineMisses++
+				s.drop(rec)
+				continue
+			}
+			if s.shed && s.now+s.minServiceTime(rec) > s.deadline(rec) {
+				s.ready.Delete(n)
+				s.rep.Shed++
+				s.drop(rec)
+				continue
+			}
+		}
 		h, err := s.mgr.Admit(rec.req)
 		if err != nil {
 			s.rep.BlockedSteps++
@@ -607,6 +743,15 @@ func (s *server) step(prefillTokens int64) error {
 			if s.onComplete != nil {
 				s.onComplete(a.rec.req)
 			}
+		} else if s.timeout > 0 && s.now > s.deadline(a.rec) {
+			// The step crossed the sequence's deadline mid-decode: abort it
+			// rather than keep generating tokens nobody will wait for. It
+			// streamed a first token (set just above), so its TTFT survives
+			// into the roster via drop.
+			s.rep.DeadlineMisses++
+			s.removeFromBatch(a)
+			s.mgr.Release(a.handle)
+			s.drop(a.rec)
 		}
 	}
 	return nil
@@ -651,6 +796,11 @@ func (s *server) recordCompletion(rec *track) {
 	a.e2e.add(e2e)
 	s.allTTFT.add(ttft)
 	s.allE2E.add(e2e)
+	if s.timeout > 0 && rec.done > s.deadline(rec) {
+		s.rep.DeadlineMisses++ // served, but past its deadline: not goodput
+	} else {
+		s.rep.Goodput++
+	}
 }
 
 // recordUnfinished folds a request the run never completed into the roster:
@@ -741,6 +891,11 @@ func (s *server) runOnce() (more bool, err error) {
 		return false, err
 	}
 	if len(s.running) == 0 {
+		if s.pendingLen() == 0 {
+			// Admission aborted or shed the last pending requests: the
+			// server drained without another step.
+			return false, nil
+		}
 		if err := s.jumpToNextArrival(); err != nil {
 			return false, err
 		}

@@ -31,6 +31,13 @@
 #                              error (percent) of the mix fitted to a
 #                              4000-request trace — calibration quality over
 #                              PRs
+#   goodput_under_faults       BenchmarkServeFaults' goodput (percent of
+#                              offered load completed inside the deadline)
+#                              at each fault intensity: fault-free, then
+#                              MTTF 8s/4s/2s with retries:3 — the recovery
+#                              path's headline
+#   availability               the same variants' capacity-weighted uptime
+#                              (percent) — what the goodput cost bought
 #   scale_ns_per_request       BenchmarkServeScale's ns/request on the
 #                              10M-request stream — steady-state serving
 #                              cost at million-request scale
@@ -46,10 +53,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-6}"
+PR="${PR:-7}"
 OUT="${1:-BENCH_${PR}.json}"
 BENCHTIME="${BENCHTIME:-2x}"
-PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeScale$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
+PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeFaults$|BenchmarkServeScale$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -94,6 +101,14 @@ awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v fallback="$FALLBACK_
     if (name ~ /^BenchmarkTraceReplay\/source=(synthetic|replay)$/) {
         for (i = 5; i < NF; i += 2) if ($(i+1) == "ns/request") tracens[name] = $i
     }
+    if (name ~ /^BenchmarkServeFaults\/faults=/) {
+        fname = name
+        sub(/^BenchmarkServeFaults\/faults=/, "", fname)
+        for (i = 5; i < NF; i += 2) {
+            if ($(i+1) == "goodput-pct") faultgood[fname] = $i
+            if ($(i+1) == "avail-pct") faultavail[fname] = $i
+        }
+    }
     if (name == "BenchmarkTraceFit") {
         for (i = 5; i < NF; i += 2) if ($(i+1) == "fit-err-pct") fiterr = $i
     }
@@ -136,6 +151,10 @@ END {
     rep = tracens["BenchmarkTraceReplay/source=replay"]
     if (syn && rep) {
         printf "    \"trace_replay_overhead\": %.2f,\n", rep / syn
+    }
+    if (faultgood["none"] != "" && faultgood["mttf2s"] != "") {
+        printf "    \"goodput_under_faults\": {\"none\": %s, \"mttf8s\": %s, \"mttf4s\": %s, \"mttf2s\": %s},\n", faultgood["none"], faultgood["mttf8s"], faultgood["mttf4s"], faultgood["mttf2s"]
+        printf "    \"availability\": {\"none\": %s, \"mttf8s\": %s, \"mttf4s\": %s, \"mttf2s\": %s},\n", faultavail["none"], faultavail["mttf8s"], faultavail["mttf4s"], faultavail["mttf2s"]
     }
     if (fiterr != "") {
         printf "    \"fit_error\": %.2f,\n", fiterr
