@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -50,7 +51,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	for name, tl := range series {
+	// series is a map: iterate its keys sorted so the "wrote ..." lines and
+	// the chart's series order are byte-identical run to run.
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		tl := series[name]
 		path := filepath.Join(*dir, fmt.Sprintf("figure%d_%s.csv", *figure, name))
 		f, err := os.Create(path)
 		if err != nil {
@@ -69,7 +79,8 @@ func main() {
 
 	if *ascii {
 		chart := plot.Chart{Title: title, XLabel: "seconds", YLabel: "GB"}
-		for name, tl := range series {
+		for _, name := range names {
+			tl := series[name]
 			var xs, ys, yr []float64
 			for _, s := range tl.Samples() {
 				xs = append(xs, s.T.Seconds())

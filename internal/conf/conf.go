@@ -429,6 +429,9 @@ func Parse(s string) (Config, error) {
 			}
 			cfg.Parallelism = int(n)
 		default:
+			if s := nearestKey(key); s != "" {
+				return cfg, fmt.Errorf("conf: unknown key %q (did you mean %q?)", key, s)
+			}
 			return cfg, fmt.Errorf("conf: unknown key %q", key)
 		}
 	}
@@ -465,6 +468,69 @@ func Parse(s string) (Config, error) {
 		return cfg, fmt.Errorf("conf: shed requires timeout")
 	}
 	return cfg, nil
+}
+
+// knownKeys lists every key Parse's switch accepts, for did-you-mean
+// suggestions on typos. Keep in sync with the switch above —
+// TestKnownKeysAccepted pins the list against the parser.
+var knownKeys = []string{
+	"backend", "max_split_size_mb", "garbage_collection_threshold",
+	"frag_limit_mb", "max_sblocks", "rebind_on_split",
+	"serve_mix", "serve_rate", "burst_cv",
+	"replicas", "dispatch", "aging", "exact_samples",
+	"min_replicas", "max_replicas", "scale_up", "scale_down",
+	"scale_cooldown", "steal", "replica_caps",
+	"mttf", "mttr", "fault_plan", "timeout",
+	"retries", "backoff", "retry_budget", "shed",
+	"trace_in", "trace_out", "trace_scale", "fit",
+	"parallel",
+}
+
+// nearestKey returns the known key closest to key by edit distance, or ""
+// when nothing is close enough to be a plausible typo (distance must be
+// at most 2, or a third of the key's length for long keys).
+func nearestKey(key string) string {
+	best, bestDist := "", int(^uint(0)>>1)
+	for _, k := range knownKeys {
+		if d := editDistance(key, k); d < bestDist || (d == bestDist && k < best) {
+			best, bestDist = k, d
+		}
+	}
+	limit := 2
+	if l := len(key) / 3; l > limit {
+		limit = l
+	}
+	if bestDist > limit {
+		return ""
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b (unit costs),
+// computed with a rolling single-row table.
+func editDistance(a, b string) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	row := make([]int, len(a)+1)
+	for i := range row {
+		row[i] = i
+	}
+	for j := 1; j <= len(b); j++ {
+		prev := row[0] // row[j-1][0]
+		row[0] = j
+		for i := 1; i <= len(a); i++ {
+			ins := row[i-1] + 1 // insert
+			del := row[i] + 1   // delete
+			sub := prev         // substitute (or match)
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			prev = row[i]
+			row[i] = min(ins, min(del, sub))
+		}
+	}
+	return row[len(a)]
 }
 
 func parsePositiveDuration(key, val string) (time.Duration, error) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/caching"
 	"repro/internal/cuda"
@@ -255,6 +256,9 @@ func (a *Allocator) split(p *PBlock, size int64) (front, back *PBlock) {
 			rebind = append(rebind, s)
 			delete(p.owners, s)
 		}
+		// p.owners is a map: sort so the rebind sequence (and any driver
+		// call order behind it) never depends on iteration order.
+		sort.Slice(rebind, func(i, j int) bool { return rebind[i].va < rebind[j].va })
 	} else {
 		a.dropOwners(p)
 	}
@@ -462,10 +466,17 @@ func (a *Allocator) dropOwners(p *PBlock) {
 	if p.Active() {
 		panic("core: dropOwners of active pBlock")
 	}
+	owners := make([]*SBlock, 0, len(p.owners))
 	for s := range p.owners {
 		if s.assigned {
 			panic("core: owner sBlock assigned while member inactive")
 		}
+		owners = append(owners, s)
+	}
+	// Unstitching issues driver calls (unmap, VA free); sort by VA so the
+	// call sequence is independent of map iteration order.
+	sort.Slice(owners, func(i, j int) bool { return owners[i].va < owners[j].va })
+	for _, s := range owners {
 		a.dropSBlock(s)
 	}
 }
@@ -488,6 +499,10 @@ func (a *Allocator) gcInactive(keep []*PBlock) {
 			victims = append(victims, p)
 		}
 	}
+	// a.pblocks.all is a map: destroy in VA order so the driver sees the
+	// same release sequence (clock charges, VA free-range coalescing)
+	// every run, not one chosen by map iteration.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].va < victims[j].va })
 	for _, p := range victims {
 		a.dropOwners(p)
 		a.pblocks.remove(p)

@@ -1,0 +1,26 @@
+package lint
+
+import "testing"
+
+// TestLintCleanTree runs the full determinism-contract suite over the
+// real repository — every non-test package under the module — and
+// asserts zero diagnostics, so a wall-clock read, a global-rand call or
+// an unsorted map iteration feeding a report can never land silently.
+// It runs in -short mode on purpose: this is the contract's CI gate.
+func TestLintCleanTree(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load(./...): %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("Load(./...) found only %d packages; loader is missing the tree", len(pkgs))
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("determinism contract violation: %s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the violation or add a justified //lint:ignore <analyzer> <reason>")
+	}
+}

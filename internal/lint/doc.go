@@ -1,0 +1,66 @@
+// Package lint is the repository's determinism-contract linter: a
+// self-contained static-analysis engine on the standard library's
+// go/parser, go/ast and go/types (no external dependencies — the module
+// has none and must stay that way) that mechanically enforces the
+// invariant every result in this repo rests on: a seeded run is
+// byte-identical at any parallelism.
+//
+// That contract was previously enforced only dynamically — differential
+// tests, the chaos suite, -race — so a single stray time.Now, an
+// unseeded math/rand call, or an unsorted map iteration feeding a report
+// would silently break reproducibility until a downstream diff test
+// happened to catch it. The linter turns each of those failure modes
+// into a build-time error, checked in CI on every push.
+//
+// # Analyzers
+//
+//	wallclock    no time.Now / time.Since / time.Sleep (or timers and
+//	             tickers) anywhere in simulation code — time flows from
+//	             sim.Clock, the virtual clock, so runs replay exactly.
+//	globalrand   no top-level math/rand or math/rand/v2 functions: they
+//	             draw from a shared, auto-seeded source. Randomness must
+//	             flow from sim.RNG or an explicitly seeded source
+//	             (rand.New(rand.NewSource(seed)) is allowed).
+//	maporder     a `range` over a map whose body appends to a slice
+//	             declared outside the loop, or writes output (fmt.Fprint*,
+//	             Write*/AddRow/AddNote methods), bakes Go's randomized map
+//	             iteration order into the result — the classic
+//	             byte-identity killer. The idiomatic fix, collect keys →
+//	             sort → re-iterate, is recognized: an append target that
+//	             is later passed to a sort.* / slices.Sort* call in the
+//	             same function is not flagged.
+//	floatorder   `x += v` (or -=, *=, /=) on a float accumulator inside a
+//	             map-range body: float addition is not associative, so
+//	             iteration order changes the sum. Per-key accumulation
+//	             (m[k] += v indexed by the range key, or through a pointer
+//	             fetched inside the loop) is order-independent and not
+//	             flagged.
+//	sealedreport reports and tables must be built from the sealed,
+//	             sorted summarize paths (serve's classRows/seal,
+//	             harness.Table.Render) — passing a raw map to an
+//	             fmt print/format call is flagged.
+//
+// The engine itself contributes a sixth check, ignorecheck, which
+// validates suppression directives (see below): a malformed directive,
+// one naming an unknown analyzer, or one that suppresses nothing is
+// itself a diagnostic, so stale suppressions cannot accumulate.
+//
+// # Suppression
+//
+// A finding that is a deliberate, justified exception is silenced with a
+// directive comment on the offending line or on the line directly above
+// it:
+//
+//	//lint:ignore wallclock real elapsed time shown to the operator
+//
+// The first field names the analyzer (comma-separate several); everything
+// after it is the mandatory reason. Unused or malformed directives are
+// errors — suppressions must always pay rent.
+//
+// # Running
+//
+// cmd/gmlake-lint wires the suite as a CLI (`go run ./cmd/gmlake-lint
+// ./...`, -json for tooling; exits nonzero on findings), CI runs it on
+// every push, and TestLintCleanTree pins the tree itself to zero
+// diagnostics so a violation can never land silently.
+package lint

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder flags `x += v` (and -=, *=, /=) on a floating-point
+// accumulator inside a map-range body: float addition is not
+// associative, so the randomized iteration order changes the low bits of
+// the sum and the rendered tables with them. Per-key accumulation —
+// indexing the destination by the range key, or accumulating through a
+// pointer fetched inside the loop — touches each destination once per
+// pass and stays order-independent, so it is not flagged.
+var FloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "no float accumulation in map-iteration order; sum over a sorted slice or per-key buckets",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(p.Info.TypeOf(rs.X)) {
+					return true
+				}
+				key := objectOf(p.Info, keyIdent(rs))
+				ast.Inspect(rs.Body, func(m ast.Node) bool {
+					a, ok := m.(*ast.AssignStmt)
+					if !ok || !isAccumAssign(a.Tok) || len(a.Lhs) != 1 {
+						return true
+					}
+					lhs := a.Lhs[0]
+					if !isFloat(p.Info.TypeOf(lhs)) {
+						return true
+					}
+					// m[k] += v, m[k].f += v, *ptrFromKey += v: one
+					// destination per key — order-independent.
+					if key != nil && usesObject(p.Info, lhs, key) {
+						return true
+					}
+					if declaredWithin(objectOf(p.Info, rootIdent(lhs)), rs) {
+						return true
+					}
+					p.Reportf(a.Pos(), "float accumulation into %s in randomized map-iteration order changes the sum; iterate a sorted key slice or accumulate per key", types.ExprString(lhs))
+					return true
+				})
+				return true
+			})
+		}
+	},
+}
+
+// keyIdent returns the range statement's key identifier, or nil for `_`
+// or a keyless range.
+func keyIdent(rs *ast.RangeStmt) *ast.Ident {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+func isAccumAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

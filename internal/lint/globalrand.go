@@ -1,0 +1,42 @@
+package lint
+
+import "go/ast"
+
+// randConstructors are the math/rand entry points that do NOT draw from
+// the shared global source: they build an explicitly seeded generator,
+// which is exactly what the determinism contract asks for.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// GlobalRand flags calls to math/rand (and math/rand/v2) package-level
+// functions: they draw from a process-global, auto-seeded source, so two
+// runs — or two goroutine interleavings — produce different streams.
+// Randomness must flow from sim.RNG or an explicitly seeded source.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "no top-level math/rand functions or unseeded sources; randomness flows from sim.RNG/explicit seeds",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, name, ok := calleePkgFunc(p.Info, call)
+				if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") {
+					return true
+				}
+				if randConstructors[name] {
+					return true
+				}
+				p.Reportf(call.Pos(), "rand.%s draws from the global auto-seeded source; use sim.RNG or rand.New(rand.NewSource(seed))", name)
+				return true
+			})
+		}
+	},
+}

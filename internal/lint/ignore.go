@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// IgnoreCheck is the name the engine reports directive problems under:
+// malformed //lint:ignore comments, directives naming unknown analyzers,
+// and directives that suppress nothing. It is not a runnable Analyzer —
+// suppressions must always pay rent, so these findings are themselves
+// unsuppressable.
+const IgnoreCheck = "ignorecheck"
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers map[string]bool
+	used      bool
+}
+
+// applyIgnores filters a package's diagnostics through its //lint:ignore
+// directives. A directive suppresses diagnostics from the named
+// analyzer(s) on its own line or on the line directly below it (i.e. it
+// sits at the end of the offending line, or alone on the line above).
+// Malformed directives, unknown analyzer names and directives that end up
+// suppressing nothing are reported under IgnoreCheck.
+func applyIgnores(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var directives []*ignoreDirective
+	var ignoreDiags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorefoo — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					ignoreDiags = append(ignoreDiags, Diagnostic{
+						Analyzer: IgnoreCheck,
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				d := &ignoreDirective{pos: pos, analyzers: map[string]bool{}}
+				bad := false
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						ignoreDiags = append(ignoreDiags, Diagnostic{
+							Analyzer: IgnoreCheck,
+							Pos:      pos,
+							Message:  "//lint:ignore names unknown analyzer " + strconv.Quote(name),
+						})
+						bad = true
+						continue
+					}
+					d.analyzers[name] = true
+				}
+				if bad && len(d.analyzers) == 0 {
+					continue // fully bogus; already reported, don't also report unused
+				}
+				directives = append(directives, d)
+			}
+		}
+	}
+
+	var kept []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range directives {
+			if d.pos.Filename != diag.Pos.Filename || !d.analyzers[diag.Analyzer] {
+				continue
+			}
+			if diag.Pos.Line == d.pos.Line || diag.Pos.Line == d.pos.Line+1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	for _, d := range directives {
+		if !d.used {
+			kept = append(kept, Diagnostic{
+				Analyzer: IgnoreCheck,
+				Pos:      d.pos,
+				Message:  "//lint:ignore suppresses no diagnostic; delete the stale directive",
+			})
+		}
+	}
+	return append(kept, ignoreDiags...)
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked, non-test package.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/serve"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks the module's non-test packages using only
+// the standard library: intra-module imports resolve recursively from
+// source, everything else (the standard library) through go/importer's
+// source importer, which shares the loader's FileSet so positions stay
+// coherent.
+type Loader struct {
+	fset    *token.FileSet
+	root    string // module root (the directory holding go.mod)
+	modpath string // module path from go.mod
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory root, which
+// must contain a go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    abs,
+		modpath: modpath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Load expands the patterns ("./...", "./internal/...", "./cmd/gmlake-lint",
+// or "." for the root package) into package directories, loads and
+// type-checks each, and returns them sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{} // rel dir ("" = root) → include
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "." || pat == "":
+			dirs[""] = true
+		case pat == "...":
+			subtree, err := l.goDirs("")
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range subtree {
+				dirs[d] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			subtree, err := l.goDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range subtree {
+				dirs[d] = true
+			}
+		default:
+			dirs[filepath.ToSlash(filepath.Clean(pat))] = true
+		}
+	}
+	rels := make([]string, 0, len(dirs))
+	for d := range dirs {
+		rels = append(rels, d)
+	}
+	sort.Strings(rels)
+	pkgs := make([]*Package, 0, len(rels))
+	for _, rel := range rels {
+		ipath := l.modpath
+		if rel != "" {
+			ipath = l.modpath + "/" + rel
+		}
+		pkg, err := l.loadPackage(ipath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goDirs walks the subtree under rel (module-root-relative, "" = whole
+// module) and returns, sorted, every directory that holds at least one
+// non-test .go file. testdata and hidden directories are skipped, as the
+// go tool does.
+func (l *Loader) goDirs(rel string) ([]string, error) {
+	start := filepath.Join(l.root, filepath.FromSlash(rel))
+	var out []string
+	err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != start && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dirRel, err := filepath.Rel(l.root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if dirRel == "." {
+			dirRel = ""
+		}
+		out = append(out, filepath.ToSlash(dirRel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	// dedupe
+	uniq := out[:0]
+	for i, d := range out {
+		if i == 0 || d != out[i-1] {
+			uniq = append(uniq, d)
+		}
+	}
+	return uniq, nil
+}
+
+// loadPackage parses and type-checks the package at the given intra-module
+// import path, memoized and cycle-checked.
+func (l *Loader) loadPackage(ipath string) (*Package, error) {
+	if pkg, ok := l.pkgs[ipath]; ok {
+		return pkg, nil
+	}
+	if l.loading[ipath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", ipath)
+	}
+	l.loading[ipath] = true
+	defer delete(l.loading, ipath)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(ipath, l.modpath), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	pkg, err := l.checkDir(ipath, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[ipath] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks a single standalone directory (used by
+// the golden-file analyzer tests over testdata packages, which import
+// only the standard library).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.checkDir(filepath.Base(abs), abs)
+}
+
+func (l *Loader) checkDir(ipath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := cfg.Check(ipath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", ipath, err)
+	}
+	return &Package{
+		Path:  ipath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// importPkg resolves one import: intra-module paths recurse through the
+// loader, everything else goes to the standard-library source importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modpath || strings.HasPrefix(path, l.modpath+"/") {
+		pkg, err := l.loadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// fmtOutputFuncs are the fmt entry points that emit output directly.
+var fmtOutputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writeMethods are method names that accumulate ordered output or
+// report/table state; calling one inside a map range bakes the random
+// iteration order into the result.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "AddNote": true,
+}
+
+// sortFuncs are the sort/slices entry points whose argument ends up in a
+// deterministic order; an append target later passed to one of these is
+// the idiomatic collect-sort-iterate fix and is not flagged.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Strings": true, "Ints": true,
+		"Float64s": true, "Slice": true, "SliceStable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// MapOrder flags `range` over a map whose body appends to a slice
+// declared outside the loop (with no later sort of that slice in the
+// same function) or writes output/report state — the classic
+// byte-identity killer: Go randomizes map iteration order on purpose.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map ranges must not append to output slices or write reports without a sort; collect keys, sort, iterate",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				sorted := sortedExprs(p, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok || !isMapType(p.Info.TypeOf(rs.X)) {
+						return true
+					}
+					checkMapRangeBody(p, rs, sorted)
+					return true
+				})
+			}
+		}
+	},
+}
+
+// sortedExprs collects the source renderings of every expression passed
+// to a sort.*/slices.Sort* call in body. For wrapped arguments like
+// sort.Sort(byLen(rows)) the constructor's arguments are included too.
+func sortedExprs(p *Pass, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	add := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = u.X
+		}
+		out[types.ExprString(e)] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := calleePkgFunc(p.Info, call)
+		if !ok || !sortFuncs[pkg][name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			add(arg)
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				for _, ia := range inner.Args {
+					add(ia)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkMapRangeBody reports order-dependent accumulation inside one
+// map-range body.
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, sorted map[string]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, rhs := range v.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p.Info, call) {
+					continue
+				}
+				target := v.Lhs[i]
+				rendering := types.ExprString(target)
+				if sorted[rendering] {
+					continue
+				}
+				if declaredWithin(objectOf(p.Info, rootIdent(target)), rs) {
+					continue // per-iteration local; order cannot leak out
+				}
+				p.Reportf(v.Pos(), "appends to %s in randomized map-iteration order with no later sort; collect keys, sort, then iterate", rendering)
+			}
+		case *ast.CallExpr:
+			if pkg, name, ok := calleePkgFunc(p.Info, v); ok && pkg == "fmt" && fmtOutputFuncs[name] {
+				p.Reportf(v.Pos(), "fmt.%s inside a map range writes output in randomized iteration order; iterate a sorted key slice instead", name)
+				return true
+			}
+			sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr)
+			if !ok || p.Info.Selections[sel] == nil || !writeMethods[sel.Sel.Name] {
+				return true
+			}
+			recv := ast.Unparen(sel.X)
+			if declaredWithin(objectOf(p.Info, rootIdent(recv)), rs) {
+				return true // per-iteration buffer
+			}
+			rendering := types.ExprString(recv)
+			for s := range sorted {
+				if s == rendering || strings.HasPrefix(s, rendering+".") {
+					return true // e.g. sort.Slice(t.Rows, ...) after AddRow on t
+				}
+			}
+			p.Reportf(v.Pos(), "%s.%s inside a map range records output in randomized iteration order; iterate a sorted key slice instead", rendering, sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,20 @@
+package floatorder
+
+// badSum accumulates floats in map iteration order: addition is not
+// associative, so the low bits of the sum differ run to run.
+func badSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation into sum in randomized map-iteration order"
+	}
+	return sum
+}
+
+// badScale multiplies in map order — same hazard.
+func badScale(m map[int]float64) float64 {
+	prod := 1.0
+	for _, v := range m {
+		prod *= 1 + v // want "float accumulation into prod in randomized map-iteration order"
+	}
+	return prod
+}

@@ -1,0 +1,47 @@
+package floatorder
+
+import "sort"
+
+// cleanSortedSum sums over a sorted key slice — deterministic order.
+func cleanSortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// cleanPerKey accumulates per key: each destination is touched once per
+// source map, so iteration order cannot change any bucket's value.
+func cleanPerKey(dst map[string]float64, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// cleanPerKeyPtr accumulates through a pointer fetched inside the loop —
+// still one destination per key.
+func cleanPerKeyPtr(dst map[string]*float64, src map[string]float64) {
+	for k, v := range src {
+		p := dst[k]
+		if p == nil {
+			p = new(float64)
+			dst[k] = p
+		}
+		*p += v
+	}
+}
+
+// cleanIntCount is integer accumulation: exact, order-independent.
+func cleanIntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,10 @@
+package globalrand
+
+import "math/rand"
+
+// bad draws from the shared, auto-seeded global source.
+func bad() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the global auto-seeded source"
+	n := rand.Intn(10)                 // want "rand.Intn draws from the global auto-seeded source"
+	return rand.Float64() + float64(n) // want "rand.Float64 draws from the global auto-seeded source"
+}

@@ -1,0 +1,30 @@
+package ignore
+
+import "time"
+
+// suppressed is a justified exception: the directive on the line above
+// the finding silences exactly that diagnostic.
+func suppressed() time.Time {
+	//lint:ignore wallclock golden test of the suppression path
+	return time.Now()
+}
+
+// inline demonstrates a same-line directive.
+func inline() time.Time {
+	return time.Now() //lint:ignore wallclock golden test of the same-line form
+}
+
+// stale suppresses nothing: the engine must flag it (ignorecheck).
+//
+//lint:ignore wallclock there is no wall-clock use on the next line
+func stale() int { return 4 }
+
+// unknown names an analyzer that does not exist (ignorecheck).
+//
+//lint:ignore nosuchanalyzer reason text
+func unknown() int { return 5 }
+
+// reasonless omits the mandatory justification (ignorecheck).
+//
+//lint:ignore wallclock
+func reasonless() int { return 6 }

@@ -1,0 +1,32 @@
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// badAppend bakes map iteration order into the returned slice.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appends to out in randomized map-iteration order"
+	}
+	return out
+}
+
+// badPrint writes output in map iteration order.
+func badPrint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside a map range writes output"
+	}
+}
+
+// badBuilder records into a builder that outlives the loop.
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "b.WriteString inside a map range records output"
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package maporder
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cleanSorted is the idiomatic fix: collect, sort, iterate.
+func cleanSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// cleanSortSlice sorts the collected pairs with sort.Slice.
+func cleanSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// cleanLocal appends only to a per-iteration local; order cannot leak.
+func cleanLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var row []string
+		for _, v := range vs {
+			row = append(row, strconv.Itoa(v))
+		}
+		n += len(row)
+	}
+	return n
+}
+
+// cleanPerKeyBuilder writes into a buffer declared inside the loop.
+func cleanPerKeyBuilder(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		b.WriteString(strconv.Itoa(v))
+		out[k] = b.String()
+	}
+	return out
+}

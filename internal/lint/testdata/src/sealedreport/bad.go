@@ -1,0 +1,16 @@
+package sealedreport
+
+import (
+	"fmt"
+	"io"
+)
+
+// bad dumps raw map contents into report output.
+func bad(w io.Writer, counts map[string]int) {
+	fmt.Fprintf(w, "served per class: %v\n", counts) // want "fmt.Fprintf of a raw map bypasses the sealed report paths"
+}
+
+// badSprint builds a report line straight from a map.
+func badSprint(shares map[string]float64) string {
+	return fmt.Sprintf("kv shares: %v", shares) // want "fmt.Sprintf of a raw map bypasses the sealed report paths"
+}

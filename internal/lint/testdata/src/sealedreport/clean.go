@@ -1,0 +1,36 @@
+package sealedreport
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// row is a sealed, sorted rendering of one class — the shape reports
+// must flow through.
+type row struct {
+	class string
+	count int
+}
+
+// summarize seals a map into sorted rows.
+func summarize(counts map[string]int) []row {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, row{class: k, count: counts[k]})
+	}
+	return rows
+}
+
+// clean renders the sealed rows; scalar facts about a map are fine too.
+func clean(w io.Writer, counts map[string]int) {
+	fmt.Fprintf(w, "%d classes\n", len(counts))
+	for _, r := range summarize(counts) {
+		fmt.Fprintf(w, "%s: %d\n", r.class, r.count)
+	}
+}

@@ -1,0 +1,12 @@
+package wallclock
+
+import "time"
+
+// bad exercises the wall-clock entry points the analyzer must flag.
+func bad() time.Time {
+	time.Sleep(time.Millisecond)     // want "time.Sleep reads the wall clock"
+	if time.Since(time.Time{}) > 0 { // want "time.Since reads the wall clock"
+		_ = time.After(time.Second) // want "time.After reads the wall clock"
+	}
+	return time.Now() // want "time.Now reads the wall clock"
+}

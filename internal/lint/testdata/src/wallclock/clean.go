@@ -1,0 +1,12 @@
+package wallclock
+
+import "time"
+
+// clean uses only duration arithmetic and parsing — no wall-clock reads.
+func clean(virtual time.Duration) time.Duration {
+	d, err := time.ParseDuration("250ms")
+	if err != nil {
+		return virtual
+	}
+	return virtual + 3*d.Round(time.Millisecond)
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleePkgFunc resolves a call of the form pkg.Name(...) where pkg is an
+// imported package qualifier, returning the package's import path and the
+// function name. ok is false for method calls, locals, builtins, and
+// anything else.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := ast.Unparen(sel.X).(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// rootIdent walks to the leftmost identifier of an lvalue-ish expression:
+// x, x.f, x[i], *x, (x) all root at x. Returns nil when the expression
+// has no identifier root (e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objectOf resolves an identifier to its object through Uses then Defs.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// declaredWithin reports whether obj's declaration lies inside node —
+// used to exempt per-iteration locals from accumulation checks.
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && n.Pos() <= obj.Pos() && obj.Pos() < n.End()
+}
+
+// usesObject reports whether the expression references obj anywhere.
+func usesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if e == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objectOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

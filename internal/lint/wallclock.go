@@ -1,0 +1,41 @@
+package lint
+
+import "go/ast"
+
+// wallclockFuncs are the package time functions that read or wait on the
+// host's real clock. time.Duration arithmetic and time.ParseDuration are
+// fine — only entry points that observe wall time break replayability.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// WallClock flags reads of the host wall clock. All simulated time in
+// this repo flows from sim.Clock so that a seeded run replays
+// byte-identically; a single time.Now in a simulation path silently ties
+// results to the host scheduler.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no time.Now/Since/Sleep (or timers) in simulation code; use sim.Clock virtual time",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkg, name, ok := calleePkgFunc(p.Info, call); ok && pkg == "time" && wallclockFuncs[name] {
+					p.Reportf(call.Pos(), "time.%s reads the wall clock; simulated time must come from sim.Clock so seeded runs stay byte-identical", name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -54,6 +54,12 @@
 // DeadlineMisses, Shed and Goodput, and ClusterReport adds Retries, Lost
 // and capacity-weighted Availability — all merged across replicas exactly
 // like the existing counters and digests.
+//
+// The byte-identity invariants this package leans on — virtual time only,
+// seeded randomness only, no map-iteration order in any report path — are
+// enforced statically by the determinism-contract linter (internal/lint,
+// run as `go run ./cmd/gmlake-lint ./...` and gated in CI), not just by
+// the differential tests.
 package serve
 
 import (

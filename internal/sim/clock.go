@@ -4,7 +4,11 @@
 // seedable random number generator.
 //
 // Nothing in this package reads wall-clock time; every experiment is fully
-// deterministic and reproducible.
+// deterministic and reproducible. The determinism-contract linter
+// (internal/lint) enforces the other side of that bargain across the
+// repository: simulation code must take its time from Clock (no time.Now,
+// wallclock analyzer) and its randomness from RNG or an explicit seed
+// (globalrand analyzer).
 package sim
 
 import (

@@ -50,6 +50,12 @@
 # Usage:  scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh          # more iterations
 #   PR=3 scripts/bench.sh                  # write BENCH_3.json
+#
+# Hardening: set -euo pipefail aborts on the first failed command —
+# including a failed `go test -bench` upstream of the tee — and the JSON
+# is assembled in a temp file and moved into place atomically, so a
+# crashed benchmark or a mid-stream awk failure can never leave a
+# half-empty BENCH_<PR>.json behind.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,7 +65,10 @@ BENCHTIME="${BENCHTIME:-2x}"
 PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeFaults$|BenchmarkServeScale$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+# Same directory as $OUT so the final mv is an atomic rename, never a
+# cross-filesystem copy that could itself be interrupted.
+TMPOUT="${OUT}.tmp.$$"
+trap 'rm -f "$RAW" "$TMPOUT"' EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -timeout 60m . | tee "$RAW" >&2
 
@@ -166,6 +175,7 @@ END {
     printf "    \"serve_ns_per_request\": %s\n", (servens ? servens : "null")
     printf "  }\n"
     printf "}\n"
-}' "$RAW" > "$OUT"
+}' "$RAW" > "$TMPOUT"
 
+mv "$TMPOUT" "$OUT"
 echo "wrote $OUT" >&2
