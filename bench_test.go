@@ -19,6 +19,7 @@ import (
 	"repro/internal/cuda"
 	"repro/internal/gpu"
 	"repro/internal/harness"
+	"repro/internal/lint"
 	"repro/internal/memalloc"
 	"repro/internal/model"
 	"repro/internal/reqtrace"
@@ -770,4 +771,31 @@ func BenchmarkPipeFrag(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		renderAll(b, []*harness.Table{e.PipelineExperiment()})
 	}
+}
+
+// BenchmarkLintTree measures the determinism-contract linter's full-suite
+// wall time over the whole repository — parse, type-check, call-graph
+// construction, effect propagation and every analyzer — the same work the
+// CI lint step performs. scripts/bench.sh tracks its per-run milliseconds
+// in BENCH_*.json (lint_tree_ms) so a complexity regression in the
+// interprocedural passes shows up in the trajectory, and scripts/lint_ci.sh
+// enforces a hard 2x budget against the recorded baseline on every push.
+func BenchmarkLintTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// A fresh loader per iteration: memoization would otherwise make
+		// every iteration after the first measure nothing but analysis
+		// re-runs on cached type information.
+		l, err := lint.NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := l.Load("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := lint.Run(pkgs, lint.All()); len(diags) > 0 {
+			b.Fatalf("lint tree not clean: %d finding(s), first: %s", len(diags), diags[0])
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "lint-ms")
 }

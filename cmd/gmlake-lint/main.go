@@ -7,8 +7,14 @@
 //
 //	gmlake-lint ./...                 # whole module (CI runs this)
 //	gmlake-lint ./internal/serve      # one package
-//	gmlake-lint -json ./...           # machine-readable findings
+//	gmlake-lint -json ./...           # machine-readable findings (incl. call chains)
+//	gmlake-lint -why ./...            # print each finding's shortest call chain
 //	gmlake-lint -list                 # analyzer names and docs
+//
+// The interprocedural analyzers (wallclockflow, randflow, parcapture)
+// resolve calls across the whole loaded package set, so run them over
+// ./... — linting a single package sees only that package's bodies and
+// may under-report transitive effects.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error. Justified
 // exceptions are silenced in source with
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -29,6 +36,7 @@ import (
 func main() {
 	var (
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		why     = flag.Bool("why", false, "print each finding's shortest call chain to the effect leaf")
 		list    = flag.Bool("list", false, "list analyzers and exit")
 	)
 	flag.Parse()
@@ -64,11 +72,12 @@ func main() {
 
 	if *jsonOut {
 		type finding struct {
-			Analyzer string `json:"analyzer"`
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Col      int    `json:"col"`
-			Message  string `json:"message"`
+			Analyzer string   `json:"analyzer"`
+			File     string   `json:"file"`
+			Line     int      `json:"line"`
+			Col      int      `json:"col"`
+			Message  string   `json:"message"`
+			Chain    []string `json:"chain,omitempty"`
 		}
 		out := make([]finding, 0, len(diags))
 		for _, d := range diags {
@@ -78,6 +87,7 @@ func main() {
 				Line:     d.Pos.Line,
 				Col:      d.Pos.Column,
 				Message:  d.Message,
+				Chain:    d.Chain,
 			})
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -89,6 +99,9 @@ func main() {
 	} else {
 		for _, d := range diags {
 			fmt.Printf("%s:%d:%d: %s [%s]\n", relTo(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+			if *why && len(d.Chain) > 0 {
+				fmt.Printf("\twhy: %s\n", strings.Join(d.Chain, " → "))
+			}
 		}
 	}
 	if len(diags) > 0 {

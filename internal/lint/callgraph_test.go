@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadGraph builds the call graph over one testdata package.
+func loadGraph(t *testing.T, dir string) *CallGraph {
+	t.Helper()
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return BuildCallGraph([]*Package{pkg})
+}
+
+// nodeByName finds the unique node with the given display name.
+func nodeByName(t *testing.T, g *CallGraph, name string) *Node {
+	t.Helper()
+	var found *Node
+	for _, n := range g.Nodes() {
+		if n.Name == name {
+			if found != nil {
+				t.Fatalf("duplicate node name %q", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		var names []string
+		for _, n := range g.Nodes() {
+			names = append(names, n.Name)
+		}
+		t.Fatalf("no node named %q; have: %s", name, strings.Join(names, ", "))
+	}
+	return found
+}
+
+// TestCallGraphCyclesTerminate pins cycle handling: mutually recursive
+// functions both inherit the effect, the chain is finite, and a directly
+// self-recursive clean function stays clean.
+func TestCallGraphCyclesTerminate(t *testing.T) {
+	g := loadGraph(t, "callgraph")
+
+	for _, name := range []string{"callgraph.cycleA", "callgraph.cycleB"} {
+		n := nodeByName(t, g, name)
+		if !n.HasEffect(EffectWallClock) {
+			t.Errorf("%s: expected wall-clock effect through the cycle", name)
+		}
+		chain := n.Chain(EffectWallClock)
+		if len(chain) == 0 || len(chain) > 5 {
+			t.Errorf("%s: chain not finite/shortest: %v", name, chain)
+		}
+		if chain[len(chain)-1] != "time.Now" {
+			t.Errorf("%s: chain must end at the culprit, got %v", name, chain)
+		}
+	}
+	if n := nodeByName(t, g, "callgraph.self"); n.HasEffect(EffectWallClock) {
+		t.Errorf("self-recursive clean function acquired an effect: %v", n.Chain(EffectWallClock))
+	}
+}
+
+// TestCallGraphEdgeKinds pins that method values, deferred calls and go
+// statements all create call edges carrying effects.
+func TestCallGraphEdgeKinds(t *testing.T) {
+	g := loadGraph(t, "callgraph")
+	for _, tc := range []struct {
+		name  string
+		chain []string
+	}{
+		{"callgraph.methodValue", []string{"callgraph.methodValue", "callgraph.clock.now", "time.Now"}},
+		{"callgraph.deferred", []string{"callgraph.deferred", "callgraph.tick", "time.Now"}},
+		{"callgraph.launched", []string{"callgraph.launched", "callgraph.tick", "time.Now"}},
+	} {
+		n := nodeByName(t, g, tc.name)
+		if !n.HasEffect(EffectWallClock) {
+			t.Errorf("%s: expected wall-clock effect", tc.name)
+			continue
+		}
+		got := n.Chain(EffectWallClock)
+		if strings.Join(got, " → ") != strings.Join(tc.chain, " → ") {
+			t.Errorf("%s: chain = %v, want %v", tc.name, got, tc.chain)
+		}
+	}
+}
+
+// TestCallGraphConservativeParams pins the degradation contract for
+// unresolvable function-typed parameters: calling the parameter creates no
+// edge (callsParam and cleanCaller stay clean — no false chains), while
+// *referencing* a tainted function to pass it in is itself a may-call edge
+// (taintedPasser is tainted).
+func TestCallGraphConservativeParams(t *testing.T) {
+	g := loadGraph(t, "callgraph")
+	for _, name := range []string{"callgraph.callsParam", "callgraph.cleanCaller"} {
+		if n := nodeByName(t, g, name); n.HasEffect(EffectWallClock) {
+			t.Errorf("%s: false chain through an unresolved parameter: %v", name, n.Chain(EffectWallClock))
+		}
+	}
+	n := nodeByName(t, g, "callgraph.taintedPasser")
+	if !n.HasEffect(EffectWallClock) {
+		t.Error("taintedPasser: passing a tainted function is a may-call reference and must taint")
+	}
+}
+
+// TestEffectChains pins the exact shortest laundering chains the flow
+// analyzers attach to their diagnostics — the -why payload.
+func TestEffectChains(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "effects"))
+	if err != nil {
+		t.Fatalf("LoadDir(effects): %v", err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{WallClockFlow, RandFlow})
+
+	wantChains := map[string]string{
+		"wallclockflow@effects.Entry":            "effects.Entry → effects.dispatch → effects.logTick → time.Now",
+		"randflow@effects.EntryRand":             "effects.EntryRand → effects.pick → rand.Intn",
+		"wallclockflow@effects.EntryMethodValue": "effects.EntryMethodValue → effects.ticker.now → time.Now",
+	}
+	got := map[string]string{}
+	for _, d := range diags {
+		if len(d.Chain) == 0 {
+			t.Errorf("flow diagnostic without a chain: %s", d)
+			continue
+		}
+		got[d.Analyzer+"@"+d.Chain[0]] = strings.Join(d.Chain, " → ")
+	}
+	for key, want := range wantChains {
+		if got[key] != want {
+			t.Errorf("%s: chain = %q, want %q", key, got[key], want)
+		}
+	}
+	if len(diags) != len(wantChains) {
+		t.Errorf("want exactly %d flow diagnostics, got %d:\n%s", len(wantChains), len(diags), renderDiags(diags))
+	}
+}
+
+// TestParCaptureChain pins the interprocedural half of parcapture: the
+// laundering job closure's diagnostic carries the chain to the
+// package-level write.
+func TestParCaptureChain(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "parcapture"))
+	if err != nil {
+		t.Fatalf("LoadDir(parcapture): %v", err)
+	}
+	want := "parcapture.badLaunder.func1 → parcapture.bump → package-level var hits"
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{ParCapture}) {
+		if len(d.Chain) > 0 {
+			if got := strings.Join(d.Chain, " → "); got != want {
+				t.Errorf("laundering chain = %q, want %q", got, want)
+			}
+			return
+		}
+	}
+	t.Errorf("no parcapture diagnostic carried a chain")
+}
+
+// TestCallGraphDeterministic pins that two independent builds over the
+// same package yield identical node orders, names and chains — the graph
+// itself obeys the byte-identity contract it enforces.
+func TestCallGraphDeterministic(t *testing.T) {
+	render := func(g *CallGraph) string {
+		var sb strings.Builder
+		for _, n := range g.Nodes() {
+			sb.WriteString(n.Name)
+			for e := Effect(0); e < numEffects; e++ {
+				if n.HasEffect(e) {
+					sb.WriteString(" [" + e.String() + ": " + strings.Join(n.Chain(e), "→") + "]")
+				}
+			}
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	a := render(loadGraph(t, "callgraph"))
+	b := render(loadGraph(t, "callgraph"))
+	if a != b {
+		t.Fatalf("call graph not deterministic:\n--- build 1\n%s\n--- build 2\n%s", a, b)
+	}
+}
+
+// TestEntrypointRootsCoverRealTree pins the hardcoded entrypoint list
+// against the real repository: every named root must exist and be marked,
+// so a rename can't silently drop the flow analyzers' coverage.
+func TestEntrypointRootsCoverRealTree(t *testing.T) {
+	if testing.Short() {
+		// The full tree is loaded by TestLintCleanTree in -short mode
+		// already; keep this one cheap to skip double work when the shared
+		// loader has not warmed up.
+		_ = 0
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load(./...): %v", err)
+	}
+	g := BuildCallGraph(pkgs)
+	roots := map[string]bool{}
+	for _, n := range g.Roots() {
+		roots[n.Name] = true
+	}
+	for _, want := range []string{
+		"serve.Serve",
+		"serve.ServeCluster",
+		"harness.Env.RunExperiment",
+		"core.Allocator.Alloc",
+		"core.Allocator.Free",
+		"reqtrace.Trace.Replay",
+	} {
+		if !roots[want] {
+			t.Errorf("entrypoint %s missing from call-graph roots; got %v", want, roots)
+		}
+	}
+}

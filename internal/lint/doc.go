@@ -40,10 +40,72 @@
 //	             harness.Table.Render) — passing a raw map to an
 //	             fmt print/format call is flagged.
 //
-// The engine itself contributes a sixth check, ignorecheck, which
+// Three interprocedural analyzers sit on top of a whole-program call
+// graph (see # Effect engine below):
+//
+//	wallclockflow a determinism entrypoint must not *transitively* reach
+//	             wall-clock time: the per-function wallclock check stops
+//	             at one body, this one follows calls, so time.Now cannot
+//	             launder through helpers. The diagnostic carries the
+//	             shortest call chain (gmlake-lint -why prints it, -json
+//	             always includes it).
+//	randflow     the same flow property for top-level math/rand(/v2)
+//	             draws reachable from an entrypoint.
+//	parcapture   a parallel job closure — one submitted to
+//	             internal/runner's pool (runner.Do, runner.Collect) or
+//	             launched with `go` — must not write a variable captured
+//	             from an enclosing scope or at package level unless every
+//	             write is discriminated by the job's own index
+//	             (out[i] = ..., or the per-iteration loop variable for a
+//	             `go` inside for/range). Map writes are never exempt:
+//	             concurrent map writes race regardless of key. The
+//	             interprocedural half also flags job closures whose
+//	             callees transitively write package-level state.
+//
+// The engine itself contributes one more check, ignorecheck, which
 // validates suppression directives (see below): a malformed directive,
 // one naming an unknown analyzer, or one that suppresses nothing is
 // itself a diagnostic, so stale suppressions cannot accumulate.
+//
+// # Effect engine
+//
+// BuildCallGraph constructs a static may-call graph over all loaded
+// packages, one node per declared function, method, or function literal.
+// Any use of an identifier that resolves to a module function — a direct
+// call, a method call through a concrete receiver, a method value, a
+// deferred or go-launched call, or passing the function as a value —
+// creates an edge. Leaf facts (a wall-clock call, a top-level math/rand
+// draw, an assignment whose target resolves to a package-level variable)
+// are seeded at the functions that contain them and propagated to all
+// transitive callers by a per-effect breadth-first pass, which terminates
+// on recursion and cycles and records, for every tainted function, the
+// shortest call chain to a culprit.
+//
+// The flow analyzers report at a fixed set of entrypoint roots — the
+// functions whose byte-identity the paper's results rest on:
+//
+//	serve.Serve, serve.ServeCluster, harness.Env.RunExperiment,
+//	core.Allocator.Alloc, core.Allocator.Free, reqtrace.Trace.Replay
+//
+// plus any function whose doc comment carries a //lint:entrypoint
+// directive.
+//
+// Conservative-resolution caveats — the graph is deliberately
+// under-approximate so it never reports a false chain:
+//
+//   - Calls through function-typed variables, parameters, fields, or
+//     returned closures create no edge at the call site. Referencing the
+//     function to *store or pass* it does create an edge, so a tainted
+//     function handed to a combinator still taints the passer.
+//   - Interface method calls create no edge (no class-hierarchy
+//     analysis); only methods invoked through concrete receivers are
+//     resolved.
+//   - Package-level variable initializer expressions run before main and
+//     are not part of any function body, so effects inside them are not
+//     seeded (they cannot vary between runs of a seeded binary).
+//   - Writes through pointers passed into a callee are attributed to the
+//     function containing the assignment, not to the caller that handed
+//     over the pointer.
 //
 // # Suppression
 //
@@ -60,7 +122,11 @@
 // # Running
 //
 // cmd/gmlake-lint wires the suite as a CLI (`go run ./cmd/gmlake-lint
-// ./...`, -json for tooling; exits nonzero on findings), CI runs it on
-// every push, and TestLintCleanTree pins the tree itself to zero
-// diagnostics so a violation can never land silently.
+// ./...`, -json for tooling, -why to print each finding's call chain;
+// exits nonzero on findings), CI runs it on every push, and
+// TestLintCleanTree pins the tree itself to zero diagnostics so a
+// violation can never land silently. Each package is parsed and
+// type-checked exactly once per process — the Loader memoizes by
+// directory — and the call graph is built once per Run and shared by
+// every graph-consuming analyzer.
 package lint

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The flow analyzers make the determinism contract *transitive*: the
+// per-call-site analyzers (wallclock, globalrand) catch a direct time.Now,
+// but a helper that wraps it launders the violation past them. Here every
+// function reachable from a simulation entrypoint is checked against the
+// propagated effect sets from the call graph, and a violation's diagnostic
+// carries the shortest call chain to the culprit (rendered by
+// gmlake-lint's -why flag and in its -json output).
+
+// rootSpec names one hardcoded determinism entrypoint by package-path
+// suffix, receiver base type ("" for plain functions) and function name.
+type rootSpec struct {
+	pkgSuffix string
+	recv      string
+	name      string
+}
+
+// entrypointRoots are the simulation entrypoints every BENCH table flows
+// through. Anything reachable from these must stay byte-identical at any
+// seed × parallelism, so their transitive effect sets must be clean.
+// Additional roots can be declared in source with a //lint:entrypoint
+// directive in the function's doc comment.
+var entrypointRoots = []rootSpec{
+	{"internal/serve", "", "Serve"},
+	{"internal/serve", "", "ServeCluster"},
+	{"internal/harness", "Env", "RunExperiment"},
+	{"internal/core", "Allocator", "Alloc"},
+	{"internal/core", "Allocator", "Free"},
+	{"internal/reqtrace", "Trace", "Replay"},
+}
+
+// entrypointDirective marks a function as a determinism root from source.
+const entrypointDirective = "//lint:entrypoint"
+
+// isEntrypoint reports whether a declaration is a determinism root, either
+// via the hardcoded list or a //lint:entrypoint doc-comment directive.
+func isEntrypoint(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if text, ok := strings.CutPrefix(c.Text, entrypointDirective); ok && (text == "" || text[0] == ' ' || text[0] == '\t') {
+				return true
+			}
+		}
+	}
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		recv = recvTypeName(fd.Recv.List[0].Type)
+	}
+	for _, r := range entrypointRoots {
+		if r.name == fd.Name.Name && r.recv == recv && pkgPathMatches(pkg.Path, r.pkgSuffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// flowRun reports every entrypoint declared in the pass's package whose
+// propagated effect set includes the forbidden leaf. The diagnostic is
+// anchored at the entrypoint's declaration (suppress with //lint:ignore on
+// or directly above the func line) and carries the shortest call chain.
+func flowRun(p *Pass, effect Effect, remedy string) {
+	if p.Graph == nil {
+		return
+	}
+	for _, n := range p.Graph.Roots() {
+		if n.Pkg.Types != p.Pkg || !n.HasEffect(effect) {
+			continue
+		}
+		chain := n.Chain(effect)
+		culprit := chain[len(chain)-1]
+		p.ReportChainf(n.Pos, chain, "%s is a determinism entrypoint but transitively reaches %s (%d calls deep); %s", n.Name, culprit, len(chain)-2, remedy)
+	}
+}
+
+// WallClockFlow is the interprocedural wallclock analyzer: no function
+// reachable from a simulation entrypoint may read the host wall clock,
+// however many helpers deep the read hides.
+var WallClockFlow = &Analyzer{
+	Name:       "wallclockflow",
+	Doc:        "no entrypoint-reachable function may transitively reach time.Now/Sleep/timers; sim.Clock only",
+	NeedsGraph: true,
+	Run: func(p *Pass) {
+		flowRun(p, EffectWallClock, "simulated time must flow from sim.Clock (rerun with -why for the call chain)")
+	},
+}
+
+// RandFlow is the interprocedural globalrand analyzer: no function
+// reachable from a simulation entrypoint may draw from the process-global
+// auto-seeded math/rand source, directly or through helpers.
+var RandFlow = &Analyzer{
+	Name:       "randflow",
+	Doc:        "no entrypoint-reachable function may transitively draw from global math/rand; sim.RNG or explicit seeds only",
+	NeedsGraph: true,
+	Run: func(p *Pass) {
+		flowRun(p, EffectGlobalRand, "randomness must flow from sim.RNG or an explicitly seeded source (rerun with -why for the call chain)")
+	},
+}

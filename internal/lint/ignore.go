@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"go/token"
 	"strconv"
 	"strings"
@@ -80,14 +81,25 @@ func applyIgnores(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Dia
 
 	var kept []Diagnostic
 	for _, diag := range diags {
+		// A directive anchors to the diagnostic's own line AND to the
+		// start line of the statement enclosing it: a gofmt-split
+		// multiline expression may land the diagnostic two lines below
+		// the statement the author annotated, and the directive above
+		// the statement must still apply.
+		lines := map[int]bool{diag.Pos.Line: true}
+		if diag.pos.IsValid() {
+			lines[stmtStartLine(pkg, diag.pos)] = true
+		}
 		suppressed := false
 		for _, d := range directives {
 			if d.pos.Filename != diag.Pos.Filename || !d.analyzers[diag.Analyzer] {
 				continue
 			}
-			if diag.Pos.Line == d.pos.Line || diag.Pos.Line == d.pos.Line+1 {
-				d.used = true
-				suppressed = true
+			for line := range lines {
+				if line == d.pos.Line || line == d.pos.Line+1 {
+					d.used = true
+					suppressed = true
+				}
 			}
 		}
 		if !suppressed {
@@ -104,4 +116,35 @@ func applyIgnores(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Dia
 		}
 	}
 	return append(kept, ignoreDiags...)
+}
+
+// stmtStartLine returns the start line of the innermost statement
+// enclosing pos, falling back to pos's own line when no statement contains
+// it (e.g. a diagnostic on a declaration).
+func stmtStartLine(pkg *Package, pos token.Pos) int {
+	for _, f := range pkg.Files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		var best ast.Stmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if pos < n.Pos() || pos >= n.End() {
+				return false
+			}
+			if s, ok := n.(ast.Stmt); ok {
+				if best == nil || s.Pos() >= best.Pos() {
+					best = s
+				}
+			}
+			return true
+		})
+		if best != nil {
+			return pkg.Fset.Position(best.Pos()).Line
+		}
+		break
+	}
+	return pkg.Fset.Position(pos).Line
 }

@@ -109,6 +109,10 @@ func TestGlobalRandGolden(t *testing.T)   { runGolden(t, "globalrand", []*Analyz
 func TestMapOrderGolden(t *testing.T)     { runGolden(t, "maporder", []*Analyzer{MapOrder}) }
 func TestFloatOrderGolden(t *testing.T)   { runGolden(t, "floatorder", []*Analyzer{FloatOrder}) }
 func TestSealedReportGolden(t *testing.T) { runGolden(t, "sealedreport", []*Analyzer{SealedReport}) }
+func TestEffectsFlowGolden(t *testing.T) {
+	runGolden(t, "effects", []*Analyzer{WallClockFlow, RandFlow})
+}
+func TestParCaptureGolden(t *testing.T) { runGolden(t, "parcapture", []*Analyzer{ParCapture}) }
 
 // TestIgnoreDirectives pins the suppression engine's semantics on
 // testdata/src/ignore: two justified directives silence their findings,

@@ -34,6 +34,7 @@ type Loader struct {
 	modpath string // module path from go.mod
 	std     types.Importer
 	pkgs    map[string]*Package
+	dirs    map[string]*Package // LoadDir memo, keyed by absolute path
 	loading map[string]bool
 }
 
@@ -55,6 +56,7 @@ func NewLoader(root string) (*Loader, error) {
 		modpath: modpath,
 		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    map[string]*Package{},
+		dirs:    map[string]*Package{},
 		loading: map[string]bool{},
 	}, nil
 }
@@ -197,14 +199,24 @@ func (l *Loader) loadPackage(ipath string) (*Package, error) {
 }
 
 // LoadDir parses and type-checks a single standalone directory (used by
-// the golden-file analyzer tests over testdata packages, which import
-// only the standard library).
+// the golden-file analyzer tests over testdata packages, which may import
+// the standard library and intra-module packages). Results are memoized
+// per directory so a shared loader type-checks each testdata package once
+// per run however many tests consume it.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	return l.checkDir(filepath.Base(abs), abs)
+	if pkg, ok := l.dirs[abs]; ok {
+		return pkg, nil
+	}
+	pkg, err := l.checkDir(filepath.Base(abs), abs)
+	if err != nil {
+		return nil, err
+	}
+	l.dirs[abs] = pkg
+	return pkg, nil
 }
 
 func (l *Loader) checkDir(ipath, dir string) (*Package, error) {

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ParCapture guards the idiom that carries all of this repo's parallelism:
+// closures submitted as indexed jobs to internal/runner's pool (runner.Do,
+// runner.Collect) or launched with a `go` statement. Such a closure may
+// run concurrently with its siblings, so a plain assignment to a variable
+// captured from an enclosing scope is a data race — and even when a mutex
+// makes it race-free, the *order* of the writes depends on goroutine
+// scheduling, which breaks the byte-identical-run contract in exactly the
+// way -race only catches when the scheduler happens to collide.
+//
+// The one safe shape is per-job index discrimination: each job writes only
+// its own slot, `out[i] = ...` with i the job's index parameter (or, for a
+// `go` inside a for/range, the loop's per-iteration variable), so the
+// joined result is independent of execution order. Writes to variables
+// declared inside the closure — including its named results — are local
+// and exempt.
+//
+// The analyzer is also interprocedural: a job closure that calls a helper
+// whose propagated effect set includes a package-level-variable write is
+// flagged with the call chain, so shared-state mutation cannot launder
+// through one level of function call. (Writes through pointers *passed* to
+// helpers are not tracked; see the doc.go caveats.)
+var ParCapture = &Analyzer{
+	Name:       "parcapture",
+	Doc:        "no parallel job closure (runner pool / go stmt) may write captured or package-level state without per-job indexing",
+	NeedsGraph: true,
+	Run:        parcaptureRun,
+}
+
+// runnerPoolFuncs are the pool-submission entry points of internal/runner.
+var runnerPoolFuncs = map[string]bool{
+	"Do":      true,
+	"Collect": true,
+}
+
+func parcaptureRun(p *Pass) {
+	for _, f := range p.Files {
+		walkParCapture(p, f, nil)
+	}
+}
+
+// walkParCapture descends the file tracking the per-iteration loop
+// variables in scope (Go 1.22 semantics: each iteration gets fresh
+// bindings, so a `go` closure indexing by the loop variable writes a
+// distinct slot per iteration).
+func walkParCapture(p *Pass, n ast.Node, loopVars []types.Object) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		walkParCapture(p, n.X, loopVars)
+		inner := loopVars
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := p.Info.Defs[id]; obj != nil {
+					inner = append(inner, obj)
+				}
+			}
+		}
+		walkParCapture(p, n.Body, inner)
+		return
+	case *ast.ForStmt:
+		walkParCapture(p, n.Init, loopVars)
+		walkParCapture(p, n.Cond, loopVars)
+		walkParCapture(p, n.Post, loopVars)
+		inner := loopVars
+		if init, ok := n.Init.(*ast.AssignStmt); ok {
+			for _, e := range init.Lhs {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := p.Info.Defs[id]; obj != nil {
+						inner = append(inner, obj)
+					}
+				}
+			}
+		}
+		walkParCapture(p, n.Body, inner)
+		return
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+			checkJobLit(p, lit, "go-launched closure", loopVars)
+		}
+	case *ast.CallExpr:
+		if pkg, name, ok := calleePkgFunc(p.Info, n); ok && pkgPathMatches(pkg, "internal/runner") && runnerPoolFuncs[name] {
+			for _, arg := range n.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkJobLit(p, lit, "runner pool job", nil)
+				}
+			}
+		}
+	}
+	// Generic descent: visit children, recursing manually so loop and go
+	// statements above keep control of their subtrees.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		switch c.(type) {
+		case *ast.RangeStmt, *ast.ForStmt, *ast.GoStmt, *ast.CallExpr:
+			walkParCapture(p, c, loopVars)
+			return false
+		}
+		return true
+	})
+}
+
+// checkJobLit checks one parallel job closure: direct writes to captured
+// or package-level variables (unless index-discriminated), then transitive
+// package-level writes through its callees via the effect engine.
+func checkJobLit(p *Pass, lit *ast.FuncLit, kind string, loopVars []types.Object) {
+	// Discriminators: the closure's own parameters plus the enclosing
+	// per-iteration loop variables.
+	disc := map[types.Object]bool{}
+	for _, obj := range loopVars {
+		disc[obj] = true
+	}
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, id := range field.Names {
+				if obj := p.Info.Defs[id]; obj != nil {
+					disc[obj] = true
+				}
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkJobWrite(p, lit, lhs, disc, kind)
+			}
+		case *ast.IncDecStmt:
+			checkJobWrite(p, lit, st.X, disc, kind)
+		}
+		return true
+	})
+
+	// Interprocedural half: a callee (transitively) writing package-level
+	// state makes the job's side effects order-dependent even though the
+	// closure body itself looks clean. dist >= 2 skips the direct-leaf
+	// case, which the write check above already reported.
+	if p.Graph != nil {
+		if node := p.Graph.LitNode(lit); node != nil && node.dist[EffectGlobalWrite] >= 2 {
+			chain := node.Chain(EffectGlobalWrite)
+			p.ReportChainf(lit.Pos(), chain, "%s transitively writes %s (%d calls deep); parallel jobs must not mutate shared state (rerun with -why for the call chain)", kind, chain[len(chain)-1], len(chain)-2)
+		}
+	}
+}
+
+// checkJobWrite flags one assignment target inside a job closure when it
+// resolves to a variable captured from outside the closure (or a
+// package-level one) and no index on the access path uses a per-job
+// discriminator.
+func checkJobWrite(p *Pass, lit *ast.FuncLit, lhs ast.Expr, disc map[types.Object]bool, kind string) {
+	v := writeTarget(p.Info, lhs)
+	if v == nil || declaredWithin(v, lit) {
+		return
+	}
+	if indexedByJob(p.Info, lhs, disc) {
+		return
+	}
+	where := "captured from the enclosing scope"
+	if isPackageLevel(v) {
+		where = "at package level"
+	}
+	p.Reportf(lhs.Pos(), "%s writes %q, declared %s, without per-job index discrimination; concurrent jobs race and the write order depends on scheduling", kind, v.Name(), where)
+}
+
+// indexedByJob reports whether any index expression on the lvalue's access
+// path references a per-job discriminator (job index parameter or
+// per-iteration loop variable) — the collect-by-index shape that keeps
+// parallel writes disjoint and join-order deterministic. Indexing into a
+// map never discriminates: concurrent map writes race whatever the key,
+// so only slice/array element writes qualify.
+func indexedByJob(info *types.Info, lhs ast.Expr, disc map[types.Object]bool) bool {
+	e := lhs
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[v.X]; ok && isMapType(tv.Type) {
+				return false
+			}
+			for obj := range disc {
+				if usesObject(info, v.Index, obj) {
+					return true
+				}
+			}
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package callgraph is the golden input for the call-graph builder's edge
+// cases: recursion and cycles must terminate, method values and deferred
+// and go-launched calls must create edges, and unresolvable
+// function-typed parameters must degrade conservatively without
+// manufacturing false chains. callgraph_test.go drives the CallGraph API
+// over this package directly.
+package callgraph
+
+import "time"
+
+// tick is the wall-clock leaf everything below points at.
+func tick() { _ = time.Now() }
+
+// cycleA and cycleB are mutually recursive: propagation must terminate
+// and both must inherit the effect through the cycle.
+func cycleA() { cycleB() }
+
+func cycleB() {
+	cycleA()
+	tick()
+}
+
+// self is directly recursive and clean: no effect, no infinite loop.
+func self(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return self(n - 1)
+}
+
+// clock.now wraps the leaf; methodValue takes it as a method value
+// without calling it — that reference alone must create the edge.
+type clock struct{}
+
+func (clock) now() time.Time { return time.Now() }
+
+func methodValue() func() time.Time {
+	var c clock
+	return c.now
+}
+
+// deferred reaches the leaf only through a defer statement.
+func deferred() { defer tick() }
+
+// launched reaches the leaf only through a go statement.
+func launched() { go tick() }
+
+// callsParam invokes an unresolved function-typed parameter: no edge, no
+// false chain — even though tainted functions exist in the package, none
+// may be attributed to callsParam.
+func callsParam(f func()) { f() }
+
+// cleanCaller only ever passes a clean literal into callsParam; the
+// conservative non-resolution of f() must keep it clean.
+func cleanCaller() {
+	callsParam(func() {})
+}
+
+// taintedPasser hands the tainted function to callsParam: referencing
+// tick is itself a may-call edge, so taintedPasser is (correctly,
+// conservatively) tainted — while callsParam stays clean.
+func taintedPasser() {
+	callsParam(tick)
+}

@@ -1,0 +1,73 @@
+// Package effects is the golden input for the interprocedural flow
+// analyzers (wallclockflow, randflow): an entrypoint that launders a
+// wall-clock read or a global-rand draw through helper functions must be
+// flagged at its declaration, with the shortest call chain to the leaf.
+// The per-call-site analyzers (wallclock, globalrand) see nothing wrong
+// at the entrypoints themselves — that laundering gap is exactly what the
+// flow analyzers close.
+package effects
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Entry launders a wall-clock read through two helpers.
+//
+//lint:entrypoint
+func Entry() { // want "effects.Entry is a determinism entrypoint but transitively reaches time.Now"
+	dispatch()
+}
+
+func dispatch() { logTick() }
+
+func logTick() {
+	t := time.Now()
+	_ = t
+}
+
+// EntryRand launders a global-rand draw through a helper.
+//
+//lint:entrypoint
+func EntryRand() int { // want "effects.EntryRand is a determinism entrypoint but transitively reaches rand.Intn"
+	return pick()
+}
+
+func pick() int { return rand.Intn(10) }
+
+// ticker.now wraps the clock; taking the method as a value creates a call
+// edge, so an entrypoint holding the method value is tainted.
+type ticker struct{}
+
+func (ticker) now() time.Time { return time.Now() }
+
+//lint:entrypoint
+func EntryMethodValue() time.Time { // want "effects.EntryMethodValue is a determinism entrypoint but transitively reaches time.Now"
+	f := ticker{}.now
+	return f()
+}
+
+// EntryClean uses only explicitly seeded randomness: constructors are
+// allowed and methods on the seeded source are fine.
+//
+//lint:entrypoint
+func EntryClean() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// callsParam invokes an unresolved function-typed parameter: conservative
+// resolution creates no edge here, so no false chain can appear.
+func callsParam(f func() int) int { return f() }
+
+func fixed() int { return 4 }
+
+// EntryParam stays clean: the only functions it references are clean, and
+// the unresolved call inside callsParam must not manufacture a chain.
+//
+//lint:entrypoint
+func EntryParam() int { return callsParam(fixed) }
+
+// notRoot reaches the clock but is not an entrypoint: the flow analyzers
+// stay silent (the per-call-site wallclock analyzer owns direct reports).
+func notRoot() { logTick() }

@@ -1,6 +1,9 @@
 package ignore
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // suppressed is a justified exception: the directive on the line above
 // the finding silences exactly that diagnostic.
@@ -28,3 +31,16 @@ func unknown() int { return 5 }
 //
 //lint:ignore wallclock
 func reasonless() int { return 6 }
+
+// multiline is the regression case for statement-anchored suppression: the
+// gofmt-split call puts the offending time.Now two lines below the
+// statement's first line, but the directive above the statement must still
+// suppress it (it used to be reported as both a violation and a stale
+// directive).
+func multiline() string {
+	//lint:ignore wallclock golden test of statement-anchored suppression
+	return fmt.Sprintf(
+		"%v",
+		time.Now(),
+	)
+}

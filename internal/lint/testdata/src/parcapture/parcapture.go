@@ -1,0 +1,108 @@
+// Package parcapture is the golden input for the parallel-capture race
+// analyzer: closures submitted to internal/runner's pool or launched with
+// `go` must not write state captured from an enclosing scope unless every
+// write is discriminated by the job's own index — the collect-by-index
+// shape whose joined result is independent of scheduling.
+package parcapture
+
+import "repro/internal/runner"
+
+// badSum is the classic nondeterministic reduction: every job adds into
+// one captured accumulator, so the total depends on interleaving.
+func badSum(n int) int {
+	total := 0
+	_ = runner.Do(0, n, func(i int) {
+		total += i // want "runner pool job writes .total., declared captured from the enclosing scope"
+	})
+	return total
+}
+
+// cleanCollect is the safe shape: each job writes only its own slot,
+// indexed by the job parameter.
+func cleanCollect(n int) []int {
+	out := make([]int, n)
+	_ = runner.Do(0, n, func(i int) {
+		out[i] = i * i
+	})
+	return out
+}
+
+// badMapKeyed races even though the key is derived from the job index:
+// maps have no per-slot independence, concurrent writes race regardless.
+func badMapKeyed(n int) map[int]int {
+	m := map[int]int{}
+	_ = runner.Do(0, n, func(i int) {
+		m[i] = i // want "runner pool job writes .m., declared captured from the enclosing scope"
+	})
+	return m
+}
+
+// badGo launches a goroutine that mutates captured state.
+func badGo() int {
+	x := 0
+	go func() {
+		x = 1 // want "go-launched closure writes .x., declared captured from the enclosing scope"
+	}()
+	return x
+}
+
+// cleanGoLoop is safe: the per-iteration loop variable (Go 1.22
+// semantics) discriminates the slots, one per goroutine.
+func cleanGoLoop(n int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			out[i] = i
+		}()
+	}
+	return out
+}
+
+// cleanRangeLoop is the range-loop flavour of the same safe shape.
+func cleanRangeLoop(vals []int) []int {
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		go func() {
+			out[i] = v * 2
+		}()
+	}
+	return out
+}
+
+var hits int
+
+func bump() { hits++ }
+
+// badLaunder has a clean-looking job body, but a callee mutates
+// package-level state: the interprocedural half must flag it with the
+// call chain.
+func badLaunder(n int) {
+	_ = runner.Do(0, n, func(i int) { // want "runner pool job transitively writes package-level var hits"
+		bump()
+	})
+}
+
+var counter int
+
+// badGlobal writes package-level state directly from the job.
+func badGlobal(n int) {
+	_ = runner.Do(0, n, func(i int) {
+		counter++ // want "runner pool job writes .counter., declared at package level"
+	})
+}
+
+// cleanLocals writes only job-local state: declarations inside the
+// closure, including the closure's own named results, are exempt.
+func cleanLocals(n int) []int {
+	out := make([]int, n)
+	_ = runner.Do(0, n, func(i int) {
+		v := i * 2
+		v++
+		out[i] = v
+	})
+	go func() (done bool) {
+		done = true
+		return done
+	}()
+	return out
+}

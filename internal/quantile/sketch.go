@@ -32,7 +32,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 )
 
 // DefaultAlpha is the default relative-accuracy target: quantiles are within
@@ -49,20 +48,29 @@ type table struct {
 	rep   []int64
 }
 
-var (
-	tablesMu sync.Mutex
-	tables   = map[float64]*table{}
-)
+// defaultTable is the shared bucket geometry for DefaultAlpha, built once
+// at package initialization. Every sketch in practice uses the default α,
+// so the hot path never touches shared mutable state — the previous
+// mutex-guarded map cache here was a package-level write reachable from
+// every parallel serving job (flagged by the parcapture analyzer: the
+// insert was idempotent and race-free, but a shared lock under the pool is
+// both a scalability and an auditability cost the init-time build avoids).
+var defaultTable = buildTable(DefaultAlpha)
 
-// geometry returns the (cached) bucket table for alpha. Boundaries are built
+// geometry returns the bucket table for alpha: the precomputed shared
+// table at DefaultAlpha, a freshly built one otherwise (non-default α is
+// a cold path — tables are built per sketch constructor, never per Add).
+func geometry(alpha float64) *table {
+	if alpha == DefaultAlpha {
+		return defaultTable
+	}
+	return buildTable(alpha)
+}
+
+// buildTable constructs the bucket geometry for one α. Boundaries are built
 // by repeated multiplication with γ, forced to advance by at least 1, so the
 // low range (0, ⌈1/(γ−1)⌉] degenerates into width-1 buckets that are exact.
-func geometry(alpha float64) *table {
-	tablesMu.Lock()
-	defer tablesMu.Unlock()
-	if t, ok := tables[alpha]; ok {
-		return t
-	}
+func buildTable(alpha float64) *table {
 	gamma := (1 + alpha) / (1 - alpha)
 	t := &table{alpha: alpha}
 	lo, b := int64(0), int64(1)
@@ -88,7 +96,6 @@ func geometry(alpha float64) *table {
 			b = b + 1
 		}
 	}
-	tables[alpha] = t
 	return t
 }
 

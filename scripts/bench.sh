@@ -46,6 +46,13 @@
 #                              proxy (0 once every digest has spilled into
 #                              its fixed-size sketch; the pre-sketch code
 #                              retained all 10M)
+#   lint_tree_ms               BenchmarkLintTree's per-run milliseconds —
+#                              the determinism-contract linter's full-suite
+#                              wall time over the tree (parse + type-check +
+#                              call graph + effect propagation + analyzers),
+#                              the CI lint step's cost; tracked so a
+#                              complexity regression in the interprocedural
+#                              passes shows up in the trajectory
 #
 # Usage:  scripts/bench.sh [output.json]
 #   BENCHTIME=3x scripts/bench.sh          # more iterations
@@ -59,10 +66,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-7}"
+PR="${PR:-9}"
 OUT="${1:-BENCH_${PR}.json}"
 BENCHTIME="${BENCHTIME:-2x}"
-PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeFaults$|BenchmarkServeScale$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$'
+PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeFaults$|BenchmarkServeScale$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$|BenchmarkLintTree$'
 
 RAW=$(mktemp)
 # Same directory as $OUT so the final mv is an atomic rename, never a
@@ -118,6 +125,9 @@ awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v fallback="$FALLBACK_
             if ($(i+1) == "avail-pct") faultavail[fname] = $i
         }
     }
+    if (name == "BenchmarkLintTree") {
+        for (i = 5; i < NF; i += 2) if ($(i+1) == "lint-ms") lintms = $i
+    }
     if (name == "BenchmarkTraceFit") {
         for (i = 5; i < NF; i += 2) if ($(i+1) == "fit-err-pct") fiterr = $i
     }
@@ -164,6 +174,9 @@ END {
     if (faultgood["none"] != "" && faultgood["mttf2s"] != "") {
         printf "    \"goodput_under_faults\": {\"none\": %s, \"mttf8s\": %s, \"mttf4s\": %s, \"mttf2s\": %s},\n", faultgood["none"], faultgood["mttf8s"], faultgood["mttf4s"], faultgood["mttf2s"]
         printf "    \"availability\": {\"none\": %s, \"mttf8s\": %s, \"mttf4s\": %s, \"mttf2s\": %s},\n", faultavail["none"], faultavail["mttf8s"], faultavail["mttf4s"], faultavail["mttf2s"]
+    }
+    if (lintms != "") {
+        printf "    \"lint_tree_ms\": %s,\n", lintms
     }
     if (fiterr != "") {
         printf "    \"fit_error\": %.2f,\n", fiterr

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# lint_ci.sh — CI wrapper for the determinism-contract linter.
+#
+# Two jobs beyond a plain `go run ./cmd/gmlake-lint ./...`:
+#
+#   1. Findings as an artifact. The linter runs with -json and the
+#      findings land in $LINT_JSON_OUT (default lint-findings.json), so
+#      the CI workflow can upload them on failure and a reviewer gets the
+#      machine-readable report — including each interprocedural finding's
+#      shortest call chain — without rerunning anything. On findings the
+#      human-readable rendering (with chains, as -why would print) is
+#      also echoed to the step log.
+#
+#   2. Runtime budget. The linter is on the critical path of every push;
+#      an accidental complexity regression in the call-graph or effect
+#      passes (e.g. chain reconstruction going quadratic) should fail
+#      loudly, not silently double CI latency. The analysis wall time is
+#      compared against the recorded baseline in scripts/lint_baseline_ms
+#      and the step fails if it exceeds LINT_BUDGET_FACTOR× (default 2×)
+#      that baseline. Re-record the baseline (see below) when the tree or
+#      the linter legitimately grows.
+#
+# The binary is built first so the budget measures analysis time, not
+# compilation. Record a new baseline with:
+#
+#   LINT_RECORD_BASELINE=1 scripts/lint_ci.sh
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${LINT_JSON_OUT:-lint-findings.json}"
+BASELINE_FILE="scripts/lint_baseline_ms"
+FACTOR="${LINT_BUDGET_FACTOR:-2}"
+BIN="$(mktemp -t gmlake-lint.XXXXXX)"
+trap 'rm -f "$BIN"' EXIT
+
+if ! go build -o "$BIN" ./cmd/gmlake-lint; then
+    echo "lint_ci: build failed" >&2
+    exit 2
+fi
+
+start_ns=$(date +%s%N)
+"$BIN" -json ./... > "$OUT"
+status=$?
+elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+echo "lint_ci: analysis took ${elapsed_ms}ms (exit ${status})" >&2
+
+if [ "$status" -eq 1 ]; then
+    echo "lint_ci: determinism-contract findings (full JSON in ${OUT}):" >&2
+    "$BIN" -why ./... >&2 || true
+    exit 1
+elif [ "$status" -ne 0 ]; then
+    echo "lint_ci: linter failed to run (exit ${status})" >&2
+    exit "$status"
+fi
+rm -f "$OUT" # clean run: nothing to upload
+
+if [ "${LINT_RECORD_BASELINE:-}" = "1" ]; then
+    echo "$elapsed_ms" > "$BASELINE_FILE"
+    echo "lint_ci: recorded baseline ${elapsed_ms}ms in ${BASELINE_FILE}" >&2
+    exit 0
+fi
+
+if [ ! -f "$BASELINE_FILE" ]; then
+    echo "lint_ci: no baseline recorded (${BASELINE_FILE} missing); skipping budget check" >&2
+    exit 0
+fi
+baseline_ms=$(cat "$BASELINE_FILE")
+budget_ms=$(( baseline_ms * FACTOR ))
+if [ "$elapsed_ms" -gt "$budget_ms" ]; then
+    echo "lint_ci: BUDGET EXCEEDED: ${elapsed_ms}ms > ${FACTOR}x baseline ${baseline_ms}ms (${budget_ms}ms)" >&2
+    echo "lint_ci: if the tree or linter legitimately grew, re-record with LINT_RECORD_BASELINE=1 scripts/lint_ci.sh" >&2
+    exit 1
+fi
+echo "lint_ci: within budget (${elapsed_ms}ms <= ${FACTOR}x baseline ${baseline_ms}ms)" >&2
