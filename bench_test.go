@@ -665,6 +665,73 @@ func BenchmarkServeFaults(b *testing.B) {
 	}
 }
 
+// BenchmarkServeSession prices session-grade serving: the chat-sessions
+// multi-turn mix (prompts growing by the prior exchange) on a 4-replica
+// fleet with KV prefix reuse on, under session-affinity dispatch versus
+// plain jsq and least-kv. Each variant reports the cluster TTFT p50/p99,
+// the prefill tokens skipped on resident prefixes, how many requests the
+// sticky probe routed, and the dispatch load imbalance (max−min assigned
+// as a percentage of the per-replica mean); scripts/bench.sh derives
+// affinity_ttft_savings (jsq TTFT p50 − affinity TTFT p50) into
+// BENCH_*.json — the milliseconds the affinity router saves per median
+// request by not scattering a conversation's turns across the fleet.
+func BenchmarkServeSession(b *testing.B) {
+	const (
+		requests = 4000
+		fleet    = 4
+	)
+	mix := servegen.ChatSessions()
+	reqs, err := mix.WithRate(mix.Rate*8).Generate(requests, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name     string
+		dispatch serve.DispatchPolicy
+		base     serve.DispatchPolicy
+	}{
+		{"dispatch=affinity", serve.DispatchSessionAffinity, serve.DispatchJSQ},
+		{"dispatch=jsq", serve.DispatchJSQ, ""},
+		{"dispatch=least-kv", serve.DispatchLeastKV, ""},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var rep serve.ClusterReport
+			for i := 0; i < b.N; i++ {
+				rep, err = serve.ServeCluster(reqs, func(int) serve.CacheManager {
+					return serve.NewChunkedKV(caching.New(newBenchDriver(4*sim.GiB)), model.OPT1_3B, 64)
+				}, serve.ClusterConfig{
+					Replicas:     fleet,
+					Dispatch:     v.dispatch,
+					AffinityBase: v.base,
+					Server:       serve.ServerConfig{MaxBatch: 32, PrefixReuse: true},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Served != requests {
+					b.Fatalf("served %d of %d", rep.Served, requests)
+				}
+			}
+			min, max := rep.Assigned[0], rep.Assigned[0]
+			for _, n := range rep.Assigned[1:] {
+				if n < min {
+					min = n
+				}
+				if n > max {
+					max = n
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*requests), "ns/request")
+			b.ReportMetric(float64(rep.TTFT.P50.Microseconds())/1e3, "ttft-p50-ms")
+			b.ReportMetric(float64(rep.TTFT.P99.Microseconds())/1e3, "ttft-p99-ms")
+			b.ReportMetric(float64(rep.ReusedTokens), "reused-tok")
+			b.ReportMetric(float64(rep.AffinityRouted), "affinity-routed")
+			b.ReportMetric(100*float64(max-min)/(float64(requests)/fleet), "imbalance-pct")
+		})
+	}
+}
+
 // BenchmarkTraceReplay prices request-stream production: generating the
 // 10x-overloaded mixed-bursty stream synthetically versus replaying it from
 // a captured request trace (decode from in-memory JSONL bytes + replay —

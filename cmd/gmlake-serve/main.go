@@ -12,6 +12,7 @@
 //	gmlake-serve -replicas 4 -dispatch jsq -aging 2s -policy chunked
 //	gmlake-serve -min-replicas 1 -max-replicas 6 -steal -policy chunked
 //	gmlake-serve -replicas 2 -replica-caps 2,1 -dispatch least-kv -policy chunked
+//	gmlake-serve -mix chat-sessions -replicas 4 -dispatch session-affinity -prefix-reuse -policy chunked
 //	gmlake-serve -mix chat-heavy -trace-out captured.jsonl -policy chunked
 //	gmlake-serve -trace-in captured.jsonl -trace-scale 2 -policy chunked
 //	gmlake-serve -trace-in prod.csv -fit -policy chunked
@@ -20,7 +21,8 @@
 //
 // The workload keys (serve_mix, serve_rate, burst_cv, parallel), the
 // cluster keys (replicas, dispatch, aging, min_replicas, max_replicas,
-// scale_up, scale_down, scale_cooldown, steal, replica_caps) and the
+// scale_up, scale_down, scale_cooldown, steal, replica_caps), the
+// session keys (prefix_reuse, affinity_base) and the
 // request-trace keys (trace_in, trace_out, trace_scale, fit) and the
 // fault keys (mttf, mttr, fault_plan, timeout, retries, backoff,
 // retry_budget, shed) ride in the
@@ -52,6 +54,16 @@
 // 1, and the load-aware policies (jsq, least-kv) divide each replica's
 // observed load by its weight so the big replica absorbs proportionally
 // more demand.
+//
+// With a session mix (e.g. -mix chat-sessions) requests arrive as
+// multi-turn conversations whose prompts grow by the prior exchange.
+// -prefix-reuse lets a replica skip the prefill of a session prefix whose
+// KV is still resident from the previous turn (crashes, recompute
+// preemption and deadline drops invalidate residency), and -dispatch
+// session-affinity routes a follow-up turn to the replica holding its
+// prefix, falling back to -affinity-base (default jsq) when no replica
+// does. The report then carries prefix hit/miss counts, reused prefill
+// tokens and how many requests the sticky probe routed.
 //
 // With -mttf/-mttr (or a scripted -fault-plan) the cluster injects replica
 // crashes: a crashed replica loses its KV cache and in-flight sequences,
@@ -106,8 +118,10 @@ func main() {
 		capacity = flag.Float64("capacity-gb", 1.5, "device memory in GiB (per replica, scaled by its capacity weight)")
 		par      = flag.Int("parallel", 0, "policy-run workers (0 = conf's parallel key or GOMAXPROCS)")
 		replicas = flag.Int("replicas", 0, "replica servers behind the cluster queue (0 = conf's replicas key or 1)")
-		dispatch = flag.String("dispatch", "", "cluster dispatch policy: round-robin, jsq, least-kv (default conf's dispatch key or round-robin)")
+		dispatch = flag.String("dispatch", "", "cluster dispatch policy: round-robin, jsq, least-kv, session-affinity (default conf's dispatch key or round-robin)")
 		aging    = flag.Duration("aging", 0, "priority-aging rate, e.g. 2s (0 = conf's aging key or off)")
+		prefixRe = flag.Bool("prefix-reuse", false, "session KV prefix reuse: a follow-up turn skips the prefill still resident on its replica")
+		affBase  = flag.String("affinity-base", "", "fallback dispatch policy for session-affinity (default conf's affinity_base key or jsq)")
 		exactSmp = flag.Int("exact-samples", 0, "latency-digest exact-retention threshold (0 = conf's exact_samples key or the serve default; negative = sketch from the first sample)")
 		minRep   = flag.Int("min-replicas", 0, "autoscaler floor (0 = conf's min_replicas key)")
 		maxRep   = flag.Int("max-replicas", 0, "autoscaler ceiling; > 0 enables queue-depth autoscaling (0 = conf's max_replicas key)")
@@ -180,6 +194,19 @@ func main() {
 	}
 	if *aging > 0 {
 		cfg.Aging = *aging
+	}
+	if *prefixRe {
+		cfg.PrefixReuse = true
+	}
+	if *affBase != "" {
+		p, err := serve.ParseDispatch(*affBase)
+		if err != nil {
+			fatal(err)
+		}
+		if p == serve.DispatchSessionAffinity {
+			fatal(fmt.Errorf("-affinity-base cannot itself be session-affinity"))
+		}
+		cfg.AffinityBase = p
 	}
 	if *exactSmp != 0 {
 		cfg.ExactSamples = *exactSmp
@@ -271,6 +298,9 @@ func main() {
 	}
 	if cfg.TraceIn == "" && (cfg.Fit || cfg.TraceScale > 0) {
 		fatal(fmt.Errorf("-fit and -trace-scale need -trace-in"))
+	}
+	if cfg.AffinityBase != "" && cfg.Dispatch != serve.DispatchSessionAffinity {
+		fatal(fmt.Errorf("-affinity-base needs -dispatch session-affinity"))
 	}
 
 	// The request stream: replayed (or fitted) from a trace file when
@@ -404,7 +434,19 @@ func main() {
 	if len(cfg.ReplicaCaps) > 0 {
 		capsStr = fmt.Sprintf(", caps %v", cfg.ReplicaCaps)
 	}
-	fmt.Printf("cluster: %s, dispatch %s, aging %s%s%s\n", fleetStr, dispatchPolicy, agingStr, stealStr, capsStr)
+	dispatchStr := string(dispatchPolicy)
+	if dispatchPolicy == serve.DispatchSessionAffinity {
+		base := clusterCfg.AffinityBase
+		if base == "" {
+			base = serve.DispatchJSQ
+		}
+		dispatchStr += fmt.Sprintf(" (base %s)", base)
+	}
+	reuseStr := ""
+	if cfg.PrefixReuse {
+		reuseStr = ", prefix reuse"
+	}
+	fmt.Printf("cluster: %s, dispatch %s, aging %s%s%s%s\n", fleetStr, dispatchStr, agingStr, stealStr, capsStr, reuseStr)
 	if clusterCfg.Faults.Enabled() || cfg.Timeout > 0 {
 		faultStr := "none"
 		if cfg.MTTF > 0 {
@@ -606,6 +648,10 @@ func printReport(policy string, rep serve.ClusterReport, stats []memalloc.Stats)
 		fmt.Printf("   faults: %d crashes, %d restarts, %d retries, %d lost; goodput %d, %d deadline misses, %d shed, availability %.1f%%\n",
 			rep.Crashes, rep.Restarts, rep.Retries, rep.Lost,
 			rep.Goodput, rep.DeadlineMisses, rep.Shed, 100*rep.Availability)
+	}
+	if rep.PrefixHits > 0 || rep.PrefixMisses > 0 || rep.AffinityRouted > 0 {
+		fmt.Printf("   sessions: %d prefix hits, %d misses, %d prefill tokens reused, %d affinity-routed\n",
+			rep.PrefixHits, rep.PrefixMisses, rep.ReusedTokens, rep.AffinityRouted)
 	}
 	if rep.Spawns > 0 || rep.Drains > 0 {
 		fmt.Printf("   elastic fleet: peak %d replicas, %d spawns, %d drains, %.1f replica-seconds\n",

@@ -29,6 +29,13 @@
 // split completions into goodput and misses, and admission shedding
 // rejects provably-late requests up front.
 //
+// A session section switches to the chat-sessions mix — multi-turn
+// conversations whose turn N+1 prompt embeds turn N's prompt and output —
+// and compares dispatch policies with KV prefix reuse on: session-affinity
+// routes a follow-up turn to the replica still holding its prefix, so the
+// resident tokens skip prefill and the turn's TTFT drops, where jsq
+// scatters the turns and mostly misses.
+//
 // The final section closes the specify→observe→calibrate loop with request
 // traces: a capture hook records every completed request, the trace
 // round-trips through a file byte-identically, replaying it reproduces the
@@ -297,6 +304,56 @@ func main() {
 	fmt.Println("report. Seeded MTTF/MTTR streams (ServeFaultConfig{MTTF, MTTR, Seed}) replace the")
 	fmt.Println("script for statistical fault processes; the conf keys are mttf, mttr, fault_plan,")
 	fmt.Println("timeout, retries, backoff, retry_budget and shed (same flags on gmlake-serve).")
+	fmt.Println()
+
+	// Multi-turn sessions and KV prefix reuse: the chat-sessions mix
+	// generates conversations — turn N+1's prompt is turn N's prompt plus
+	// its output plus a fresh user delta, arriving after a think-time gap,
+	// with SessionID/Turn stamped on every request. PrefixReuse makes a
+	// server remember, per completed session turn, how many tokens of that
+	// conversation's KV it still holds; a follow-up turn admitted on the
+	// same replica skips that many prompt tokens of prefill (a prefix
+	// *hit* — its TTFT drops by exactly the skipped prefill time), while a
+	// turn landing on a replica without the prefix pays full prefill (a
+	// *miss*). Crashes, recompute preemption and deadline drops invalidate
+	// residency — reuse is a compute shortcut, never a correctness risk.
+	//
+	// Residency is per replica, so in a fleet the dispatch policy decides
+	// whether reuse ever fires: session-affinity routes a turn to the
+	// replica holding its prefix and falls back to a base policy (jsq
+	// here, affinity_base to change it) for first turns and lost prefixes.
+	// The comparison below is the policy's whole trade, measured: affinity
+	// converts misses into hits and cuts interactive TTFT, at the price of
+	// a stickier (less balanced) assignment than pure jsq.
+	sessMix := gmlake.ChatSessionsMix()
+	sessReqs, err := gmlake.GenMixRequests(sessMix, 150, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mix %s: %d requests (multi-turn sessions over a batch floor)\n", sessMix.Name, len(sessReqs))
+	for _, d := range []gmlake.DispatchPolicy{gmlake.DispatchSessionAffinity, gmlake.DispatchJSQ} {
+		rep, err := gmlake.ServeClusterRequests(sessReqs, newMgr, gmlake.ServeClusterConfig{
+			Replicas: 4,
+			Dispatch: d,
+			Server:   gmlake.ServeConfig{MaxBatch: 8, PrefixReuse: true},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := string(d)
+		if d == gmlake.DispatchSessionAffinity {
+			label = "session-affinity/jsq"
+		}
+		fmt.Printf("  %-20s TTFT p50 %4dms p99 %4dms  %3d hits %3d misses  %5d tokens reused  %3d affinity-routed  assigned %v\n",
+			label, rep.TTFT.P50.Milliseconds(), rep.TTFT.P99.Milliseconds(),
+			rep.PrefixHits, rep.PrefixMisses, rep.ReusedTokens, rep.AffinityRouted, rep.Assigned)
+	}
+	fmt.Println()
+	fmt.Println("same stream, same reuse model — only the routing differs: affinity keeps a")
+	fmt.Println("conversation on its replica so the resident prefix is there when the next turn")
+	fmt.Println("arrives. The conf keys are serve_mix:chat-sessions, dispatch:session-affinity,")
+	fmt.Println("prefix_reuse:true and affinity_base:<p>; gmlake-serve takes -mix chat-sessions")
+	fmt.Println("-dispatch session-affinity -prefix-reuse -affinity-base jsq.")
 	fmt.Println()
 
 	// Request traces: capture → file → replay → calibrate. A capture hook

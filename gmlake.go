@@ -44,16 +44,20 @@
 // them with the serving keys parsed alongside the allocator knobs:
 //
 //	serve_mix:<name>    named mix (chat-heavy, batch-heavy, mixed-bursty,
-//	                    chat+batch, …)
+//	                    chat-sessions, chat+batch, …)
 //	serve_rate:<r>      aggregate request rate override, requests/second
 //	burst_cv:<cv>       interarrival CV override for bursty classes
 //	parallel:<n>        worker-pool bound for experiment/policy sweeps
 //	                    (0 = GOMAXPROCS)
 //	replicas:<n>        replica servers behind the cluster admission queue
-//	dispatch:<policy>   cluster dispatch: round-robin, jsq, least-kv
+//	dispatch:<policy>   cluster dispatch: round-robin, jsq, least-kv,
+//	                    session-affinity
 //	aging:<dur>         priority-aging rate (one level per <dur> of wait)
 //	exact_samples:<n>   latency-digest exact-retention threshold (0 =
 //	                    DefaultServeExactSamples, negative = sketch-only)
+//	prefix_reuse:<b>    session KV prefix reuse: resident prefixes skip
+//	                    their share of prefill on follow-up turns
+//	affinity_base:<p>   session-affinity's fallback policy (default jsq)
 //
 // ServeRequests runs a stream under continuous batching with SLO-aware
 // admission and preemption, and its ServeReport breaks TTFT and end-to-end
@@ -95,6 +99,26 @@
 // cluster report, and with one replica (static, or MinReplicas ==
 // MaxReplicas == 1 with stealing off) the cluster reproduces
 // ServeRequests exactly.
+//
+// # Multi-turn sessions and KV prefix reuse
+//
+// A WorkloadMix class with a WorkloadSessionProfile generates multi-turn
+// conversations instead of one-shot requests: each session's turn N+1
+// prompt is the prior prompt plus the prior output plus a fresh delta,
+// arriving after a think-time gap, and every request carries its
+// SessionID and Turn (ChatSessionsMix is the canonical session mix).
+// ServeConfig.PrefixReuse models KV prefix reuse on the server: a
+// follow-up turn whose session prefix is still resident on its replica
+// skips that fraction of prefill, cutting its TTFT; crashes, recompute
+// preemption and deadline drops invalidate residency. The
+// DispatchSessionAffinity cluster policy routes a turn to the replica
+// holding its prefix and falls back to ServeClusterConfig.AffinityBase
+// (default jsq) when none does. Reports count PrefixHits, PrefixMisses,
+// ReusedTokens and AffinityRouted. With no session requests and
+// PrefixReuse off, every run is byte-identical to the session-unaware
+// scheduler. The corresponding configuration keys are prefix_reuse and
+// affinity_base; cmd/gmlake-serve exposes -prefix-reuse and
+// -affinity-base.
 //
 // # Request traces
 //
@@ -398,6 +422,10 @@ type (
 	ArrivalProcess = servegen.ArrivalProcess
 	// LengthDist is a prompt or output token-length distribution.
 	LengthDist = servegen.LengthDist
+	// WorkloadSessionProfile makes a ClientClass generate multi-turn
+	// sessions: turns-per-session, think-time and per-turn prompt-delta
+	// distributions, and the prompt-growth cap.
+	WorkloadSessionProfile = servegen.SessionProfile
 
 	// RequestTrace is a request-level serving trace: capture, file
 	// round-trip (JSONL/CSV), replay and calibration (see the package
@@ -482,6 +510,12 @@ func BatchHeavyMix() WorkloadMix { return servegen.BatchHeavy() }
 // MixedBurstyMix returns the bursty heterogeneous stress mix.
 func MixedBurstyMix() WorkloadMix { return servegen.MixedBursty() }
 
+// ChatSessionsMix returns the multi-turn conversation mix: interactive
+// sessions whose prompts grow by the prior exchange, over a batch-backfill
+// floor. Serve it with ServeConfig.PrefixReuse and DispatchSessionAffinity
+// to exercise the session machinery end to end.
+func ChatSessionsMix() WorkloadMix { return servegen.ChatSessions() }
+
 // ServeMixByName resolves a serve_mix configuration name.
 func ServeMixByName(name string) (WorkloadMix, error) { return servegen.MixByName(name) }
 
@@ -562,9 +596,10 @@ const DefaultServeExactSamples = serve.DefaultExactSamples
 
 // Cluster dispatch policies.
 const (
-	DispatchRoundRobin = serve.DispatchRoundRobin
-	DispatchJSQ        = serve.DispatchJSQ
-	DispatchLeastKV    = serve.DispatchLeastKV
+	DispatchRoundRobin      = serve.DispatchRoundRobin
+	DispatchJSQ             = serve.DispatchJSQ
+	DispatchLeastKV         = serve.DispatchLeastKV
+	DispatchSessionAffinity = serve.DispatchSessionAffinity
 )
 
 // Scripted fault-event kinds.

@@ -31,7 +31,9 @@
 //	                    queue (1 = the single-server loop); with
 //	                    autoscaling on, the initial fleet size
 //	dispatch:<policy>   cluster dispatch policy: round-robin, jsq
-//	                    (join-shortest-queue) or least-kv
+//	                    (join-shortest-queue), least-kv or
+//	                    session-affinity (route follow-up session turns
+//	                    to the replica holding their KV prefix)
 //	aging:<dur>         priority-aging rate, e.g. aging:2s — a waiting
 //	                    request gains one priority level per <dur> of
 //	                    queue wait; 0 disables aging
@@ -40,6 +42,16 @@
 //	                    the exact nearest-rank rule before spilling into
 //	                    a fixed-size quantile sketch (0 = the default
 //	                    8192; negative = sketch from the first sample)
+//
+// the session-serving knobs (PR 10, consumed by the cluster runners):
+//
+//	prefix_reuse:<bool> session KV prefix reuse: a follow-up turn whose
+//	                    session prefix is still resident on its replica
+//	                    skips that many prompt tokens of prefill
+//	affinity_base:<p>   fallback dispatch policy for session-affinity
+//	                    when a request has no resident prefix (default
+//	                    jsq; requires dispatch:session-affinity and
+//	                    cannot itself be session-affinity)
 //
 // the elastic heterogeneous fleet (PR 4):
 //
@@ -148,6 +160,12 @@ type Config struct {
 	Replicas int
 	Dispatch serve.DispatchPolicy
 	Aging    time.Duration
+	// PrefixReuse enables session KV prefix reuse on every replica
+	// (serve.ServerConfig.PrefixReuse); AffinityBase is session-affinity
+	// dispatch's fallback policy ("" = jsq), only accepted alongside
+	// dispatch:session-affinity.
+	PrefixReuse  bool
+	AffinityBase serve.DispatchPolicy
 	// ExactSamples is the latency digests' exact-retention threshold
 	// (serve.ServerConfig.ExactSamples): 0 means the serve default,
 	// negative sketches from the first sample.
@@ -296,6 +314,24 @@ func Parse(s string) (Config, error) {
 				return cfg, fmt.Errorf("conf: %w", err)
 			}
 			cfg.Dispatch = p
+		case "prefix_reuse":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return cfg, fmt.Errorf("conf: %s must be a bool, got %q", key, val)
+			}
+			cfg.PrefixReuse = b
+		case "affinity_base":
+			if val == "" {
+				return cfg, fmt.Errorf("conf: affinity_base needs a policy name")
+			}
+			p, err := serve.ParseDispatch(val)
+			if err != nil {
+				return cfg, fmt.Errorf("conf: %w", err)
+			}
+			if p == serve.DispatchSessionAffinity {
+				return cfg, fmt.Errorf("conf: affinity_base cannot itself be session-affinity")
+			}
+			cfg.AffinityBase = p
 		case "aging":
 			d, err := time.ParseDuration(val)
 			if err != nil || d < 0 {
@@ -467,6 +503,11 @@ func Parse(s string) (Config, error) {
 	if cfg.Shed && cfg.Timeout == 0 {
 		return cfg, fmt.Errorf("conf: shed requires timeout")
 	}
+	// A fallback policy with nothing to fall back from is a typo'd or
+	// half-edited configuration, not a request for a default.
+	if cfg.AffinityBase != "" && cfg.Dispatch != serve.DispatchSessionAffinity {
+		return cfg, fmt.Errorf("conf: affinity_base requires dispatch:session-affinity")
+	}
 	return cfg, nil
 }
 
@@ -478,6 +519,7 @@ var knownKeys = []string{
 	"frag_limit_mb", "max_sblocks", "rebind_on_split",
 	"serve_mix", "serve_rate", "burst_cv",
 	"replicas", "dispatch", "aging", "exact_samples",
+	"prefix_reuse", "affinity_base",
 	"min_replicas", "max_replicas", "scale_up", "scale_down",
 	"scale_cooldown", "steal", "replica_caps",
 	"mttf", "mttr", "fault_plan", "timeout",
@@ -573,6 +615,7 @@ func (c Config) Cluster(server serve.ServerConfig) serve.ClusterConfig {
 	cc := serve.ClusterConfig{
 		Replicas:       c.Replicas,
 		Dispatch:       c.Dispatch,
+		AffinityBase:   c.AffinityBase,
 		Server:         server,
 		MinReplicas:    c.MinReplicas,
 		MaxReplicas:    c.MaxReplicas,
@@ -600,6 +643,9 @@ func (c Config) Cluster(server serve.ServerConfig) serve.ClusterConfig {
 	}
 	if !cc.Server.Shed {
 		cc.Server.Shed = c.Shed
+	}
+	if !cc.Server.PrefixReuse {
+		cc.Server.PrefixReuse = c.PrefixReuse
 	}
 	return cc
 }

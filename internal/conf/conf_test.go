@@ -361,3 +361,67 @@ func TestClusterAssembly(t *testing.T) {
 		t.Fatalf("%+v", cc)
 	}
 }
+
+func TestParseSessionKeys(t *testing.T) {
+	cfg, err := Parse("replicas:4,dispatch:session-affinity,affinity_base:least-kv,prefix_reuse:true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dispatch != serve.DispatchSessionAffinity {
+		t.Fatalf("dispatch = %q", cfg.Dispatch)
+	}
+	if cfg.AffinityBase != serve.DispatchLeastKV {
+		t.Fatalf("affinity_base = %q", cfg.AffinityBase)
+	}
+	if !cfg.PrefixReuse {
+		t.Fatal("prefix_reuse:true not captured")
+	}
+	// Both default off: a sessionless conf string assembles the pre-session
+	// scheduler exactly.
+	cfg, err = Parse("backend:caching")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PrefixReuse || cfg.AffinityBase != "" {
+		t.Fatalf("session defaults polluted: %+v", cfg)
+	}
+	// Affinity with no explicit base: serve defaults the base to jsq.
+	if _, err := Parse("dispatch:session-affinity,prefix_reuse:true"); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{
+		"prefix_reuse:maybe",                  // not a bool
+		"affinity_base:fastest",               // unknown policy
+		"affinity_base:",                      // empty
+		"affinity_base:jsq",                   // needs session-affinity dispatch
+		"dispatch:jsq,affinity_base:least-kv", // ditto, with dispatch set
+		"dispatch:session-affinity,affinity_base:session-affinity", // self-referential
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestClusterAssemblySessionKnobs(t *testing.T) {
+	cfg, err := Parse("replicas:2,dispatch:session-affinity,affinity_base:least-kv,prefix_reuse:true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := cfg.Cluster(serve.ServerConfig{MaxBatch: 8})
+	if cc.Dispatch != serve.DispatchSessionAffinity || cc.AffinityBase != serve.DispatchLeastKV {
+		t.Fatalf("%+v", cc)
+	}
+	if !cc.Server.PrefixReuse {
+		t.Fatal("prefix_reuse did not reach the server config")
+	}
+	// A caller that already enabled reuse on the server config keeps it
+	// regardless of the conf string (the caller-wins merge rule).
+	plain, err := Parse("replicas:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc := plain.Cluster(serve.ServerConfig{MaxBatch: 8, PrefixReuse: true}); !cc.Server.PrefixReuse {
+		t.Fatal("caller's PrefixReuse lost in assembly")
+	}
+}

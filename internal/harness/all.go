@@ -9,7 +9,7 @@ var Experiments = []string{
 	"headline", "extended", "ablations", "cluster",
 	"zero", "topology", "recompute", "offload", "streams",
 	"serving", "servemix", "servecluster", "serveelastic", "servetrace",
-	"servefault",
+	"servefault", "servesession",
 	"fragindex", "pipefrag",
 }
 
@@ -65,6 +65,8 @@ func (e *Env) RunExperiment(id string) []*Table {
 		return e.ServeElasticExperiment()
 	case "servefault":
 		return e.ServeFaultExperiment()
+	case "servesession":
+		return []*Table{e.ServeSessionExperiment()}
 	case "servetrace":
 		ts, err := e.ServeTraceExperiment()
 		if err != nil {

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/internal/servegen"
+)
+
+// Session-serving grid: the chat-sessions mix (multi-turn conversations
+// whose prompts grow by the prior exchange) against a sessionless control,
+// each sharded over a fixed fleet under three dispatch policies. Every
+// replica runs with KV prefix reuse on, so the comparison isolates the
+// dispatcher: session-affinity lands a follow-up turn on the replica that
+// still holds its prefix and skips that prefill; jsq and least-kv scatter
+// turns and pay it.
+const serveSessionReplicas = 4
+
+// serveSessionPolicies are the swept dispatch policies. Session-affinity
+// names its fallback explicitly so the cell label carries the whole policy.
+var serveSessionPolicies = []serve.ClusterConfig{
+	{Dispatch: serve.DispatchSessionAffinity, AffinityBase: serve.DispatchJSQ},
+	{Dispatch: serve.DispatchJSQ},
+	{Dispatch: serve.DispatchLeastKV},
+}
+
+// ServeSessionExperiment quantifies session-affinity dispatch against jsq
+// and least-kv on the chat-sessions mix: TTFT saved by routing turns to
+// their resident prefix versus the load imbalance the stickiness costs.
+// The mixed-bursty control row has no sessions, so affinity degenerates to
+// its base policy there — those rows must match the jsq rows exactly.
+func (e *Env) ServeSessionExperiment() *Table {
+	t := &Table{
+		ID: "servesession",
+		Title: fmt.Sprintf("Session-affinity dispatch vs load balancing, OPT-1.3B, %d requests, %d replicas, prefix reuse on",
+			serveMixRequests, serveSessionReplicas),
+		Header: []string{"mix", "dispatch", "served", "TTFT p50", "TTFT p99",
+			"e2e p99", "hits", "reused tok", "affinity", "assigned"},
+	}
+	type cell struct {
+		mix    string
+		reqs   []serve.Request
+		policy serve.ClusterConfig
+	}
+	var cells []cell
+	for _, mix := range []servegen.Mix{servegen.ChatSessions(), servegen.MixedBursty()} {
+		reqs, err := mix.Generate(serveMixRequests, e.Seed)
+		if err != nil {
+			panic("harness: " + err.Error())
+		}
+		for _, p := range serveSessionPolicies {
+			cells = append(cells, cell{mix: mix.Name, reqs: reqs, policy: p})
+		}
+	}
+	reports := runCells(e, cells, func(c cell) []string {
+		rep, err := serve.ServeCluster(c.reqs, e.clusterMgrFactory(), serve.ClusterConfig{
+			Replicas:     serveSessionReplicas,
+			Dispatch:     c.policy.Dispatch,
+			AffinityBase: c.policy.AffinityBase,
+			Server: serve.ServerConfig{
+				MaxBatch:     serveMixMaxBatch,
+				PrefixReuse:  true,
+				ExactSamples: e.ExactSamples,
+			},
+		})
+		label := string(c.policy.Dispatch)
+		if c.policy.AffinityBase != "" {
+			label += "/" + string(c.policy.AffinityBase)
+		}
+		if err != nil {
+			return []string{c.mix, label, "OOM", "-", "-", "-", "-", "-", "-", "-"}
+		}
+		spread := make([]string, len(rep.Assigned))
+		for i, n := range rep.Assigned {
+			spread[i] = fmt.Sprint(n)
+		}
+		return []string{c.mix, label, fmt.Sprint(rep.Served),
+			ms(rep.TTFT.P50), ms(rep.TTFT.P99), ms(rep.E2E.P99),
+			fmt.Sprint(rep.PrefixHits), fmt.Sprint(rep.ReusedTokens),
+			fmt.Sprint(rep.AffinityRouted), strings.Join(spread, "/")}
+	})
+	for _, row := range reports {
+		t.AddRow(row...)
+	}
+	t.AddNote("one request stream per mix, sharded by the dispatch policy; hits/reused tok count the")
+	t.AddNote("prefill skipped on a resident session prefix, affinity the requests the sticky probe")
+	t.AddNote("routed. chat-sessions: affinity turns misses into hits; mixed-bursty has no sessions,")
+	t.AddNote("so its affinity rows reproduce the base policy exactly and affinity stays 0.")
+	return t
+}

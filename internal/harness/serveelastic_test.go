@@ -94,7 +94,7 @@ func TestServeElasticScalingBehaviour(t *testing.T) {
 // while round-robin splits evenly.
 func TestServeElasticHeteroCapacityAware(t *testing.T) {
 	tbl := NewEnv().serveElasticHetero()
-	if len(tbl.Rows) != 3 {
+	if len(tbl.Rows) != 4 {
 		t.Fatalf("%d rows", len(tbl.Rows))
 	}
 	ratio := func(row []string) float64 {
@@ -110,7 +110,9 @@ func TestServeElasticHeteroCapacityAware(t *testing.T) {
 			if r := ratio(row); r < 0.9 || r > 1.2 {
 				t.Errorf("round-robin big/small ratio %v, want ~1", r)
 			}
-		case "jsq", "least-kv":
+		case "jsq", "least-kv", "session-affinity":
+			// session-affinity on a sessionless mix degenerates to its
+			// jsq fallback, so it must stay capacity-aware too.
 			if r := ratio(row); r < 1.5 {
 				t.Errorf("%s big/small ratio %v, want ~2 (capacity-aware)", row[0], r)
 			}

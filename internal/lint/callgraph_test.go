@@ -210,6 +210,7 @@ func TestEntrypointRootsCoverRealTree(t *testing.T) {
 		"core.Allocator.Alloc",
 		"core.Allocator.Free",
 		"reqtrace.Trace.Replay",
+		"servegen.Mix.Generate",
 	} {
 		if !roots[want] {
 			t.Errorf("entrypoint %s missing from call-graph roots; got %v", want, roots)

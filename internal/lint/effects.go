@@ -33,6 +33,7 @@ var entrypointRoots = []rootSpec{
 	{"internal/core", "Allocator", "Alloc"},
 	{"internal/core", "Allocator", "Free"},
 	{"internal/reqtrace", "Trace", "Replay"},
+	{"internal/servegen", "Mix", "Generate"},
 }
 
 // entrypointDirective marks a function as a determinism root from source.

@@ -30,6 +30,15 @@ import (
 // Read sniffs the first byte ('{' = JSONL, '#' = CSV) so either format can
 // be piped in under any file name; WriteFile picks CSV for a .csv path and
 // JSONL otherwise.
+//
+// Session identity is carried backward-compatibly. JSONL records of a
+// session trace add "session_id" and "turn" keys (omitted on one-shot
+// records, so a sessionless trace writes byte-identically to the pre-session
+// format). A CSV session trace appends session_id and turn columns to the
+// header and every row; a sessionless trace writes the original six-column
+// format byte for byte. Readers accept both layouts under the same version
+// comment, so every v1 file written before the extension still reads, with
+// zero session fields.
 
 type jsonHeader struct {
 	Format  string `json:"format"`
@@ -43,9 +52,27 @@ type jsonRecord struct {
 	Priority  int    `json:"priority,omitempty"`
 	Prompt    int    `json:"prompt_tokens"`
 	Output    int    `json:"output_tokens"`
+	SessionID string `json:"session_id,omitempty"`
+	Turn      int    `json:"turn,omitempty"`
 }
 
-var csvHeader = []string{"arrival_ns", "class", "slo", "priority", "prompt_tokens", "output_tokens"}
+var (
+	csvHeader = []string{"arrival_ns", "class", "slo", "priority", "prompt_tokens", "output_tokens"}
+	// csvSessionHeader is the extended layout a trace with sessions writes;
+	// readers accept either.
+	csvSessionHeader = append(append([]string(nil), csvHeader...), "session_id", "turn")
+)
+
+// hasSessions reports whether any record carries a session id — the
+// write-side switch between the original and the extended CSV layout.
+func (t Trace) hasSessions() bool {
+	for _, r := range t.Records {
+		if r.SessionID != "" {
+			return true
+		}
+	}
+	return false
+}
 
 // WriteJSONL writes the trace in the JSONL format.
 func (t Trace) WriteJSONL(w io.Writer) error {
@@ -62,6 +89,8 @@ func (t Trace) WriteJSONL(w io.Writer) error {
 			Priority:  r.Priority,
 			Prompt:    r.Prompt,
 			Output:    r.Output,
+			SessionID: r.SessionID,
+			Turn:      r.Turn,
 		}
 		if err := enc.Encode(jr); err != nil {
 			return fmt.Errorf("reqtrace: write record %d: %w", i, err)
@@ -70,14 +99,21 @@ func (t Trace) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteCSV writes the trace in the CSV format.
+// WriteCSV writes the trace in the CSV format: the extended session layout
+// when any record carries a session id, the original six-column layout —
+// byte for byte — otherwise.
 func (t Trace) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "#reqtrace v%d\n", Version); err != nil {
 		return err
 	}
+	sessions := t.hasSessions()
+	header := csvHeader
+	if sessions {
+		header = csvSessionHeader
+	}
 	cw := csv.NewWriter(bw)
-	if err := cw.Write(csvHeader); err != nil {
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, r := range t.Records {
@@ -87,6 +123,9 @@ func (t Trace) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Priority),
 			strconv.Itoa(r.Prompt),
 			strconv.Itoa(r.Output),
+		}
+		if sessions {
+			row = append(row, r.SessionID, strconv.Itoa(r.Turn))
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -151,12 +190,14 @@ func readJSONL(br *bufio.Reader) (Trace, error) {
 			return Trace{}, fmt.Errorf("reqtrace: line %d: %w", line, err)
 		}
 		t.Records = append(t.Records, Record{
-			Arrival:  time.Duration(jr.ArrivalNS),
-			Class:    jr.Class,
-			SLO:      jr.SLO,
-			Priority: jr.Priority,
-			Prompt:   jr.Prompt,
-			Output:   jr.Output,
+			Arrival:   time.Duration(jr.ArrivalNS),
+			Class:     jr.Class,
+			SLO:       jr.SLO,
+			Priority:  jr.Priority,
+			Prompt:    jr.Prompt,
+			Output:    jr.Output,
+			SessionID: jr.SessionID,
+			Turn:      jr.Turn,
 		})
 	}
 	if err := sc.Err(); err != nil {
@@ -177,34 +218,58 @@ func readCSV(br *bufio.Reader) (Trace, error) {
 	if v > Version {
 		return Trace{}, fmt.Errorf("reqtrace: trace version %d is newer than supported %d", v, Version)
 	}
+	// Rows are length-checked against the header below; the csv package
+	// only needs to deliver them (both accepted layouts are rectangular).
 	cr := csv.NewReader(br)
-	cr.FieldsPerRecord = len(csvHeader)
+	cr.FieldsPerRecord = -1
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return Trace{}, fmt.Errorf("reqtrace: %w", err)
 	}
-	if len(rows) == 0 || strings.Join(rows[0], ",") != strings.Join(csvHeader, ",") {
+	if len(rows) == 0 {
 		return Trace{}, fmt.Errorf("reqtrace: missing CSV column header %q", strings.Join(csvHeader, ","))
+	}
+	var sessions bool
+	switch strings.Join(rows[0], ",") {
+	case strings.Join(csvHeader, ","):
+	case strings.Join(csvSessionHeader, ","):
+		sessions = true
+	default:
+		return Trace{}, fmt.Errorf("reqtrace: missing CSV column header %q or %q",
+			strings.Join(csvHeader, ","), strings.Join(csvSessionHeader, ","))
+	}
+	width := len(csvHeader)
+	if sessions {
+		width = len(csvSessionHeader)
 	}
 	var t Trace
 	for i, row := range rows[1:] {
+		if len(row) != width {
+			return Trace{}, fmt.Errorf("reqtrace: CSV row %d has %d fields, want %d", i+1, len(row), width)
+		}
 		arrival, err1 := strconv.ParseInt(row[0], 10, 64)
 		prio, err2 := strconv.Atoi(row[3])
 		prompt, err3 := strconv.Atoi(row[4])
 		output, err4 := strconv.Atoi(row[5])
-		for _, err := range []error{err1, err2, err3, err4} {
+		rec := Record{
+			Class: row[1],
+			SLO:   row[2],
+		}
+		var err5 error
+		if sessions {
+			rec.SessionID = row[6]
+			rec.Turn, err5 = strconv.Atoi(row[7])
+		}
+		for _, err := range []error{err1, err2, err3, err4, err5} {
 			if err != nil {
 				return Trace{}, fmt.Errorf("reqtrace: CSV row %d: %w", i+1, err)
 			}
 		}
-		t.Records = append(t.Records, Record{
-			Arrival:  time.Duration(arrival),
-			Class:    row[1],
-			SLO:      row[2],
-			Priority: prio,
-			Prompt:   prompt,
-			Output:   output,
-		})
+		rec.Arrival = time.Duration(arrival)
+		rec.Priority = prio
+		rec.Prompt = prompt
+		rec.Output = output
+		t.Records = append(t.Records, rec)
 	}
 	return t, nil
 }

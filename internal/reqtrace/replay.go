@@ -87,9 +87,18 @@ func (t Trace) Replay(opts ReplayOptions) ([]serve.Request, error) {
 	out := make([]serve.Request, n)
 	for i := range out {
 		r := t.Records[i%n0]
-		at := r.Arrival + time.Duration(i/n0)*period
+		pass := i / n0
+		at := r.Arrival + time.Duration(pass)*period
 		if scale != 1 {
 			at = time.Duration(float64(at) / scale)
+		}
+		sid := r.SessionID
+		if sid != "" && pass > 0 {
+			// Each loop pass replays distinct conversations: suffixing the
+			// session id by the pass keeps a looped session from colliding
+			// with its earlier copies (same turns, much later arrivals),
+			// which would violate turn ordering and fake prefix hits.
+			sid = fmt.Sprintf("%s~%d", sid, pass)
 		}
 		out[i] = serve.Request{
 			ID:        i,
@@ -99,6 +108,8 @@ func (t Trace) Replay(opts ReplayOptions) ([]serve.Request, error) {
 			ArrivalAt: at,
 			PromptLen: r.Prompt,
 			OutputLen: r.Output,
+			SessionID: sid,
+			Turn:      r.Turn,
 		}
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 // Package reqtrace captures, stores, replays and calibrates request-level
 // serving traces: the (arrival offset, client class, SLO, priority, prompt
-// tokens, output tokens) tuples a multi-tenant inference service observes.
+// tokens, output tokens) tuples a multi-tenant inference service observes,
+// plus the session identity (SessionID/Turn) of multi-turn workloads.
 // It closes the specify→observe→calibrate loop around internal/servegen:
 // a synthetic mix generates a stream, a Capture hook records what a
 // Serve/ServeCluster run actually completed, Replay turns the trace back
@@ -43,6 +44,13 @@ type Record struct {
 	Priority int
 	Prompt   int
 	Output   int
+
+	// SessionID and Turn carry the request's multi-turn session identity
+	// (serve.Request.SessionID/Turn). Both zero for one-shot requests —
+	// traces captured before the session format extension read back with
+	// exactly these zero values.
+	SessionID string
+	Turn      int
 }
 
 // Trace is an ordered request trace: records sorted by arrival offset.
@@ -65,12 +73,14 @@ func FromRequests(reqs []serve.Request) Trace {
 	t := Trace{Records: make([]Record, len(sorted))}
 	for i, r := range sorted {
 		t.Records[i] = Record{
-			Arrival:  r.ArrivalAt,
-			Class:    r.Class,
-			SLO:      r.SLO,
-			Priority: r.Priority,
-			Prompt:   r.PromptLen,
-			Output:   r.OutputLen,
+			Arrival:   r.ArrivalAt,
+			Class:     r.Class,
+			SLO:       r.SLO,
+			Priority:  r.Priority,
+			Prompt:    r.PromptLen,
+			Output:    r.OutputLen,
+			SessionID: r.SessionID,
+			Turn:      r.Turn,
 		}
 	}
 	return t
@@ -90,17 +100,23 @@ func (t Trace) Requests() []serve.Request {
 			ArrivalAt: r.Arrival,
 			PromptLen: r.Prompt,
 			OutputLen: r.Output,
+			SessionID: r.SessionID,
+			Turn:      r.Turn,
 		}
 	}
 	return out
 }
 
 // Validate checks the trace is well-formed: at least one record, arrivals
-// non-negative and non-decreasing, token counts positive.
+// non-negative and non-decreasing, token counts positive, and session
+// identity consistent — a sessionless record carries Turn 0, and a session's
+// turns appear in strictly increasing Turn order along the trace (arrival
+// order), since turn N+1 cannot have been observed before turn N.
 func (t Trace) Validate() error {
 	if len(t.Records) == 0 {
 		return fmt.Errorf("reqtrace: empty trace")
 	}
+	lastTurn := map[string]int{}
 	for i, r := range t.Records {
 		if r.Arrival < 0 {
 			return fmt.Errorf("reqtrace: record %d arrival %v", i, r.Arrival)
@@ -112,6 +128,20 @@ func (t Trace) Validate() error {
 		if r.Prompt <= 0 || r.Output <= 0 {
 			return fmt.Errorf("reqtrace: record %d tokens prompt=%d output=%d", i, r.Prompt, r.Output)
 		}
+		if r.SessionID == "" {
+			if r.Turn != 0 {
+				return fmt.Errorf("reqtrace: record %d has turn %d without a session id", i, r.Turn)
+			}
+			continue
+		}
+		if r.Turn < 0 {
+			return fmt.Errorf("reqtrace: record %d session %q turn %d", i, r.SessionID, r.Turn)
+		}
+		if last, seen := lastTurn[r.SessionID]; seen && r.Turn <= last {
+			return fmt.Errorf("reqtrace: record %d session %q turn %d not after turn %d",
+				i, r.SessionID, r.Turn, last)
+		}
+		lastTurn[r.SessionID] = r.Turn
 	}
 	return nil
 }

@@ -1,0 +1,182 @@
+package reqtrace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/servegen"
+	"repro/internal/sim"
+)
+
+func sessionTrace() Trace {
+	return Trace{Records: []Record{
+		{Arrival: 0, Class: "chat", SLO: "interactive", Priority: 2, Prompt: 64, Output: 16, SessionID: "c#0", Turn: 0},
+		{Arrival: 100 * time.Millisecond, Class: "batch", SLO: "batch", Prompt: 128, Output: 32},
+		{Arrival: 2 * time.Second, Class: "chat", SLO: "interactive", Priority: 2, Prompt: 104, Output: 20, SessionID: "c#0", Turn: 1},
+		{Arrival: 5 * time.Second, Class: "chat", SLO: "interactive", Priority: 2, Prompt: 148, Output: 12, SessionID: "c#0", Turn: 2},
+	}}
+}
+
+// TestSessionTraceRoundTrip: session identity survives both file formats
+// numerically exactly, alongside sessionless records in the same trace.
+func TestSessionTraceRoundTrip(t *testing.T) {
+	want := sessionTrace()
+	for _, f := range []struct {
+		name  string
+		write func(Trace, *bytes.Buffer) error
+	}{
+		{"jsonl", func(tr Trace, b *bytes.Buffer) error { return tr.WriteJSONL(b) }},
+		{"csv", func(tr Trace, b *bytes.Buffer) error { return tr.WriteCSV(b) }},
+	} {
+		var buf bytes.Buffer
+		if err := f.write(want, &buf); err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s round trip diverged:\ngot  %+v\nwant %+v", f.name, got, want)
+		}
+	}
+}
+
+// TestSessionlessOutputUnchanged: a trace with no sessions must serialize
+// byte-for-byte in the pre-session layouts — no new columns, no new keys.
+func TestSessionlessOutputUnchanged(t *testing.T) {
+	tr := Trace{Records: []Record{
+		{Arrival: 0, Class: "chat", SLO: "interactive", Priority: 2, Prompt: 64, Output: 16},
+		{Arrival: time.Second, Prompt: 32, Output: 8},
+	}}
+	var jsonl bytes.Buffer
+	if err := tr.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(jsonl.String(), "session_id") || strings.Contains(jsonl.String(), "turn") {
+		t.Fatalf("sessionless JSONL mentions session fields:\n%s", jsonl.String())
+	}
+	var csv bytes.Buffer
+	if err := tr.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(csv.String(), "session_id") {
+		t.Fatalf("sessionless CSV grew the session columns:\n%s", csv.String())
+	}
+	if !strings.Contains(csv.String(), "arrival_ns,class,slo,priority,prompt_tokens,output_tokens\n") {
+		t.Fatalf("sessionless CSV header changed:\n%s", csv.String())
+	}
+}
+
+// TestPreSessionFilesStillRead: v1 fixtures written before the session
+// extension — six-column CSV, JSONL without session keys — read back with
+// zero session fields.
+func TestPreSessionFilesStillRead(t *testing.T) {
+	jsonl := `{"format":"reqtrace","version":1}
+{"arrival_ns":0,"class":"chat","slo":"interactive","priority":2,"prompt_tokens":120,"output_tokens":64}
+{"arrival_ns":212334791,"prompt_tokens":32,"output_tokens":8}
+`
+	csv := "#reqtrace v1\narrival_ns,class,slo,priority,prompt_tokens,output_tokens\n0,chat,interactive,2,120,64\n212334791,,,0,32,8\n"
+	for name, text := range map[string]string{"jsonl": jsonl, "csv": csv} {
+		tr, err := Read(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tr.Records) != 2 {
+			t.Fatalf("%s: %d records", name, len(tr.Records))
+		}
+		for i, r := range tr.Records {
+			if r.SessionID != "" || r.Turn != 0 {
+				t.Errorf("%s record %d: unexpected session identity %q/%d", name, i, r.SessionID, r.Turn)
+			}
+		}
+	}
+}
+
+// TestValidateSessionOrdering: the session consistency rules.
+func TestValidateSessionOrdering(t *testing.T) {
+	ok := sessionTrace()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid session trace rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"turn without session", func(tr *Trace) { tr.Records[1].Turn = 1 }},
+		{"negative turn", func(tr *Trace) { tr.Records[0].Turn = -1 }},
+		{"repeated turn", func(tr *Trace) { tr.Records[2].Turn = 0 }},
+		{"decreasing turn", func(tr *Trace) { tr.Records[3].Turn = 1; tr.Records[2].Turn = 2 }},
+	}
+	for _, c := range cases {
+		tr := sessionTrace()
+		c.mutate(&tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestReplayPropagatesSessions: replay keeps session identity, and looping
+// a trace suffixes each pass's session IDs so looped conversations stay
+// valid sessions instead of colliding with their earlier copies.
+func TestReplayPropagatesSessions(t *testing.T) {
+	tr := sessionTrace()
+	once, err := tr.Replay(ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range once {
+		if r.SessionID != tr.Records[i].SessionID || r.Turn != tr.Records[i].Turn {
+			t.Fatalf("replay record %d: session %q/%d, want %q/%d",
+				i, r.SessionID, r.Turn, tr.Records[i].SessionID, tr.Records[i].Turn)
+		}
+	}
+	n := len(tr.Records)
+	looped, err := tr.Replay(ReplayOptions{N: 3 * n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := looped[n].SessionID; got != "c#0~1" {
+		t.Fatalf("pass-1 session id %q, want c#0~1", got)
+	}
+	if got := looped[2*n].SessionID; got != "c#0~2" {
+		t.Fatalf("pass-2 session id %q, want c#0~2", got)
+	}
+	// The looped stream itself must survive capture-side validation.
+	if err := FromRequests(looped).Validate(); err != nil {
+		t.Fatalf("looped session stream invalid: %v", err)
+	}
+}
+
+// TestSessionCaptureRoundTrip: generate → serve → capture → write → read →
+// replay of the session mix reproduces the exact session identities.
+func TestSessionCaptureRoundTrip(t *testing.T) {
+	reqs, err := servegen.ChatSessions().Generate(60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewCapture()
+	if _, err := serve.Serve(reqs, chunkedMgr(8*sim.GiB), serve.ServerConfig{MaxBatch: 8, OnComplete: rec.Hook()}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.Trace().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := back.Replay(ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, reqs) {
+		t.Fatal("session stream did not round-trip through capture and CSV")
+	}
+}

@@ -28,25 +28,91 @@ const (
 	// of its unfinished requests, a token-weighted shortest queue that sees
 	// the difference between ten chat turns and ten long batch jobs.
 	DispatchLeastKV DispatchPolicy = "least-kv"
+	// DispatchSessionAffinity routes a request whose session prefix is
+	// resident on an active replica to that replica — lowest index first,
+	// though a session pins to one home so at most one replica holds its
+	// prefix in practice — and everything else (first turns, invalidated
+	// prefixes, homes that are down or draining) through the
+	// ClusterConfig.AffinityBase policy, jsq when unset. Pair it with
+	// ServerConfig.PrefixReuse: without residency every probe misses and
+	// the policy degenerates to exactly its base.
+	DispatchSessionAffinity DispatchPolicy = "session-affinity"
 )
 
 // DispatchPolicies lists the accepted policies in presentation order.
 func DispatchPolicies() []DispatchPolicy {
-	return []DispatchPolicy{DispatchRoundRobin, DispatchJSQ, DispatchLeastKV}
+	return []DispatchPolicy{DispatchRoundRobin, DispatchJSQ, DispatchLeastKV, DispatchSessionAffinity}
 }
 
 // ParseDispatch resolves a policy name ("" = round-robin). Names are
 // case-insensitive and surrounding whitespace is ignored, so "JSQ" from a
 // CLI flag or " least-kv " from a hand-edited conf file resolve like their
-// canonical spellings.
+// canonical spellings. A near-miss ("sesion-affinity", "jqs") earns a
+// did-you-mean suggestion, like conf's unknown-key diagnostics.
 func ParseDispatch(name string) (DispatchPolicy, error) {
-	switch p := DispatchPolicy(strings.ToLower(strings.TrimSpace(name))); p {
+	norm := strings.ToLower(strings.TrimSpace(name))
+	switch p := DispatchPolicy(norm); p {
 	case "":
 		return DispatchRoundRobin, nil
-	case DispatchRoundRobin, DispatchJSQ, DispatchLeastKV:
+	case DispatchRoundRobin, DispatchJSQ, DispatchLeastKV, DispatchSessionAffinity:
 		return p, nil
 	}
-	return "", fmt.Errorf("serve: unknown dispatch policy %q (round-robin, jsq, least-kv)", name)
+	known := DispatchPolicies()
+	names := make([]string, len(known))
+	for i, p := range known {
+		names[i] = string(p)
+	}
+	have := strings.Join(names, ", ")
+	if guess := nearestPolicy(norm, names); guess != "" {
+		return "", fmt.Errorf("serve: unknown dispatch policy %q (did you mean %q? have %s)", name, guess, have)
+	}
+	return "", fmt.Errorf("serve: unknown dispatch policy %q (have %s)", name, have)
+}
+
+// nearestPolicy returns the known policy name closest to name in edit
+// distance, within a conservative budget — max(2, len/3), the same rule
+// conf applies to unknown keys — or "" when nothing is plausibly close
+// (garbage input should not earn a confident suggestion).
+func nearestPolicy(name string, known []string) string {
+	limit := len(name) / 3
+	if limit < 2 {
+		limit = 2
+	}
+	best, bestDist := "", limit+1
+	for _, k := range known {
+		if d := editDistance(name, k); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b, two-row DP.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if d := prev[j] + 1; d < m { // delete
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insert
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // Autoscaler defaults (see ClusterConfig).
@@ -83,6 +149,11 @@ type ClusterConfig struct {
 	Replicas int
 	// Dispatch assigns arrivals to replicas ("" = round-robin).
 	Dispatch DispatchPolicy
+	// AffinityBase is the fallback policy session-affinity dispatch uses
+	// for requests with no resident prefix anywhere ("" = jsq). It is only
+	// accepted alongside DispatchSessionAffinity and cannot itself be
+	// session-affinity.
+	AffinityBase DispatchPolicy
 	// Server is the per-replica continuous-batching configuration,
 	// including the priority-aging rate (Server.Aging).
 	Server ServerConfig
@@ -184,6 +255,10 @@ type ClusterReport struct {
 	// records arrival-time dispatch decisions).
 	Retries int
 	Lost    int
+	// AffinityRouted counts dispatch decisions session-affinity resolved
+	// by prefix residency; the policy's remaining decisions fell back to
+	// AffinityBase. Zero under every other dispatch policy.
+	AffinityRouted int
 	// Availability is the capacity-weighted fraction of provisioned
 	// replica time the fleet was actually up:
 	// 1 − Σᵢ capᵢ·downᵢ / Σᵢ capᵢ·spanᵢ, the down and busy spans both on
@@ -244,12 +319,16 @@ type repEvent struct {
 type clusterSched struct {
 	cfg      ClusterConfig
 	dispatch DispatchPolicy
-	newMgr   func(int) CacheManager
-	reqs     []Request
-	queue    []int // input indexes in arrival order
-	qi       int
-	fleet    []*clusterReplica
-	rr       int // round-robin cursor over active replicas
+	// base is session-affinity's fallback policy (jsq unless
+	// cfg.AffinityBase overrides it); unused under other dispatches.
+	base           DispatchPolicy
+	affinityRouted int
+	newMgr         func(int) CacheManager
+	reqs           []Request
+	queue          []int // input indexes in arrival order
+	qi             int
+	fleet          []*clusterReplica
+	rr             int // round-robin cursor over active replicas
 
 	// events is the single global event spine: one (next-event time,
 	// replica) entry per replica with work, min-ordered by (time, index).
@@ -383,6 +462,22 @@ func (cfg ClusterConfig) validate() (initial, fleetMax int, err error) {
 	if cfg.Server.Shed && cfg.Server.Timeout == 0 {
 		return 0, 0, fmt.Errorf("serve: shed needs a timeout to shed against")
 	}
+	dispatch, err := ParseDispatch(string(cfg.Dispatch))
+	if err != nil {
+		return 0, 0, err
+	}
+	if cfg.AffinityBase != "" && dispatch != DispatchSessionAffinity {
+		return 0, 0, fmt.Errorf("serve: affinity base %q needs session-affinity dispatch, not %q", cfg.AffinityBase, dispatch)
+	}
+	if dispatch == DispatchSessionAffinity {
+		base, err := ParseDispatch(string(cfg.AffinityBase))
+		if err != nil {
+			return 0, 0, err
+		}
+		if base == DispatchSessionAffinity {
+			return 0, 0, fmt.Errorf("serve: affinity base cannot itself be session-affinity")
+		}
+	}
 	if err := cfg.Faults.validate(fleetMax); err != nil {
 		return 0, 0, err
 	}
@@ -475,9 +570,16 @@ func newClusterSched(reqs []Request, newMgr func(int) CacheManager, cfg ClusterC
 		}
 	}
 
+	base := DispatchJSQ
+	if dispatch == DispatchSessionAffinity && cfg.AffinityBase != "" {
+		// Validated above; ParseDispatch only normalizes spelling here.
+		base, _ = ParseDispatch(string(cfg.AffinityBase))
+	}
+
 	c := &clusterSched{
 		cfg:         cfg,
 		dispatch:    dispatch,
+		base:        base,
 		newMgr:      newMgr,
 		reqs:        reqs,
 		elastic:     cfg.MaxReplicas > 0,
@@ -670,9 +772,25 @@ func (c *clusterSched) scaleUp() {
 
 // pick chooses the replica for an arriving request among the active ones.
 // Load-aware policies normalize by the replica's capacity, so a Capacity-2
-// replica absorbs twice the demand before looking equally loaded.
-func (c *clusterSched) pick() int {
-	switch c.dispatch {
+// replica absorbs twice the demand before looking equally loaded. Under
+// session-affinity a request whose session prefix is resident on an active
+// replica goes home to it regardless of load — that is the TTFT-versus-
+// imbalance trade the policy exists to measure — and every other request
+// falls back to the base policy.
+func (c *clusterSched) pick(req Request) int {
+	policy := c.dispatch
+	if policy == DispatchSessionAffinity {
+		if req.SessionID != "" {
+			for i, r := range c.fleet {
+				if r.state == replicaActive && r.srv.hasResident(req.SessionID) {
+					c.affinityRouted++
+					return i
+				}
+			}
+		}
+		policy = c.base
+	}
+	switch policy {
 	case DispatchJSQ:
 		best, bestLoad := -1, 0.0
 		for i, r := range c.fleet {
@@ -847,7 +965,7 @@ func (c *clusterSched) run() (ClusterReport, error) {
 				c.qi++
 				continue
 			}
-			r := c.pick()
+			r := c.pick(req)
 			c.fleet[r].srv.addRequest(req, int64(c.queue[c.qi]))
 			c.fleet[r].assigned++
 			c.fleet[r].dispatchedTokens += int64(req.TotalTokens())
@@ -1004,7 +1122,7 @@ func (c *clusterSched) poolLen() int {
 // recompute requeue for retried in-flight ones (which draw a fresh ticket
 // at the destination). Callers guarantee an active replica exists.
 func (c *clusterSched) redispatchOne(e redispatch) {
-	ri := c.pick()
+	ri := c.pick(e.rec.req)
 	r := c.fleet[ri]
 	if e.hasTicket {
 		r.srv.acceptStolen(waiting{rec: e.rec, seq: e.ticket}, c.now)
@@ -1074,6 +1192,7 @@ func (c *clusterSched) seal(err error) (ClusterReport, error) {
 	}
 	rep.Retries = c.retries
 	rep.Lost = c.lost
+	rep.AffinityRouted = c.affinityRouted
 	rep.Availability = 1
 	if weightedSpan > 0 {
 		rep.Availability = 1 - weightedDown/weightedSpan
@@ -1141,6 +1260,9 @@ func mergeReports(replicas []*server, undispatched []Request) Report {
 		m.DeadlineMisses += s.rep.DeadlineMisses
 		m.Shed += s.rep.Shed
 		m.Goodput += s.rep.Goodput
+		m.PrefixHits += s.rep.PrefixHits
+		m.PrefixMisses += s.rep.PrefixMisses
+		m.ReusedTokens += s.rep.ReusedTokens
 		if s.rep.Duration > m.Duration {
 			m.Duration = s.rep.Duration
 		}

@@ -29,7 +29,7 @@ func (c *clusterSched) runScan() (ClusterReport, error) {
 			req := c.reqs[c.queue[c.qi]]
 			c.advance(req.ArrivalAt)
 			c.autoscale()
-			r := c.pick()
+			r := c.pick(req)
 			c.fleet[r].srv.addRequest(req, int64(c.queue[c.qi]))
 			c.fleet[r].assigned++
 			c.fleet[r].dispatchedTokens += int64(req.TotalTokens())

@@ -30,6 +30,29 @@
 // split — the memory-footprint proxy the scale benchmark tracks. Negative
 // ExactSamples sketches from the first sample.
 //
+// # Sessions and KV prefix reuse
+//
+// Requests can belong to multi-turn sessions (Request.SessionID/Turn): turn
+// N+1's prompt embeds turn N's prompt and output as a shared prefix. With
+// ServerConfig.PrefixReuse enabled a server remembers, per session, how many
+// context tokens of the last completed turn are still resident in its KV
+// cache; a follow-up turn that finds its prefix resident skips that many
+// prompt tokens of prefill — its TTFT drops by exactly the skipped
+// prefill time. Residency interacts honestly with the failure and memory
+// paths: a crash clears the whole table, and preemption-recompute, a
+// deadline abort or a shed of a session's sequence invalidates that
+// session's entry (the recompute throws the shared prefix away). Reports
+// grow PrefixHits, PrefixMisses and ReusedTokens. Zero-session request
+// streams and PrefixReuse-off configurations take none of these paths and
+// reproduce the pre-session scheduler byte for byte.
+//
+// At the cluster level the DispatchSessionAffinity policy routes a turn to
+// the replica whose prefix table holds its session, falling back to
+// ClusterConfig.AffinityBase (jsq when unset) when the prefix is gone or
+// the replica is down or draining — trading TTFT saved for the load
+// imbalance session pinning induces, which ClusterReport.AffinityRouted
+// and the per-replica Assigned counts quantify.
+//
 // # Failure model and the event-boundary determinism contract
 //
 // A cluster run can inject replica faults (ClusterConfig.Faults): a crash
@@ -97,6 +120,14 @@ type Request struct {
 
 	PromptLen int // tokens in the prompt (prefill)
 	OutputLen int // tokens to generate (decode steps)
+
+	// SessionID ties multi-turn requests together: turn N+1 of a session
+	// carries the same SessionID and its prompt embeds turn N's prompt and
+	// output as a shared prefix. An empty SessionID (with Turn 0) is the
+	// original one-shot request and takes none of the session code paths.
+	SessionID string
+	// Turn is the request's 0-based position within its session.
+	Turn int
 }
 
 // TotalTokens returns the sequence length at completion.

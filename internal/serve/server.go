@@ -78,6 +78,18 @@ type ServerConfig struct {
 	// existing experiment tables stay byte-identical — and a negative value
 	// sketches from the first sample.
 	ExactSamples int
+
+	// PrefixReuse enables session KV prefix reuse: the server remembers,
+	// per SessionID, the context tokens (prompt+output) of the session's
+	// last completed turn and lets a follow-up turn whose prompt embeds
+	// that context skip that many prompt tokens of prefill — its TTFT
+	// drops by exactly the skipped prefill time. Residency is invalidated
+	// by recompute-preemption, deadline aborts and sheds of the session's
+	// sequence, and cleared wholesale by a crash. The reuse is a compute
+	// model only: KV memory is still allocated for the full sequence, so
+	// the fragmentation story is untouched. Off (the default) reproduces
+	// the session-unaware server exactly, whatever the requests carry.
+	PrefixReuse bool
 }
 
 // LatencySummary holds nearest-rank percentiles of a latency sample.
@@ -158,6 +170,17 @@ type Report struct {
 	DeadlineMisses int64
 	Shed           int64
 	Goodput        int
+
+	// Session prefix-reuse accounting (PR 10); all zero unless
+	// ServerConfig.PrefixReuse is on and requests carry sessions.
+	// PrefixHits counts admissions that found their session's prefix
+	// resident, skipping ReusedTokens prompt tokens of prefill in total;
+	// PrefixMisses counts follow-up turns (Turn > 0) admitted with no
+	// resident prefix — invalidated by a fault or eviction, never
+	// established, or held by a different replica.
+	PrefixHits   int64
+	PrefixMisses int64
+	ReusedTokens int64
 
 	// Duration is the virtual makespan of the run.
 	Duration time.Duration
@@ -290,6 +313,14 @@ type server struct {
 	// KV demand (dispatched tokens − doneTokens).
 	doneTokens int64
 
+	// prefixReuse gates the session residency model; resident maps a
+	// SessionID to the context tokens (prompt+output) of its last
+	// completed turn, nil when reuse is off. Point lookups and deletes
+	// only — the map is never ranged, so it stays outside every
+	// report-ordering path.
+	prefixReuse bool
+	resident    map[string]int
+
 	batchSum, wasteSum float64
 	classPreempt       map[string]int64
 	// classTokenSteps accumulates per-class KV token-steps in boxed cells
@@ -363,6 +394,7 @@ func newEmptyServer(mgr CacheManager, cfg ServerConfig) (*server, error) {
 		timeout:         cfg.Timeout,
 		shed:            cfg.Shed,
 		onComplete:      cfg.OnComplete,
+		prefixReuse:     cfg.PrefixReuse,
 		exactSamples:    limit,
 		classes:         map[string]*classAgg{},
 		allTTFT:         newLatDigest(limit),
@@ -377,6 +409,9 @@ func newEmptyServer(mgr CacheManager, cfg ServerConfig) (*server, error) {
 		return a.seq < b.seq
 	})
 	s.victims = container.NewTree[*active](s.victimLess)
+	if cfg.PrefixReuse {
+		s.resident = map[string]int{}
+	}
 	if s.stepTime == 0 {
 		s.stepTime = DefaultStepTime
 	}
@@ -501,6 +536,11 @@ func (s *server) crash(at time.Duration) (inflight []*track, queued []waiting) {
 	for s.future.len() > 0 {
 		queued = append(queued, s.future.popMin())
 	}
+	// The crash lost the whole KV cache, session prefixes included: every
+	// residency entry goes at once, so post-restart follow-up turns miss.
+	if s.prefixReuse {
+		s.resident = map[string]int{}
+	}
 	s.rep.Crashes++
 	return inflight, queued
 }
@@ -560,6 +600,7 @@ func (s *server) minServiceTime(rec *track) time.Duration {
 // token — exactly like any other unfinished request.
 func (s *server) drop(rec *track) {
 	s.doneTokens += int64(rec.req.TotalTokens())
+	s.invalidateResident(rec.req.SessionID)
 	s.recordUnfinished(rec)
 }
 
@@ -611,9 +652,52 @@ func (s *server) admit() (prefillTokens int64, err error) {
 		a.tokenBox = s.tokenCell(rec.class())
 		a.node = s.victims.Insert(a)
 		s.running = append(s.running, a)
-		prefillTokens += int64(rec.req.PromptLen)
+		prefillTokens += s.prefillNeed(rec.req)
 	}
 	return prefillTokens, nil
+}
+
+// prefillNeed is the prompt tokens req must actually prefill at admission:
+// its full prompt, minus the session prefix still resident when reuse is
+// on. Hit/miss/reused accounting happens here, at the admission that
+// consumed (or missed) the residency; a request re-admitted after a
+// recompute-preemption prefills in full again, because evict invalidated
+// its session's entry along with the KV.
+func (s *server) prefillNeed(req Request) int64 {
+	need := int64(req.PromptLen)
+	if !s.prefixReuse || req.SessionID == "" {
+		return need
+	}
+	if res := int64(s.resident[req.SessionID]); res > 0 {
+		reused := res
+		if reused > need {
+			reused = need
+		}
+		s.rep.PrefixHits++
+		s.rep.ReusedTokens += reused
+		return need - reused
+	}
+	if req.Turn > 0 {
+		s.rep.PrefixMisses++
+	}
+	return need
+}
+
+// invalidateResident drops sid's session residency: recompute-preemption,
+// deadline aborts and sheds throw the shared prefix away, so the session's
+// next turn prefills in full.
+func (s *server) invalidateResident(sid string) {
+	if s.prefixReuse && sid != "" {
+		delete(s.resident, sid)
+	}
+}
+
+// hasResident reports whether sid's prefix is resident on this server —
+// the cluster's session-affinity probe. Safe on a reuse-off server (the
+// nil map never holds anything).
+func (s *server) hasResident(sid string) bool {
+	_, ok := s.resident[sid]
+	return ok
 }
 
 // jumpToNextArrival advances the idle server's clock to the next pending
@@ -653,6 +737,7 @@ func (s *server) evict(a *active) {
 	a.evicted = true
 	s.removeFromBatch(a)
 	s.mgr.Release(a.handle)
+	s.invalidateResident(a.rec.req.SessionID)
 	s.enqueue(a.rec)
 }
 
@@ -740,6 +825,11 @@ func (s *server) step(prefillTokens int64) error {
 			s.recordCompletion(a.rec)
 			s.removeFromBatch(a)
 			s.mgr.Release(a.handle)
+			if s.prefixReuse && a.rec.req.SessionID != "" {
+				// The completed turn's full context becomes the session's
+				// resident prefix for the follow-up turn.
+				s.resident[a.rec.req.SessionID] = tokens
+			}
 			if s.onComplete != nil {
 				s.onComplete(a.rec.req)
 			}

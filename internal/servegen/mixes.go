@@ -107,13 +107,15 @@ func MixedBursty() Mix {
 // constructors. "chat+batch" is the ServeGen-style shorthand for the mixed
 // bursty workload.
 var mixAliases = map[string]func() Mix{
-	"chat":         ChatHeavy,
-	"chat-heavy":   ChatHeavy,
-	"batch":        BatchHeavy,
-	"batch-heavy":  BatchHeavy,
-	"mixed":        MixedBursty,
-	"mixed-bursty": MixedBursty,
-	"chat+batch":   MixedBursty,
+	"chat":          ChatHeavy,
+	"chat-heavy":    ChatHeavy,
+	"batch":         BatchHeavy,
+	"batch-heavy":   BatchHeavy,
+	"mixed":         MixedBursty,
+	"mixed-bursty":  MixedBursty,
+	"chat+batch":    MixedBursty,
+	"sessions":      ChatSessions,
+	"chat-sessions": ChatSessions,
 }
 
 // MixNames returns the accepted serve_mix names, sorted.

@@ -6,6 +6,13 @@
 // this structure — a few heavy-rate bursty clients over a long tail of
 // steady ones — which a single homogeneous mix cannot reproduce.
 //
+// Classes can be multi-turn (ClientClass.Sessions): each arrival starts a
+// session whose follow-up turns arrive after think-time gaps and carry a
+// prompt that embeds the prior turns' prompt+output as a growing shared
+// prefix, tagged with SessionID/Turn — the workload shape the serving side's
+// KV prefix-reuse model and session-affinity dispatch exploit. ChatSessions
+// is the predefined session-heavy mix.
+//
 // Everything is driven by the repository's seeded PRNG: the same seed yields
 // a byte-identical request stream, so serving experiments are replayable and
 // differential tests can compare KV-cache policies on the exact same
@@ -427,8 +434,15 @@ type ClientClass struct {
 	Share float64
 	// Arrival is the class's arrival process.
 	Arrival ArrivalProcess
-	// Prompt and Output are the class's token-length distributions.
+	// Prompt and Output are the class's token-length distributions. For a
+	// session class they parameterize turn 0; follow-up turns grow the
+	// prompt per the session profile.
 	Prompt, Output LengthDist
+	// Sessions, when non-nil, makes the class multi-turn: each arrival the
+	// class's arrival process produces starts a session whose follow-up
+	// turns share a growing prompt prefix. Nil keeps the class one-shot.
+	// See SessionProfile.
+	Sessions *SessionProfile
 }
 
 // Mix is a multi-tenant serving workload: an aggregate request rate
@@ -471,6 +485,11 @@ func (m Mix) Validate() error {
 		if err := c.Output.validate("class " + c.Name + " output"); err != nil {
 			return err
 		}
+		if c.Sessions != nil {
+			if err := c.Sessions.validate("class " + c.Name); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -498,6 +517,15 @@ func (m Mix) WithBurstCV(cv float64) Mix {
 // ordered by arrival and identified 0..n-1. The same (mix, n, seed) yields
 // a byte-identical stream; the per-class sub-streams are seeded
 // independently, so adding a class does not perturb the others' draws.
+//
+// A session class's arrival process produces session starts rather than
+// individual requests: each start expands into that session's turns (same
+// SessionID, consecutive Turn numbers, think-time gaps, growing prompt —
+// see SessionProfile), so the class contributes its sessions' turns to the
+// merge. Turn arrivals are strictly increasing within a session and the
+// merge sort is stable, so the first-n truncation always keeps a prefix of
+// each session's turns — a turn never appears without its predecessors.
+// A mix with no session classes draws exactly the sequence it always did.
 func (m Mix) Generate(n int, seed uint64) ([]serve.Request, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("servegen: %d requests", n)
@@ -519,6 +547,12 @@ func (m Mix) Generate(n int, seed uint64) ([]serve.Request, error) {
 		rng := sim.NewRNG(root.Uint64())
 		rate := m.Rate * c.Share / totalShare
 		times := c.Arrival.arrivals(rng, rate, n)
+		if c.Sessions != nil {
+			for si, at := range times {
+				all = append(all, c.Sessions.expand(rng, c, si, at)...)
+			}
+			continue
+		}
 		for _, at := range times {
 			all = append(all, serve.Request{
 				Class:     c.Name,

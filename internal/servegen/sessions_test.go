@@ -1,0 +1,173 @@
+package servegen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSessionGenerateDeterministic: the session mix is a pure function of
+// (mix, n, seed) like every other mix.
+func TestSessionGenerateDeterministic(t *testing.T) {
+	a, err := ChatSessions().Generate(150, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChatSessions().Generate(150, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different session streams")
+	}
+	c, err := ChatSessions().Generate(150, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical session streams")
+	}
+}
+
+// TestSessionStreamShape checks the generated conversations turn by turn:
+// contiguous turn numbers from 0, strictly increasing arrivals within a
+// session, prompts that grow by at least the prior output until the cap,
+// and session identity confined to the session class.
+func TestSessionStreamShape(t *testing.T) {
+	mix := ChatSessions()
+	cap := mix.Classes[0].Sessions.MaxPrompt
+	reqs, err := mix.Generate(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type turn struct {
+		at             time.Duration
+		prompt, output int
+	}
+	bySession := map[string][]turn{}
+	var sawSession, sawOneShot bool
+	for _, r := range reqs {
+		if r.SessionID == "" {
+			sawOneShot = true
+			if r.Turn != 0 {
+				t.Fatalf("one-shot request %d has turn %d", r.ID, r.Turn)
+			}
+			if r.Class != "batch-backfill" {
+				t.Fatalf("sessionless request from session class %q", r.Class)
+			}
+			continue
+		}
+		sawSession = true
+		if r.Class != "chat-turns" {
+			t.Fatalf("session request from one-shot class %q", r.Class)
+		}
+		if r.Turn != len(bySession[r.SessionID]) {
+			t.Fatalf("session %s: turn %d out of order (have %d turns)",
+				r.SessionID, r.Turn, len(bySession[r.SessionID]))
+		}
+		bySession[r.SessionID] = append(bySession[r.SessionID], turn{r.ArrivalAt, r.PromptLen, r.OutputLen})
+	}
+	if !sawSession || !sawOneShot {
+		t.Fatalf("mix did not produce both tenants: sessions=%v one-shots=%v", sawSession, sawOneShot)
+	}
+	var multi int
+	for sid, turns := range bySession {
+		if len(turns) > 1 {
+			multi++
+		}
+		for i := 1; i < len(turns); i++ {
+			if turns[i].at <= turns[i-1].at {
+				t.Fatalf("session %s: turn %d arrival %v not after %v", sid, i, turns[i].at, turns[i-1].at)
+			}
+			// prompt[i] = prompt[i-1] + output[i-1] + delta, saturating at the
+			// cap; delta >= 1, so growth is strict until the cap binds.
+			grown := turns[i].prompt > turns[i-1].prompt+turns[i-1].output
+			if !grown && turns[i].prompt != cap {
+				t.Fatalf("session %s: turn %d prompt %d does not embed turn %d (prompt %d + output %d) and is not the cap %d",
+					sid, i, turns[i].prompt, i-1, turns[i-1].prompt, turns[i-1].output, cap)
+			}
+			if turns[i].prompt > cap {
+				t.Fatalf("session %s: turn %d prompt %d above cap %d", sid, i, turns[i].prompt, cap)
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-turn session in 200 requests")
+	}
+}
+
+// TestSessionTruncationKeepsTurnPrefix: first-n truncation of the merged
+// stream must keep every surviving session a contiguous turn prefix — serve
+// cannot be handed turn 3 of a conversation whose turn 2 was cut.
+func TestSessionTruncationKeepsTurnPrefix(t *testing.T) {
+	for _, n := range []int{1, 7, 25, 60, 140} {
+		reqs, err := ChatSessions().Generate(n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) != n {
+			t.Fatalf("n=%d: got %d requests", n, len(reqs))
+		}
+		next := map[string]int{}
+		for _, r := range reqs {
+			if r.SessionID == "" {
+				continue
+			}
+			if r.Turn != next[r.SessionID] {
+				t.Fatalf("n=%d: session %s jumped to turn %d, want %d",
+					n, r.SessionID, r.Turn, next[r.SessionID])
+			}
+			next[r.SessionID]++
+		}
+	}
+}
+
+// TestSessionMixAliases: the conf-facing names resolve to the session mix.
+func TestSessionMixAliases(t *testing.T) {
+	for _, name := range []string{"chat-sessions", "sessions"} {
+		m, err := MixByName(name)
+		if err != nil {
+			t.Fatalf("MixByName(%q): %v", name, err)
+		}
+		if m.Name != "chat-sessions" {
+			t.Fatalf("MixByName(%q) = %q", name, m.Name)
+		}
+		if m.Classes[0].Sessions == nil {
+			t.Fatalf("MixByName(%q) lost the session profile", name)
+		}
+	}
+}
+
+// TestSessionlessMixesCarryNoSessions: the pre-session mixes must generate
+// exactly what they always did — in particular, zero session identity.
+func TestSessionlessMixesCarryNoSessions(t *testing.T) {
+	for _, m := range []Mix{ChatHeavy(), BatchHeavy(), MixedBursty()} {
+		reqs, err := m.Generate(80, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reqs {
+			if r.SessionID != "" || r.Turn != 0 {
+				t.Fatalf("%s: request %d carries session identity %q/%d", m.Name, r.ID, r.SessionID, r.Turn)
+			}
+		}
+	}
+}
+
+// TestSessionProfileValidation: malformed profiles are rejected up front.
+func TestSessionProfileValidation(t *testing.T) {
+	base := ChatSessions()
+	break1 := base
+	break1.Classes = append([]ClientClass(nil), base.Classes...)
+	c := break1.Classes[0]
+	c.Sessions = &SessionProfile{Turns: Uniform(2, 5), Think: Lognormal(1500, 0.6, 200, 6000), Delta: Deterministic(0)}
+	break1.Classes[0] = c
+	if _, err := break1.Generate(10, 1); err == nil {
+		t.Fatal("accepted a zero delta distribution")
+	}
+	c.Sessions = &SessionProfile{Turns: Uniform(2, 5), Think: Lognormal(1500, 0.6, 200, 6000), Delta: Uniform(4, 128), MaxPrompt: -1}
+	break1.Classes[0] = c
+	if _, err := break1.Generate(10, 1); err == nil {
+		t.Fatal("accepted a negative prompt cap")
+	}
+}

@@ -46,6 +46,15 @@
 #                              proxy (0 once every digest has spilled into
 #                              its fixed-size sketch; the pre-sketch code
 #                              retained all 10M)
+#   affinity_ttft_savings      BenchmarkServeSession's jsq TTFT p50 minus
+#                              the session-affinity TTFT p50, milliseconds
+#                              — what routing a conversation's turns to
+#                              their resident KV prefix saves the median
+#                              request (acceptance: > 0)
+#   session_ttft_p50           the same variants' raw TTFT p50 (ms) per
+#                              dispatch policy, plus each policy's dispatch
+#                              load imbalance (percent of the per-replica
+#                              mean) — savings vs stickiness cost
 #   lint_tree_ms               BenchmarkLintTree's per-run milliseconds —
 #                              the determinism-contract linter's full-suite
 #                              wall time over the tree (parse + type-check +
@@ -66,10 +75,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${PR:-9}"
+PR="${PR:-10}"
 OUT="${1:-BENCH_${PR}.json}"
 BENCHTIME="${BENCHTIME:-2x}"
-PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeFaults$|BenchmarkServeScale$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$|BenchmarkLintTree$'
+PATTERN='BenchmarkHarnessSequential$|BenchmarkHarnessParallel$|BenchmarkServeStream$|BenchmarkServeCluster$|BenchmarkServeElastic$|BenchmarkServeFaults$|BenchmarkServeSession$|BenchmarkServeScale$|BenchmarkTraceReplay$|BenchmarkTraceFit$|BenchmarkServeDecodeStep|BenchmarkGMLakeExactMatch$|BenchmarkTrainerStep$|BenchmarkLintTree$'
 
 RAW=$(mktemp)
 # Same directory as $OUT so the final mv is an atomic rename, never a
@@ -125,6 +134,14 @@ awk -v pr="$PR" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v fallback="$FALLBACK_
             if ($(i+1) == "avail-pct") faultavail[fname] = $i
         }
     }
+    if (name ~ /^BenchmarkServeSession\/dispatch=/) {
+        sname = name
+        sub(/^BenchmarkServeSession\/dispatch=/, "", sname)
+        for (i = 5; i < NF; i += 2) {
+            if ($(i+1) == "ttft-p50-ms") sessttft[sname] = $i
+            if ($(i+1) == "imbalance-pct") sessimb[sname] = $i
+        }
+    }
     if (name == "BenchmarkLintTree") {
         for (i = 5; i < NF; i += 2) if ($(i+1) == "lint-ms") lintms = $i
     }
@@ -174,6 +191,11 @@ END {
     if (faultgood["none"] != "" && faultgood["mttf2s"] != "") {
         printf "    \"goodput_under_faults\": {\"none\": %s, \"mttf8s\": %s, \"mttf4s\": %s, \"mttf2s\": %s},\n", faultgood["none"], faultgood["mttf8s"], faultgood["mttf4s"], faultgood["mttf2s"]
         printf "    \"availability\": {\"none\": %s, \"mttf8s\": %s, \"mttf4s\": %s, \"mttf2s\": %s},\n", faultavail["none"], faultavail["mttf8s"], faultavail["mttf4s"], faultavail["mttf2s"]
+    }
+    if (sessttft["affinity"] != "" && sessttft["jsq"] != "") {
+        printf "    \"affinity_ttft_savings\": %.1f,\n", sessttft["jsq"] - sessttft["affinity"]
+        printf "    \"session_ttft_p50\": {\"affinity\": %s, \"jsq\": %s, \"least-kv\": %s},\n", sessttft["affinity"], sessttft["jsq"], sessttft["least-kv"]
+        printf "    \"session_imbalance_pct\": {\"affinity\": %s, \"jsq\": %s, \"least-kv\": %s},\n", sessimb["affinity"], sessimb["jsq"], sessimb["least-kv"]
     }
     if (lintms != "") {
         printf "    \"lint_tree_ms\": %s,\n", lintms
